@@ -1,0 +1,45 @@
+//! Host usage-predictor throughput: one prediction per resident host
+//! is the inner loop of every over-committing scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use optum_bench::{bench_cluster, bench_workload};
+use optum_predictors::{
+    BorgDefault, MaxPredictor, NSigma, NodeObservation, OptumPredictor, ResourceCentral,
+    UsagePredictor,
+};
+
+fn predictors(c: &mut Criterion) {
+    let workload = bench_workload();
+    let (nodes, apps) = bench_cluster(64, &workload);
+    let mut group = c.benchmark_group("predictors");
+
+    macro_rules! bench_pred {
+        ($name:expr, $p:expr) => {
+            group.bench_function($name, |b| {
+                let p = $p;
+                let mut i = 0usize;
+                b.iter(|| {
+                    let node = &nodes[i % nodes.len()];
+                    i += 1;
+                    let obs = NodeObservation {
+                        capacity: node.spec.capacity,
+                        pods: node.pod_infos(),
+                        cpu_history: node.cpu_window(240),
+                        mem_history: node.mem_window(240),
+                    };
+                    std::hint::black_box(p.predict(&obs, &apps))
+                });
+            });
+        };
+    }
+    bench_pred!("borg_default", BorgDefault::production());
+    bench_pred!("resource_central", ResourceCentral);
+    bench_pred!("n_sigma", NSigma::production());
+    bench_pred!("max_predictor", MaxPredictor::production());
+    bench_pred!("optum_ero", OptumPredictor);
+    group.finish();
+}
+
+criterion_group!(benches, predictors);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Offline-profiler costs: per-application model training and
+//! per-candidate inference (the scheduler's hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use optum_bench::{bench_training, bench_workload};
+use optum_core::{InterferenceProfiler, ModelKind, ProfilerConfig};
+use optum_types::AppId;
+
+fn profilers(c: &mut Criterion) {
+    let workload = bench_workload();
+    let training = bench_training(&workload);
+    let mut group = c.benchmark_group("profilers");
+    group.sample_size(10);
+
+    for kind in [ModelKind::RandomForest, ModelKind::Linear, ModelKind::Mlp] {
+        group.bench_function(format!("train_all_apps_{}", kind.label()), |b| {
+            b.iter(|| {
+                let cfg = ProfilerConfig {
+                    model: kind,
+                    max_samples_per_app: 300,
+                    ..ProfilerConfig::default()
+                };
+                std::hint::black_box(InterferenceProfiler::train(&training, cfg).unwrap())
+            });
+        });
+    }
+
+    let profiler = InterferenceProfiler::train(
+        &training,
+        ProfilerConfig {
+            max_samples_per_app: 400,
+            ..ProfilerConfig::default()
+        },
+    )
+    .unwrap();
+    let apps: Vec<AppId> = profiler.ls_mapes().iter().map(|(a, _)| *a).collect();
+    if !apps.is_empty() {
+        group.bench_function("predict_psi", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let app = apps[i % apps.len()];
+                i += 1;
+                std::hint::black_box(profiler.predict_psi(app, 0.4, 0.5, 0.7, 0.4, 0.9))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, profilers);
+criterion_main!(benches);

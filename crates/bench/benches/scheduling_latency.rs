@@ -1,0 +1,52 @@
+//! Fig. 22: per-decision scheduling latency vs cluster size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use optum_bench::{bench_cluster, bench_optum, bench_probes, bench_training, bench_workload};
+use optum_sched::{AlibabaLike, BorgLike, NSigmaSched, RcLike};
+use optum_sim::{ClusterView, Scheduler};
+use optum_types::{ClusterConfig, Tick};
+
+fn scheduling_latency(c: &mut Criterion) {
+    let workload = bench_workload();
+    let training = bench_training(&workload);
+    let probes = bench_probes(&workload, 32);
+    let mut group = c.benchmark_group("scheduling_latency");
+    group.sample_size(10);
+
+    for &n in &[500usize, 2000, 6000] {
+        let (nodes, apps) = bench_cluster(n, &workload);
+        let cluster = ClusterConfig::homogeneous(n);
+        macro_rules! bench_sched {
+            ($name:expr, $mk:expr) => {
+                group.bench_with_input(BenchmarkId::new($name, n), &n, |b, _| {
+                    let mut sched = $mk;
+                    let view = ClusterView {
+                        tick: Tick(240),
+                        nodes: &nodes,
+                        apps: &apps,
+                        cluster: &cluster,
+                        history_window: 240,
+                        affinity: &[],
+                    };
+                    sched.on_tick(&view);
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let pod = &probes[i % probes.len()];
+                        i += 1;
+                        std::hint::black_box(sched.select_node(pod, &view))
+                    });
+                });
+            };
+        }
+        bench_sched!("optum", bench_optum(&training));
+        bench_sched!("alibaba", AlibabaLike::default());
+        bench_sched!("rc_like", RcLike::default());
+        bench_sched!("nsigma", NSigmaSched::default());
+        bench_sched!("borg_like", BorgLike::default());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduling_latency);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Simulator throughput: full-day replays under the reference
+//! scheduler, the substrate cost of every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use optum_sched::AlibabaLike;
+use optum_sim::{run, SimConfig};
+use optum_trace::{generate, WorkloadConfig};
+
+fn simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for &hosts in &[20usize, 60] {
+        let workload = generate(&WorkloadConfig::sized(hosts, 1, 55)).unwrap();
+        group.bench_with_input(BenchmarkId::new("one_day", hosts), &hosts, |b, &h| {
+            b.iter(|| {
+                let mut cfg = SimConfig::new(h);
+                cfg.pods_per_app_sampled = 0;
+                std::hint::black_box(run(&workload, AlibabaLike::default(), cfg).unwrap())
+            });
+        });
+    }
+    // Workload generation itself.
+    group.bench_function("generate_40_hosts_1_day", |b| {
+        b.iter(|| std::hint::black_box(generate(&WorkloadConfig::sized(40, 1, 9)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Consolidation timeline: active-host counts and active-host
+//! utilization under Optum vs the production-like reference, over the
+//! trace window (the dynamics behind Fig. 19(a)).
+//!
+//! ```text
+//! H=200 D=8 cargo run --release -p optum-experiments --example consolidation_timeline
+//! ```
+use optum_core::{OptumConfig, OptumScheduler, ProfilerConfig, TracingCoordinator};
+use optum_sched::AlibabaLike;
+use optum_sim::{run, SimConfig};
+use optum_trace::{generate, WorkloadConfig};
+
+fn main() {
+    let hosts: usize = std::env::var("H").map(|v| v.parse().unwrap()).unwrap_or(60);
+    let days: u64 = std::env::var("D").map(|v| v.parse().unwrap()).unwrap_or(2);
+    let cfg = WorkloadConfig::sized(hosts, days, 42);
+    let w = generate(&cfg).unwrap();
+    let td = TracingCoordinator {
+        hosts,
+        profile_days: days,
+        training_stride: 40,
+    }
+    .collect(&w)
+    .unwrap();
+    let optum =
+        OptumScheduler::from_training(OptumConfig::default(), &td, ProfilerConfig::default())
+            .unwrap();
+    let ro = run(&w, optum, SimConfig::new(hosts)).unwrap();
+    let ra = run(&w, AlibabaLike::default(), SimConfig::new(hosts)).unwrap();
+    println!("tick  ref_active ref_act_util  opt_active opt_act_util");
+    for (a, o) in ra.cluster_series.iter().zip(&ro.cluster_series) {
+        if a.tick.0 % (240 * days.max(1)) == 0 {
+            println!(
+                "{:5}  {:3} {:.3}   {:3} {:.3}",
+                a.tick.0,
+                a.active_nodes,
+                a.mean_cpu_util_active,
+                o.active_nodes,
+                o.mean_cpu_util_active
+            );
+        }
+    }
+}

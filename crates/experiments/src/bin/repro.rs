@@ -1,0 +1,66 @@
+//! Regenerates the paper's figures from the synthetic testbed.
+//!
+//! ```text
+//! repro <figure-id>... [--fast] [--hosts N] [--days D] [--seed S]
+//! repro all [--fast]
+//! ```
+
+use optum_experiments::{run_figure_with, ExpConfig, Runner, ALL_FIGURES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S]");
+        eprintln!("figures: {ALL_FIGURES:?} + fig22");
+        std::process::exit(2);
+    }
+    let mut config = ExpConfig::standard();
+    let mut figures: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => {
+                config = ExpConfig {
+                    seed: config.seed,
+                    ..ExpConfig::fast()
+                }
+            }
+            "--hosts" => {
+                i += 1;
+                config.hosts = args[i].parse().expect("--hosts takes a number");
+            }
+            "--days" => {
+                i += 1;
+                config.days = args[i].parse().expect("--days takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args[i].parse().expect("--seed takes a number");
+            }
+            "all" => figures.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            other => figures.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if figures.iter().any(|f| f == "all") {
+        figures = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
+    }
+    eprintln!(
+        "# scale: {} hosts, {} days, seed {}",
+        config.hosts, config.days, config.seed
+    );
+    let mut runner = Runner::new(config.clone()).expect("workload generation");
+    for id in &figures {
+        let start = std::time::Instant::now();
+        match run_figure_with(id, &mut runner, &config) {
+            Ok(fig) => {
+                print!("{}", fig.render());
+                eprintln!("# {id} done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("# {id} FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

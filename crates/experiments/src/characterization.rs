@@ -1,0 +1,389 @@
+//! Characterization figures (§3): Figs. 2(b), 3–10.
+
+use optum_stats::Ecdf;
+use optum_types::{DelayCause, Result, SloClass, TICKS_PER_MINUTE};
+
+use optum_trace::AppKind;
+
+use crate::output::{Figure, Panel};
+use crate::runner::Runner;
+
+/// Samples an ECDF into a fixed-size `(x, F(x))` panel.
+fn cdf_panel(name: &str, xlabel: &str, series: Vec<(&str, Option<Ecdf>)>) -> Panel {
+    let mut p = Panel::new(name, &[xlabel, "series", "cdf"]);
+    for (label, cdf) in series {
+        if let Some(cdf) = cdf {
+            for (x, f) in cdf.curve_sampled(60) {
+                p.row(vec![
+                    format!("{x:.6}"),
+                    label.to_string(),
+                    format!("{f:.6}"),
+                ]);
+            }
+        }
+    }
+    p
+}
+
+/// Fig. 2(b): pod SLO-class distribution.
+pub fn fig2b(runner: &mut Runner) -> Result<Figure> {
+    let mut fig = Figure::new("fig2b", "Pod SLO distribution");
+    let mut p = Panel::new("SLO class shares", &["class", "pods", "percent"]);
+    let total = runner.workload.pods.len() as f64;
+    for (class, count) in runner.workload.slo_distribution() {
+        p.row(vec![
+            class.to_string(),
+            count.to_string(),
+            format!("{:.2}", 100.0 * count as f64 / total),
+        ]);
+    }
+    fig.push(p);
+    Ok(fig)
+}
+
+/// Fig. 3: workloads over time — submissions per 10 min (a), average
+/// LS QPS (b).
+pub fn fig3(runner: &mut Runner) -> Result<Figure> {
+    let mut fig = Figure::new("fig3", "Workloads over time");
+    // (a) Submitted pods per 10-minute bin, straight from arrivals.
+    let bin_ticks = 10 * TICKS_PER_MINUTE;
+    let window = runner.workload.config.window_ticks();
+    let bins = (window / bin_ticks) as usize + 1;
+    let mut be = vec![0u64; bins];
+    let mut ls = vec![0u64; bins];
+    for pod in &runner.workload.pods {
+        let b = (pod.spec.arrival.0 / bin_ticks) as usize;
+        match pod.spec.slo {
+            SloClass::Be => be[b] += 1,
+            SloClass::Ls | SloClass::Lsr => ls[b] += 1,
+            _ => {}
+        }
+    }
+    let mut pa = Panel::new("(a) submitted pods per 10 min", &["bin", "BE", "LS"]);
+    for i in 0..bins {
+        pa.row(vec![i.to_string(), be[i].to_string(), ls[i].to_string()]);
+    }
+    fig.push(pa);
+
+    // (b) Average QPS of running LS pods, from the reference run.
+    let reference = runner.reference()?;
+    let mut pb = Panel::new("(b) average QPS of LS pods", &["tick", "qps"]);
+    for s in &reference.cluster_series {
+        if s.tick.0 % (10 * TICKS_PER_MINUTE) == 0 {
+            pb.row_f64(&[s.tick.0 as f64, s.mean_ls_qps]);
+        }
+    }
+    fig.push(pb);
+    Ok(fig)
+}
+
+/// Fig. 4: average pod CPU utilization by class (a); host resource
+/// utilization (b).
+pub fn fig4(runner: &mut Runner) -> Result<Figure> {
+    let reference = runner.reference()?;
+    let mut fig = Figure::new("fig4", "Resource utilization under unified scheduling");
+    let mut pa = Panel::new("(a) average pod CPU utilization", &["tick", "BE", "LS"]);
+    let mut pb = Panel::new(
+        "(b) host resource utilization",
+        &["tick", "cpu_avg", "mem_avg", "cpu_max", "mem_max"],
+    );
+    for s in &reference.cluster_series {
+        if s.tick.0 % 60 != 0 {
+            continue;
+        }
+        pa.row_f64(&[s.tick.0 as f64, s.mean_be_pod_util, s.mean_ls_pod_util]);
+        pb.row_f64(&[
+            s.tick.0 as f64,
+            s.mean_cpu_util,
+            s.mean_mem_util,
+            s.max_cpu_util,
+            s.max_mem_util,
+        ]);
+    }
+    fig.push(pa);
+    fig.push(pb);
+    Ok(fig)
+}
+
+/// Fig. 5: distribution of per-host over-commitment rates.
+pub fn fig5(runner: &mut Runner) -> Result<Figure> {
+    let reference = runner.reference()?;
+    let snap = &reference.node_snapshot;
+    let mut fig = Figure::new("fig5", "Resource over-commitment rate across hosts");
+    let rates = |f: fn(&optum_sim::NodeSnapshot) -> f64| -> Option<Ecdf> {
+        Ecdf::new(snap.iter().map(f).collect())
+    };
+    fig.push(cdf_panel(
+        "(a) CPU over-commitment",
+        "rate",
+        vec![
+            ("CPU Request", rates(|n| n.requested.cpu / n.capacity.cpu)),
+            ("CPU Limit", rates(|n| n.limits.cpu / n.capacity.cpu)),
+        ],
+    ));
+    fig.push(cdf_panel(
+        "(b) memory over-commitment",
+        "rate",
+        vec![
+            ("Mem Request", rates(|n| n.requested.mem / n.capacity.mem)),
+            ("Mem Limit", rates(|n| n.limits.mem / n.capacity.mem)),
+        ],
+    ));
+    // Headline probabilities quoted in §3.1.2.
+    let mut ph = Panel::new("headline", &["metric", "value"]);
+    let frac = |f: fn(&optum_sim::NodeSnapshot) -> f64| {
+        snap.iter().filter(|n| f(n) > 1.0).count() as f64 / snap.len().max(1) as f64
+    };
+    ph.row_labeled(
+        "P(host over-commits CPU by requests)",
+        &[frac(|n| n.requested.cpu / n.capacity.cpu)],
+    );
+    ph.row_labeled(
+        "P(host over-commits memory by requests)",
+        &[frac(|n| n.requested.mem / n.capacity.mem)],
+    );
+    fig.push(ph);
+    Ok(fig)
+}
+
+/// Fig. 6: resource requests vs actual usage per pod.
+pub fn fig6(runner: &mut Runner) -> Result<Figure> {
+    let reference = runner.reference()?;
+    let mut fig = Figure::new("fig6", "Resource requests vs actual usage across pods");
+    let by_class = |slo_ls: bool| {
+        let mut req_cpu = Vec::new();
+        let mut used_cpu = Vec::new();
+        let mut req_mem = Vec::new();
+        let mut used_mem = Vec::new();
+        for o in &reference.outcomes {
+            let matches = if slo_ls {
+                o.slo.is_latency_sensitive()
+            } else {
+                o.slo == SloClass::Be
+            };
+            if !matches || !o.scheduled() || o.mean_pod_cpu_util == 0.0 {
+                continue;
+            }
+            req_cpu.push(o.request.cpu);
+            used_cpu.push(o.mean_pod_cpu_util * o.request.cpu);
+            req_mem.push(o.request.mem);
+            used_mem.push(o.mean_pod_mem_util * o.request.mem);
+        }
+        (
+            Ecdf::new(req_cpu),
+            Ecdf::new(used_cpu),
+            Ecdf::new(req_mem),
+            Ecdf::new(used_mem),
+        )
+    };
+    let (ls_rc, ls_uc, ls_rm, ls_um) = by_class(true);
+    let (be_rc, be_uc, be_rm, be_um) = by_class(false);
+    fig.push(cdf_panel(
+        "(a) CPU request and usage",
+        "normalized_cores",
+        vec![
+            ("BE Req", be_rc),
+            ("BE Used", be_uc),
+            ("LS Req", ls_rc),
+            ("LS Used", ls_uc),
+        ],
+    ));
+    fig.push(cdf_panel(
+        "(b) memory request and usage",
+        "normalized_memory",
+        vec![
+            ("BE Req", be_rm),
+            ("BE Used", be_um),
+            ("LS Req", ls_rm),
+            ("LS Used", ls_um),
+        ],
+    ));
+    Ok(fig)
+}
+
+/// Fig. 7: distribution of pods to schedule per minute.
+pub fn fig7(runner: &mut Runner) -> Result<Figure> {
+    let mut per_min = std::collections::HashMap::new();
+    for p in &runner.workload.pods {
+        *per_min.entry(p.spec.arrival.minute()).or_insert(0u64) += 1;
+    }
+    let counts: Vec<f64> = per_min.values().map(|&c| c as f64).collect();
+    let mut fig = Figure::new("fig7", "Pods to schedule per minute (tail)");
+    fig.push(cdf_panel(
+        "arrivals per minute",
+        "pods_per_min",
+        vec![("All", Ecdf::new(counts.clone()))],
+    ));
+    let mut ph = Panel::new("tail", &["quantile", "pods_per_min"]);
+    if let Some(cdf) = Ecdf::new(counts) {
+        for q in [0.5, 0.9, 0.98, 0.99, 0.999, 1.0] {
+            ph.row_f64(&[q, cdf.quantile(q)]);
+        }
+    }
+    fig.push(ph);
+    Ok(fig)
+}
+
+/// Fig. 8: waiting-time distribution per SLO class.
+pub fn fig8(runner: &mut Runner) -> Result<Figure> {
+    let reference = runner.reference()?;
+    let mut fig = Figure::new("fig8", "Waiting time by SLO class");
+    let waits = |slo: SloClass| -> Option<Ecdf> {
+        Ecdf::new(
+            reference
+                .outcomes_of(slo)
+                .map(|o| o.wait_seconds().max(1.0))
+                .collect(),
+        )
+    };
+    fig.push(cdf_panel(
+        "waiting time (s)",
+        "seconds",
+        vec![
+            ("BE", waits(SloClass::Be)),
+            ("LS", waits(SloClass::Ls)),
+            ("LSR", waits(SloClass::Lsr)),
+        ],
+    ));
+    let mut ph = Panel::new(
+        "tail fractions",
+        &["class", "P(wait>100s)", "P(wait>1000s)"],
+    );
+    for slo in [SloClass::Be, SloClass::Ls, SloClass::Lsr] {
+        let all: Vec<f64> = reference
+            .outcomes_of(slo)
+            .map(|o| o.wait_seconds())
+            .collect();
+        let n = all.len().max(1) as f64;
+        ph.row(vec![
+            slo.to_string(),
+            format!(
+                "{:.4}",
+                all.iter().filter(|&&w| w > 100.0).count() as f64 / n
+            ),
+            format!(
+                "{:.4}",
+                all.iter().filter(|&&w| w > 1000.0).count() as f64 / n
+            ),
+        ]);
+    }
+    fig.push(ph);
+    Ok(fig)
+}
+
+/// Fig. 9: waiting time by request size (a) and delay causes (b).
+pub fn fig9(runner: &mut Runner) -> Result<Figure> {
+    let reference = runner.reference()?;
+    let mut fig = Figure::new("fig9", "Waiting time by request size and delay causes");
+    let mut pa = Panel::new(
+        "(a) average waiting by CPU-request bucket",
+        &["class", "bucket", "avg_wait_s", "pods"],
+    );
+    let buckets = [
+        (0.0, 0.02, "Low"),
+        (0.02, 0.04, "Med"),
+        (0.04, 0.08, "High"),
+        (0.08, 10.0, "Very High"),
+    ];
+    for slo in [SloClass::Be, SloClass::Ls, SloClass::Lsr] {
+        let pairs: Vec<(f64, f64)> = reference
+            .outcomes_of(slo)
+            .map(|o| (o.request.cpu, o.wait_seconds()))
+            .collect();
+        for (lo, hi, label) in buckets {
+            let in_bucket: Vec<f64> = pairs
+                .iter()
+                .filter(|(r, _)| *r >= lo && *r < hi)
+                .map(|(_, w)| *w)
+                .collect();
+            if in_bucket.is_empty() {
+                continue;
+            }
+            let avg = in_bucket.iter().sum::<f64>() / in_bucket.len() as f64;
+            pa.row(vec![
+                slo.to_string(),
+                label.to_string(),
+                format!("{avg:.2}"),
+                in_bucket.len().to_string(),
+            ]);
+        }
+    }
+    fig.push(pa);
+
+    let mut pb = Panel::new(
+        "(b) source of delay",
+        &["class", "CPU & Mem", "Mem", "CPU", "Other"],
+    );
+    for slo in [SloClass::Be, SloClass::Ls, SloClass::Lsr] {
+        let delayed: Vec<&optum_sim::PodOutcome> = reference
+            .outcomes_of(slo)
+            .filter(|o| o.wait_ticks > 0 && o.delay_cause.is_some())
+            .collect();
+        let n = delayed.len().max(1) as f64;
+        let frac =
+            |c: DelayCause| delayed.iter().filter(|o| o.delay_cause == Some(c)).count() as f64 / n;
+        pb.row(vec![
+            slo.to_string(),
+            format!("{:.3}", frac(DelayCause::CpuAndMemory)),
+            format!("{:.3}", frac(DelayCause::Memory)),
+            format!("{:.3}", frac(DelayCause::Cpu)),
+            format!("{:.3}", frac(DelayCause::Other)),
+        ]);
+    }
+    fig.push(pb);
+    Ok(fig)
+}
+
+/// Fig. 10: rank of the selected host under usage- vs request-based
+/// availability.
+pub fn fig10(runner: &mut Runner) -> Result<Figure> {
+    let reference = runner.reference()?;
+    let mut fig = Figure::new(
+        "fig10",
+        "Rank of selected hosts under two over-commitment policies",
+    );
+    let ranks = |slo: SloClass, by_usage: bool| -> Option<Ecdf> {
+        Ecdf::new(
+            reference
+                .outcomes_of(slo)
+                .filter_map(|o| {
+                    if by_usage {
+                        o.rank_by_usage
+                    } else {
+                        o.rank_by_request
+                    }
+                })
+                .map(|r| r as f64)
+                .collect(),
+        )
+    };
+    fig.push(cdf_panel(
+        "(a) rank by actual resource usage",
+        "rank",
+        vec![
+            ("BE", ranks(SloClass::Be, true)),
+            ("LS", ranks(SloClass::Ls, true)),
+            ("LSR", ranks(SloClass::Lsr, true)),
+        ],
+    ));
+    fig.push(cdf_panel(
+        "(b) rank by resource requests",
+        "rank",
+        vec![
+            ("BE", ranks(SloClass::Be, false)),
+            ("LS", ranks(SloClass::Ls, false)),
+            ("LSR", ranks(SloClass::Lsr, false)),
+        ],
+    ));
+    Ok(fig)
+}
+
+/// Sanity helper exposed for tests: total BE jobs in the workload.
+pub fn be_app_count(runner: &Runner) -> usize {
+    runner
+        .workload
+        .apps
+        .iter()
+        .filter(|a| matches!(a.kind, AppKind::Be(_)))
+        .count()
+}

@@ -1,0 +1,392 @@
+//! Application-behavior figures (§3.3): Figs. 12–16.
+//!
+//! These aggregate the reference run's sampled per-pod time series
+//! (Figs. 13–15) and per-pod outcomes (Figs. 12, 16) into the paper's
+//! CoV and correlation distributions.
+
+use std::collections::HashMap;
+
+use optum_stats::{coefficient_of_variation, mean, pearson, Ecdf};
+use optum_types::{AppId, PodId, Result, SloClass};
+
+use crate::output::{Figure, Panel};
+use crate::runner::Runner;
+
+/// Per-pod series grouped by application, restricted to one class.
+fn series_by_app<'r>(
+    runner: &'r Runner,
+    reference: &'r optum_sim::SimResult,
+    latency_sensitive: bool,
+) -> HashMap<AppId, Vec<(PodId, &'r [optum_sim::PodPoint])>> {
+    let mut out: HashMap<AppId, Vec<(PodId, &[optum_sim::PodPoint])>> = HashMap::new();
+    for (pid, series) in &reference.pod_series {
+        if series.len() < 20 {
+            continue;
+        }
+        let spec = &runner.workload.pods[pid.index()].spec;
+        let matches = if latency_sensitive {
+            spec.slo.is_latency_sensitive()
+        } else {
+            spec.slo == SloClass::Be
+        };
+        if matches {
+            out.entry(spec.app)
+                .or_default()
+                .push((*pid, series.as_slice()));
+        }
+    }
+    out
+}
+
+/// CDF panel over per-app values.
+fn cov_cdf(name: &str, series: Vec<(&str, Vec<f64>)>) -> Panel {
+    let mut p = Panel::new(name, &["cov", "series", "cdf"]);
+    for (label, vals) in series {
+        if let Some(cdf) = Ecdf::new(vals) {
+            for (x, f) in cdf.curve_sampled(50) {
+                p.row(vec![
+                    format!("{x:.6}"),
+                    label.to_string(),
+                    format!("{f:.6}"),
+                ]);
+            }
+        }
+    }
+    p
+}
+
+/// Fig. 12: CoV of pod behavior within each application.
+pub fn fig12(runner: &mut Runner) -> Result<Figure> {
+    runner.reference()?;
+    let reference = runner.reference_cached();
+    let mut fig = Figure::new("fig12", "Within-application consistency (CoV)");
+
+    // LS panel: CoV across pods of (mean CPU usage, mean mem util,
+    // mean RT, mean QPS), per app, using the sampled series.
+    let ls = series_by_app(runner, reference, true);
+    let mut cov_cpu = Vec::new();
+    let mut cov_mem = Vec::new();
+    let mut cov_rt = Vec::new();
+    let mut cov_qps = Vec::new();
+    for (_, pods) in ls.iter().filter(|(_, v)| v.len() >= 3) {
+        let per_pod = |f: &dyn Fn(&optum_sim::PodPoint) -> f64| -> Vec<f64> {
+            pods.iter()
+                .map(|(_, s)| mean(&s.iter().map(f).collect::<Vec<_>>()))
+                .collect()
+        };
+        let push = |target: &mut Vec<f64>, vals: Vec<f64>| {
+            if let Some(c) = coefficient_of_variation(&vals) {
+                target.push(c);
+            }
+        };
+        push(&mut cov_cpu, per_pod(&|p| p.usage.cpu));
+        push(&mut cov_mem, per_pod(&|p| p.usage.mem));
+        push(&mut cov_rt, per_pod(&|p| p.response_time));
+        push(&mut cov_qps, per_pod(&|p| p.qps));
+    }
+    fig.push(cov_cdf(
+        "(a) latency-sensitive services",
+        vec![
+            ("CPU Used", cov_cpu),
+            ("Mem Util", cov_mem),
+            ("RT", cov_rt),
+            ("QPS", cov_qps),
+        ],
+    ));
+
+    // BE panel: CoV across *all* pods of each BE app, from outcomes.
+    let mut by_app: HashMap<AppId, Vec<&optum_sim::PodOutcome>> = HashMap::new();
+    for o in reference.outcomes_of(SloClass::Be) {
+        if o.completed_at.is_some() {
+            by_app.entry(o.app).or_default().push(o);
+        }
+    }
+    let mut cov_cpu_be = Vec::new();
+    let mut cov_mem_be = Vec::new();
+    let mut cov_ct = Vec::new();
+    for (_, pods) in by_app.iter().filter(|(_, v)| v.len() >= 5) {
+        let cpu: Vec<f64> = pods
+            .iter()
+            .map(|o| o.mean_pod_cpu_util * o.request.cpu)
+            .collect();
+        let memv: Vec<f64> = pods.iter().map(|o| o.mean_pod_mem_util).collect();
+        let ct: Vec<f64> = pods
+            .iter()
+            .filter_map(|o| o.actual_duration)
+            .map(|d| d as f64)
+            .collect();
+        if let Some(c) = coefficient_of_variation(&cpu) {
+            cov_cpu_be.push(c);
+        }
+        if let Some(c) = coefficient_of_variation(&memv) {
+            cov_mem_be.push(c);
+        }
+        if let Some(c) = coefficient_of_variation(&ct) {
+            cov_ct.push(c);
+        }
+    }
+    fig.push(cov_cdf(
+        "(b) best-effort applications",
+        vec![
+            ("CPU Used Cores", cov_cpu_be),
+            ("Mem Util", cov_mem_be),
+            ("Completion Time", cov_ct),
+        ],
+    ));
+    Ok(fig)
+}
+
+/// Correlation of a per-point metric against a per-point target,
+/// averaged across an app's sampled pods.
+fn app_correlations(
+    pods: &[(PodId, &[optum_sim::PodPoint])],
+    target: &dyn Fn(&optum_sim::PodPoint) -> f64,
+    metric: &dyn Fn(&optum_sim::PodPoint) -> f64,
+) -> Option<f64> {
+    let mut corrs = Vec::new();
+    for (_, series) in pods {
+        let ys: Vec<f64> = series.iter().map(target).collect();
+        let xs: Vec<f64> = series.iter().map(metric).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            corrs.push(r);
+        }
+    }
+    if corrs.is_empty() {
+        None
+    } else {
+        Some(mean(&corrs))
+    }
+}
+
+/// A labeled extractor over recorded pod samples.
+type PointMetric = (&'static str, Box<dyn Fn(&optum_sim::PodPoint) -> f64>);
+/// A labeled extractor over pod outcomes.
+type OutcomeMetric = (&'static str, Box<dyn Fn(&optum_sim::PodOutcome) -> f64>);
+
+/// The OS-level metric set of Figs. 13–14: label plus extractor.
+fn os_metrics() -> Vec<PointMetric> {
+    vec![
+        (
+            "NodeCPUUtil",
+            Box::new(|p: &optum_sim::PodPoint| p.host_cpu_util),
+        ),
+        (
+            "NodeMemUtil",
+            Box::new(|p: &optum_sim::PodPoint| p.host_mem_util),
+        ),
+        (
+            "PodCPUUtil",
+            Box::new(|p: &optum_sim::PodPoint| p.usage.cpu),
+        ),
+        (
+            "PodMemUtil",
+            Box::new(|p: &optum_sim::PodPoint| p.usage.mem),
+        ),
+        (
+            "CPUPSI10",
+            Box::new(|p: &optum_sim::PodPoint| p.cpu_psi.avg10),
+        ),
+        (
+            "CPUPSI60",
+            Box::new(|p: &optum_sim::PodPoint| p.cpu_psi.avg60),
+        ),
+        (
+            "CPUPSI300",
+            Box::new(|p: &optum_sim::PodPoint| p.cpu_psi.avg300),
+        ),
+        // Full-memory PSI tracks the some variant closely; the 0.7
+        // proxy preserves ordering (documented substitution).
+        (
+            "MemFPSI10",
+            Box::new(|p: &optum_sim::PodPoint| p.mem_psi.avg10 * 0.7),
+        ),
+        (
+            "MemSPSI10",
+            Box::new(|p: &optum_sim::PodPoint| p.mem_psi.avg10),
+        ),
+        (
+            "MemFPSI60",
+            Box::new(|p: &optum_sim::PodPoint| p.mem_psi.avg60 * 0.7),
+        ),
+        (
+            "MemSPSI60",
+            Box::new(|p: &optum_sim::PodPoint| p.mem_psi.avg60),
+        ),
+        (
+            "MemFPSI300",
+            Box::new(|p: &optum_sim::PodPoint| p.mem_psi.avg300 * 0.7),
+        ),
+        (
+            "MemSPSI300",
+            Box::new(|p: &optum_sim::PodPoint| p.mem_psi.avg300),
+        ),
+    ]
+}
+
+/// Quantile summary (p25/p50/p75) of per-app correlations per metric.
+fn correlation_panel(
+    name: &str,
+    apps: &HashMap<AppId, Vec<(PodId, &[optum_sim::PodPoint])>>,
+    target: &dyn Fn(&optum_sim::PodPoint) -> f64,
+) -> Panel {
+    let mut panel = Panel::new(name, &["metric", "p25", "median", "p75", "apps"]);
+    for (label, metric) in os_metrics() {
+        let vals: Vec<f64> = apps
+            .values()
+            .filter_map(|pods| app_correlations(pods, target, &metric))
+            .collect();
+        if let Some(cdf) = Ecdf::new(vals.clone()) {
+            panel.row(vec![
+                label.to_string(),
+                format!("{:.4}", cdf.quantile(0.25)),
+                format!("{:.4}", cdf.quantile(0.5)),
+                format!("{:.4}", cdf.quantile(0.75)),
+                vals.len().to_string(),
+            ]);
+        }
+    }
+    panel
+}
+
+/// Fig. 13: correlation between pod response time and OS-level
+/// metrics across LS applications.
+pub fn fig13(runner: &mut Runner) -> Result<Figure> {
+    runner.reference()?;
+    let reference = runner.reference_cached();
+    let ls = series_by_app(runner, reference, true);
+    let mut fig = Figure::new("fig13", "Correlation of pod RT with OS-level metrics");
+    fig.push(correlation_panel("RT correlations", &ls, &|p| {
+        p.response_time
+    }));
+    Ok(fig)
+}
+
+/// Fig. 14: correlation between pod QPS and OS-level metrics.
+pub fn fig14(runner: &mut Runner) -> Result<Figure> {
+    runner.reference()?;
+    let reference = runner.reference_cached();
+    let ls = series_by_app(runner, reference, true);
+    let mut fig = Figure::new("fig14", "Correlation of pod QPS with OS-level metrics");
+    fig.push(correlation_panel("QPS correlations", &ls, &|p| p.qps));
+    Ok(fig)
+}
+
+/// Fig. 15: correlation between PSI and host (a) / pod (b) CPU
+/// utilization, per PSI window.
+pub fn fig15(runner: &mut Runner) -> Result<Figure> {
+    runner.reference()?;
+    let reference = runner.reference_cached();
+    let ls = series_by_app(runner, reference, true);
+    let mut fig = Figure::new("fig15", "Correlation between PSI and CPU utilization");
+    let windows: Vec<PointMetric> = vec![
+        ("PSI10", Box::new(|p: &optum_sim::PodPoint| p.cpu_psi.avg10)),
+        ("PSI60", Box::new(|p: &optum_sim::PodPoint| p.cpu_psi.avg60)),
+        (
+            "PSI300",
+            Box::new(|p: &optum_sim::PodPoint| p.cpu_psi.avg300),
+        ),
+    ];
+    for (panel_name, metric) in [
+        ("(a) host CPU utilization", 0usize),
+        ("(b) pod CPU utilization", 1usize),
+    ] {
+        let mut panel = Panel::new(panel_name, &["window", "corr", "cdf"]);
+        for (label, psi) in &windows {
+            let vals: Vec<f64> = ls
+                .values()
+                .filter_map(|pods| {
+                    app_correlations(pods, psi, &|p| {
+                        if metric == 0 {
+                            p.host_cpu_util
+                        } else {
+                            p.usage.cpu
+                        }
+                    })
+                })
+                .collect();
+            if let Some(cdf) = Ecdf::new(vals) {
+                for (x, f) in cdf.curve_sampled(40) {
+                    panel.row(vec![
+                        label.to_string(),
+                        format!("{x:.4}"),
+                        format!("{f:.4}"),
+                    ]);
+                }
+            }
+        }
+        fig.push(panel);
+    }
+    Ok(fig)
+}
+
+/// Fig. 16: correlation between BE pod completion time and resource
+/// metrics, across pods of each application.
+pub fn fig16(runner: &mut Runner) -> Result<Figure> {
+    let reference = runner.reference()?;
+    let mut by_app: HashMap<AppId, Vec<&optum_sim::PodOutcome>> = HashMap::new();
+    for o in reference.outcomes_of(SloClass::Be) {
+        if o.actual_duration.is_some() {
+            by_app.entry(o.app).or_default().push(o);
+        }
+    }
+    let metrics: Vec<OutcomeMetric> = vec![
+        (
+            "NodeCPUUtil",
+            Box::new(|o: &optum_sim::PodOutcome| o.max_host_cpu_util),
+        ),
+        (
+            "NodeMemUtil",
+            Box::new(|o: &optum_sim::PodOutcome| o.max_host_mem_util),
+        ),
+        (
+            "PodCPUUtil",
+            Box::new(|o: &optum_sim::PodOutcome| o.mean_pod_cpu_util),
+        ),
+        (
+            "PodMemUtil",
+            Box::new(|o: &optum_sim::PodOutcome| o.mean_pod_mem_util),
+        ),
+        (
+            "PodCPUPSI",
+            Box::new(|o: &optum_sim::PodOutcome| o.worst_psi),
+        ),
+        // RX/TX proxies scale with input size.
+        (
+            "RX",
+            Box::new(|o: &optum_sim::PodOutcome| o.nominal_duration as f64),
+        ),
+    ];
+    let mut fig = Figure::new(
+        "fig16",
+        "Correlation of BE completion time with resource metrics",
+    );
+    let mut panel = Panel::new(
+        "CT correlations",
+        &["metric", "p25", "median", "p75", "apps"],
+    );
+    for (label, metric) in metrics {
+        let vals: Vec<f64> = by_app
+            .values()
+            .filter(|pods| pods.len() >= 8)
+            .filter_map(|pods| {
+                let ct: Vec<f64> = pods
+                    .iter()
+                    .map(|o| o.actual_duration.unwrap() as f64)
+                    .collect();
+                let xs: Vec<f64> = pods.iter().map(|o| metric(o)).collect();
+                pearson(&xs, &ct)
+            })
+            .collect();
+        if let Some(cdf) = Ecdf::new(vals.clone()) {
+            panel.row(vec![
+                label.to_string(),
+                format!("{:.4}", cdf.quantile(0.25)),
+                format!("{:.4}", cdf.quantile(0.5)),
+                format!("{:.4}", cdf.quantile(0.75)),
+                vals.len().to_string(),
+            ]);
+        }
+    }
+    fig.push(panel);
+    Ok(fig)
+}

@@ -1,0 +1,119 @@
+//! Per-figure experiment runners.
+//!
+//! Each public `figNN` function regenerates the data series behind one
+//! figure of the paper, returning a [`Figure`] of printable panels.
+//! The `repro` binary dispatches on figure ids:
+//!
+//! ```text
+//! cargo run --release -p optum-experiments --bin repro -- fig19
+//! cargo run --release -p optum-experiments --bin repro -- all --fast
+//! ```
+//!
+//! Absolute numbers come from the synthetic workload, not Alibaba's
+//! testbed; the *shapes* (who wins, by what factor, where the
+//! crossovers sit) are the reproduction target. EXPERIMENTS.md records
+//! paper-vs-measured values for every figure.
+
+pub mod characterization;
+pub mod check;
+pub mod correlation;
+pub mod endtoend;
+pub mod output;
+pub mod overhead;
+pub mod predictors_eval;
+pub mod profiling_eval;
+pub mod runner;
+pub mod sweep;
+
+pub use output::{Figure, Panel};
+pub use runner::{ExpConfig, Runner};
+
+/// All figure ids, in paper order.
+pub const ALL_FIGURES: [&str; 19] = [
+    "fig2b", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig18", "fig19", "fig20", "fig21",
+];
+
+/// Runs one figure by id with a fresh context.
+pub fn run_figure(id: &str, config: &ExpConfig) -> optum_types::Result<Figure> {
+    let mut runner = Runner::new(config.clone())?;
+    run_figure_with(id, &mut runner, config)
+}
+
+/// Runs one figure by id against a shared context (the reference run
+/// and profiling data are computed once and reused across figures).
+pub fn run_figure_with(
+    id: &str,
+    runner: &mut Runner,
+    config: &ExpConfig,
+) -> optum_types::Result<Figure> {
+    match id {
+        "fig2b" => characterization::fig2b(runner),
+        "fig3" => characterization::fig3(runner),
+        "fig4" => characterization::fig4(runner),
+        "fig5" => characterization::fig5(runner),
+        "fig6" => characterization::fig6(runner),
+        "fig7" => characterization::fig7(runner),
+        "fig8" => characterization::fig8(runner),
+        "fig9" => characterization::fig9(runner),
+        "fig10" => characterization::fig10(runner),
+        "fig11" => predictors_eval::fig11(runner),
+        "fig12" => correlation::fig12(runner),
+        "fig13" => correlation::fig13(runner),
+        "fig14" => correlation::fig14(runner),
+        "fig15" => correlation::fig15(runner),
+        "fig16" => correlation::fig16(runner),
+        "fig18" => profiling_eval::fig18(runner),
+        "fig19" => endtoend::fig19(runner),
+        "fig20" => endtoend::fig20(runner),
+        "fig21" => sweep::fig21(runner),
+        "check" => check::check(runner),
+        "fig22" => overhead::fig22(config),
+        other => Err(optum_types::Error::InvalidConfig(format!(
+            "unknown figure id '{other}'; known: {:?} + fig22",
+            ALL_FIGURES
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            hosts: 20,
+            days: 1,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn workload_only_figures_run_quickly() {
+        for id in ["fig2b", "fig7"] {
+            let fig = run_figure(id, &tiny()).expect("figure runs");
+            assert_eq!(fig.id, id);
+            assert!(!fig.panels.is_empty());
+            assert!(fig.panels.iter().any(|p| !p.rows.is_empty()));
+        }
+    }
+
+    #[test]
+    fn unknown_figure_is_an_error() {
+        assert!(run_figure("fig99", &tiny()).is_err());
+    }
+
+    #[test]
+    fn shared_runner_reuses_reference() {
+        let mut runner = Runner::new(tiny()).unwrap();
+        let cfg = tiny();
+        // fig4 forces the reference run; fig5 must reuse it (fast).
+        run_figure_with("fig4", &mut runner, &cfg).unwrap();
+        let start = std::time::Instant::now();
+        run_figure_with("fig5", &mut runner, &cfg).unwrap();
+        assert!(
+            start.elapsed().as_secs_f64() < 5.0,
+            "fig5 should reuse the cached reference"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Printable figure panels.
+
+/// One panel (sub-plot) of a figure: a header plus TSV rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    /// Panel label, e.g. "(a) CPU over-commitment rate".
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Panel {
+    /// Creates a panel from string-ish columns.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Panel {
+        Panel {
+            name: name.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row of float cells (formatted to 6 significant
+    /// digits).
+    pub fn row_f64(&mut self, cells: &[f64]) {
+        self.rows
+            .push(cells.iter().map(|v| format!("{v:.6}")).collect());
+    }
+
+    /// Appends one row of pre-stringified cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a labeled float row.
+    pub fn row_labeled(&mut self, label: impl Into<String>, cells: &[f64]) {
+        let mut row = vec![label.into()];
+        row.extend(cells.iter().map(|v| format!("{v:.6}")));
+        self.rows.push(row);
+    }
+}
+
+/// One reproduced figure: id, human title, panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Figure id, e.g. "fig11".
+    pub id: String,
+    /// Human-readable title (matches the paper's caption).
+    pub title: String,
+    /// Panels in paper order.
+    pub panels: Vec<Panel>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Figure {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            panels: Vec::new(),
+        }
+    }
+
+    /// Adds a panel.
+    pub fn push(&mut self, panel: Panel) {
+        self.panels.push(panel);
+    }
+
+    /// Renders the figure as TSV blocks.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {} — {} ===\n", self.id, self.title));
+        for p in &self.panels {
+            out.push_str(&format!("--- {} ---\n", p.name));
+            out.push_str(&p.columns.join("\t"));
+            out.push('\n');
+            for row in &p.rows {
+                out.push_str(&row.join("\t"));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_tsv() {
+        let mut fig = Figure::new("figX", "Test figure");
+        let mut p = Panel::new("(a) panel", &["x", "y"]);
+        p.row_f64(&[1.0, 2.5]);
+        p.row_labeled("BE", &[0.5]);
+        fig.push(p);
+        let s = fig.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("x\ty"));
+        assert!(s.contains("1.000000\t2.500000"));
+        assert!(s.contains("BE\t0.500000"));
+    }
+}

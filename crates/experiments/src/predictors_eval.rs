@@ -1,0 +1,79 @@
+//! Fig. 11: accuracy of host resource-usage predictors.
+
+use optum_predictors::{
+    BorgDefault, MaxPredictor, NSigma, OptumPredictor, OptumPredictorTriple, ResourceCentral,
+};
+use optum_sched::AlibabaLike;
+use optum_sim::{run, PredictorEval};
+use optum_types::{Result, Tick, TICKS_PER_DAY, TICKS_PER_HOUR};
+
+use crate::output::{Figure, Panel};
+use crate::runner::Runner;
+
+/// Fig. 11: over-/under-estimation error CDFs of the five predictors,
+/// evaluated online against each host's next-hour peak usage (the
+/// paper uses one-day samples; we evaluate every 30 minutes after a
+/// one-day warm-up).
+pub fn fig11(runner: &mut Runner) -> Result<Figure> {
+    let mut cfg = runner.sim_config();
+    cfg.pods_per_app_sampled = 0;
+    // Two days: day one warms profiles up, day two evaluates.
+    let days = runner.config.days.min(2);
+    cfg.end_tick = Some(Tick::from_days(days));
+    cfg.predictor_eval = Some(PredictorEval {
+        predictors: vec![
+            Box::new(NSigma::production()),
+            Box::new(ResourceCentral),
+            Box::new(BorgDefault::production()),
+            Box::new(MaxPredictor::production()),
+            Box::new(OptumPredictor),
+            // The §4.2.2 extension, falling back to min-pairwise
+            // composition online (an accuracy ablation).
+            Box::new(OptumPredictorTriple),
+        ],
+        stride: TICKS_PER_HOUR / 2,
+        horizon: TICKS_PER_HOUR,
+        warmup: (days - 1).max(1) * TICKS_PER_DAY / 2,
+    });
+    let result = run(&runner.workload, AlibabaLike::default(), cfg)?;
+
+    let mut fig = Figure::new("fig11", "CPU usage prediction accuracy by approach");
+    let mut pa = Panel::new("(a) over-estimation errors", &["error", "predictor", "cdf"]);
+    let mut pb = Panel::new(
+        "(b) under-estimation errors",
+        &["error", "predictor", "cdf"],
+    );
+    let mut ph = Panel::new(
+        "extremes",
+        &[
+            "predictor",
+            "max_over",
+            "max_under",
+            "P(under>10%)",
+            "points",
+        ],
+    );
+    for (name, errs) in &result.predictor_errors {
+        if let Some(cdf) = errs.over_cdf() {
+            for (x, f) in cdf.curve_sampled(50) {
+                pa.row(vec![format!("{x:.4}"), name.clone(), format!("{f:.4}")]);
+            }
+        }
+        if let Some(cdf) = errs.under_cdf() {
+            for (x, f) in cdf.curve_sampled(50) {
+                pb.row(vec![format!("{x:.4}"), name.clone(), format!("{f:.4}")]);
+            }
+        }
+        ph.row(vec![
+            name.clone(),
+            format!("{:.3}", errs.max_over()),
+            format!("{:.3}", errs.max_under()),
+            format!("{:.4}", errs.frac_under_worse_than(0.1)),
+            errs.len().to_string(),
+        ]);
+    }
+    fig.push(pa);
+    fig.push(pb);
+    fig.push(ph);
+    Ok(fig)
+}

@@ -1,0 +1,80 @@
+//! Fig. 18: profiling accuracy of the five learning models.
+
+use std::collections::HashMap;
+
+use optum_core::profiler::{fit_and_score, ModelKind, ProfilerConfig};
+use optum_stats::Ecdf;
+use optum_types::{AppId, Result};
+
+use crate::output::{Figure, Panel};
+use crate::runner::Runner;
+
+/// Per-app MAPE of one model family on grouped samples.
+fn mapes_for(groups: &HashMap<AppId, (Vec<Vec<f64>>, Vec<f64>)>, kind: ModelKind) -> Vec<f64> {
+    let config = ProfilerConfig {
+        model: kind,
+        max_samples_per_app: 800,
+        ..ProfilerConfig::default()
+    };
+    groups
+        .values()
+        .filter_map(|(f, t)| {
+            let n = f.len().min(config.max_samples_per_app);
+            let step = (f.len() / n).max(1);
+            let fs: Vec<Vec<f64>> = f.iter().step_by(step).cloned().collect();
+            let ts: Vec<f64> = t.iter().step_by(step).copied().collect();
+            fit_and_score(&fs, &ts, &config).ok().map(|(_, mape)| mape)
+        })
+        .collect()
+}
+
+/// Fig. 18: MAPE CDFs for RF / LR / Ridge / SVR / MLP on the LS PSI
+/// profiling task (a) and the BE completion-time task (b).
+pub fn fig18(runner: &mut Runner) -> Result<Figure> {
+    let training = runner.training()?.clone();
+    let mut ls_groups: HashMap<AppId, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
+    for s in &training.psi {
+        let e = ls_groups.entry(s.app).or_default();
+        e.0.push(s.features());
+        e.1.push(s.psi);
+    }
+    let mut be_groups: HashMap<AppId, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
+    for s in &training.ct {
+        let e = be_groups.entry(s.app).or_default();
+        e.0.push(s.features());
+        e.1.push(s.ct_norm);
+    }
+
+    let mut fig = Figure::new("fig18", "Profiling accuracy by learning model (MAPE)");
+    for (panel_name, groups) in [
+        ("(a) latency-sensitive (PSI)", &ls_groups),
+        ("(b) best-effort (CT)", &be_groups),
+    ] {
+        let mut panel = Panel::new(panel_name, &["mape", "model", "cdf"]);
+        let mut summary = Panel::new(
+            format!("{panel_name} summary"),
+            &["model", "median_mape", "p90_mape", "apps"],
+        );
+        for kind in ModelKind::EXTENDED {
+            let mapes = mapes_for(groups, kind);
+            if let Some(cdf) = Ecdf::new(mapes.clone()) {
+                for (x, f) in cdf.curve_sampled(40) {
+                    panel.row(vec![
+                        format!("{x:.4}"),
+                        kind.label().to_string(),
+                        format!("{f:.4}"),
+                    ]);
+                }
+                summary.row(vec![
+                    kind.label().to_string(),
+                    format!("{:.4}", cdf.quantile(0.5)),
+                    format!("{:.4}", cdf.quantile(0.9)),
+                    mapes.len().to_string(),
+                ]);
+            }
+        }
+        fig.push(panel);
+        fig.push(summary);
+    }
+    Ok(fig)
+}

@@ -1,0 +1,130 @@
+//! Shared experiment context: workload, reference run, profiling data.
+//!
+//! Expensive artifacts are computed once and reused across figures:
+//! the synthetic workload, the reference (AlibabaLike) simulation of
+//! the full window, and the offline-profiling dataset.
+
+use optum_sched::AlibabaLike;
+use optum_sim::{run, SimConfig, SimResult, TrainingData};
+use optum_trace::{generate, Workload, WorkloadConfig};
+use optum_types::Result;
+
+/// Experiment scale configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpConfig {
+    /// Hosts in the simulated cluster.
+    pub hosts: usize,
+    /// Trace window length in days.
+    pub days: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExpConfig {
+    /// The standard reproduction scale: 200 hosts over 8 days (a
+    /// 1:30 scale model of the paper's 6,000-host testbed; densities
+    /// are per-host so statistics match).
+    pub fn standard() -> ExpConfig {
+        ExpConfig {
+            hosts: 200,
+            days: 8,
+            seed: 42,
+        }
+    }
+
+    /// A fast scale for smoke runs: 60 hosts over 2 days.
+    pub fn fast() -> ExpConfig {
+        ExpConfig {
+            hosts: 60,
+            days: 2,
+            seed: 42,
+        }
+    }
+
+    /// The workload configuration at this scale.
+    pub fn workload_config(&self) -> WorkloadConfig {
+        WorkloadConfig::sized(self.hosts, self.days, self.seed)
+    }
+}
+
+/// Caching context shared by the figure runners.
+pub struct Runner {
+    /// Scale configuration.
+    pub config: ExpConfig,
+    /// The generated workload.
+    pub workload: Workload,
+    reference: Option<SimResult>,
+    /// Cached contender results (Figs. 19–20 share the same roster).
+    pub roster_cache: Vec<SimResult>,
+}
+
+impl Runner {
+    /// Generates the workload for a configuration.
+    pub fn new(config: ExpConfig) -> Result<Runner> {
+        let workload = generate(&config.workload_config())?;
+        Ok(Runner {
+            config,
+            workload,
+            reference: None,
+            roster_cache: Vec::new(),
+        })
+    }
+
+    /// Base simulation configuration at this scale.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::new(self.config.hosts)
+    }
+
+    /// The reference run: AlibabaLike over the full window with rank
+    /// recording, a mid-window commitment snapshot, per-pod series
+    /// sampling and training collection. Computed once.
+    pub fn reference(&mut self) -> Result<&SimResult> {
+        if self.reference.is_none() {
+            let mut cfg = self.sim_config();
+            cfg.record_ranks = true;
+            cfg.collect_training = true;
+            cfg.training_stride = 40;
+            cfg.pods_per_app_sampled = 4;
+            cfg.series_stride = 10;
+            // Snapshot mid-window at the diurnal LS peak (~15:00).
+            let mid_day = self.config.days / 2;
+            cfg.snapshot_tick = Some(optum_types::Tick(
+                mid_day * optum_types::TICKS_PER_DAY + 15 * optum_types::TICKS_PER_HOUR,
+            ));
+            let result = run(&self.workload, AlibabaLike::default(), cfg)?;
+            self.reference = Some(result);
+        }
+        Ok(self.reference.as_ref().expect("just computed"))
+    }
+
+    /// The cached reference run; call [`Runner::reference`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the reference run has not been computed yet.
+    pub fn reference_cached(&self) -> &SimResult {
+        self.reference
+            .as_ref()
+            .expect("call reference() before reference_cached()")
+    }
+
+    /// The offline-profiling dataset (from the reference run).
+    pub fn training(&mut self) -> Result<&TrainingData> {
+        self.reference()?;
+        self.reference
+            .as_ref()
+            .and_then(|r| r.training.as_ref())
+            .ok_or_else(|| {
+                optum_types::Error::InvalidData("reference run collected no training".into())
+            })
+    }
+
+    /// Runs an evaluation simulation (lean recording) under a
+    /// scheduler.
+    pub fn run_eval<S: optum_sim::Scheduler>(&self, scheduler: S) -> Result<SimResult> {
+        let mut cfg = self.sim_config();
+        cfg.pods_per_app_sampled = 0;
+        cfg.series_stride = 10;
+        run(&self.workload, scheduler, cfg)
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 21: sensitivity of Optum to the objective weights ω_o, ω_b.
+
+use std::sync::Arc;
+
+use optum_core::{
+    InterferenceProfiler, OptumConfig, OptumScheduler, ProfilerConfig, ResourceUsageProfiler,
+};
+use optum_types::{Result, SloClass};
+
+use crate::output::{Figure, Panel};
+use crate::runner::Runner;
+
+/// The weight grid of Fig. 21.
+pub const OMEGAS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Fig. 21: for each (ω_o, ω_b) pair, the average utilization
+/// improvement (a), the BE violation rate (b), and the LS violation
+/// rate (c), all relative to the reference scheduler.
+pub fn fig21(runner: &mut Runner) -> Result<Figure> {
+    runner.reference()?;
+    let base_util = {
+        let r = runner.reference_cached();
+        r.cluster_series
+            .iter()
+            .map(|s| s.mean_cpu_util_active)
+            .sum::<f64>()
+            / r.cluster_series.len().max(1) as f64
+    };
+
+    let mut fig = Figure::new("fig21", "Sensitivity to the objective weights");
+    let mut panel = Panel::new(
+        "sweep",
+        &[
+            "omega_o",
+            "omega_b",
+            "util_improvement_pp",
+            "be_violation",
+            "ls_violation",
+        ],
+    );
+    // Train the profilers once; only the objective weights vary.
+    let (usage, interference) = {
+        let training = runner.training()?;
+        (
+            Arc::new(ResourceUsageProfiler::from_training(training)),
+            Arc::new(InterferenceProfiler::train(
+                training,
+                ProfilerConfig::default(),
+            )?),
+        )
+    };
+    for &omega_o in &OMEGAS {
+        for &omega_b in &OMEGAS {
+            // The sweep isolates the objective weights: the hard PSI
+            // and CPU guards are relaxed so ω alone governs the
+            // utilization/performance trade-off (the paper's default
+            // deployment keeps the guards; Fig. 21 studies Eq. 6's
+            // weights).
+            let sched = OptumScheduler::with_shared(
+                OptumConfig {
+                    omega_o,
+                    omega_b,
+                    psi_guard: f64::INFINITY,
+                    cpu_guard: 1.0,
+                    ..OptumConfig::default()
+                },
+                usage.clone(),
+                interference.clone(),
+            );
+            let result = runner.run_eval(sched)?;
+            let util = result
+                .cluster_series
+                .iter()
+                .map(|s| s.mean_cpu_util_active)
+                .sum::<f64>()
+                / result.cluster_series.len().max(1) as f64;
+
+            let reference = runner.reference_cached();
+            // LS violation: fraction of LS pods with degraded PSI.
+            let mut ls_total = 0usize;
+            let mut ls_viol = 0usize;
+            let mut be_total = 0usize;
+            let mut be_viol = 0usize;
+            for (n, b) in result.outcomes.iter().zip(&reference.outcomes) {
+                if n.slo.is_latency_sensitive() && n.scheduled() && b.scheduled() {
+                    ls_total += 1;
+                    if n.worst_psi > b.worst_psi + 0.01 {
+                        ls_viol += 1;
+                    }
+                } else if n.slo == SloClass::Be {
+                    if let (Some(an), Some(ab)) = (n.actual_duration, b.actual_duration) {
+                        be_total += 1;
+                        if an > ab + 1 {
+                            be_viol += 1;
+                        }
+                    }
+                }
+            }
+            panel.row(vec![
+                format!("{omega_o:.1}"),
+                format!("{omega_b:.1}"),
+                format!("{:.3}", (util - base_util) * 100.0),
+                format!("{:.5}", be_viol as f64 / be_total.max(1) as f64),
+                format!("{:.5}", ls_viol as f64 / ls_total.max(1) as f64),
+            ]);
+        }
+    }
+    fig.push(panel);
+    Ok(fig)
+}

@@ -1,0 +1,132 @@
+//! Bucket discretization of prediction targets.
+//!
+//! §4.2.1: "Optum divides the space of prediction into multiple buckets,
+//! and then takes the upper bound of the bucket as the final
+//! prediction" — e.g. with ten buckets over `[0, 1]`, a raw prediction
+//! of 0.27 becomes 0.3. The evaluation (§5.2) uses 25 buckets.
+
+use optum_types::{Error, Result};
+
+/// Maps raw values to the upper bound of their bucket over `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use optum_ml::Discretizer;
+///
+/// let d = Discretizer::new(0.0, 1.0, 10).unwrap();
+/// assert!((d.discretize(0.27) - 0.3).abs() < 1e-12);
+/// assert_eq!(d.discretize(-5.0), 0.1);
+/// assert_eq!(d.discretize(7.0), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discretizer {
+    lo: f64,
+    hi: f64,
+    buckets: usize,
+}
+
+impl Discretizer {
+    /// Creates a discretizer; requires `lo < hi` and at least one
+    /// bucket.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Result<Discretizer> {
+        // The negated form also rejects NaN bounds, deliberately.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(lo < hi) {
+            return Err(Error::InvalidConfig("need lo < hi".into()));
+        }
+        if buckets == 0 {
+            return Err(Error::InvalidConfig("need at least one bucket".into()));
+        }
+        Ok(Discretizer { lo, hi, buckets })
+    }
+
+    /// The paper's evaluation configuration: 25 buckets over `[0, 1]`
+    /// (normalized PSI / completion time).
+    pub fn paper_default() -> Discretizer {
+        Discretizer::new(0.0, 1.0, 25).expect("constants are valid")
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Index of the bucket `x` falls into, clamped to the range.
+    pub fn bucket_of(&self, x: f64) -> usize {
+        let width = (self.hi - self.lo) / self.buckets as f64;
+        let idx = ((x - self.lo) / width).floor();
+        (idx.max(0.0) as usize).min(self.buckets - 1)
+    }
+
+    /// Upper bound of the bucket `x` falls into — the discretized
+    /// prediction.
+    pub fn discretize(&self, x: f64) -> f64 {
+        let width = (self.hi - self.lo) / self.buckets as f64;
+        self.lo + width * (self.bucket_of(x) + 1) as f64
+    }
+
+    /// Discretizes a whole slice.
+    pub fn discretize_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.discretize(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validates_params() {
+        assert!(Discretizer::new(1.0, 1.0, 5).is_err());
+        assert!(Discretizer::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn paper_example() {
+        // "when the PSI is divided into ten buckets and the prediction
+        // falls into the 0.2 to 0.3 bucket, the final prediction will
+        // be 0.3".
+        let d = Discretizer::new(0.0, 1.0, 10).unwrap();
+        assert!((d.discretize(0.25) - 0.3).abs() < 1e-12);
+        assert!((d.discretize(0.2) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundaries_clamp() {
+        let d = Discretizer::new(0.0, 1.0, 4);
+        let d = d.unwrap();
+        assert_eq!(d.bucket_of(-1.0), 0);
+        assert_eq!(d.bucket_of(2.0), 3);
+        assert_eq!(d.discretize(1.0), 1.0);
+    }
+
+    #[test]
+    fn default_is_25_buckets() {
+        assert_eq!(Discretizer::paper_default().buckets(), 25);
+    }
+
+    proptest! {
+        #[test]
+        fn discretized_is_upper_bound(x in -2f64..3.0) {
+            let d = Discretizer::new(0.0, 1.0, 25).unwrap();
+            let v = d.discretize(x);
+            // Output is one of the bucket upper bounds and >= clamped x.
+            prop_assert!(v >= x.clamp(0.0, 1.0) - 1e-12);
+            let steps = v * 25.0;
+            prop_assert!((steps - steps.round()).abs() < 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+
+        #[test]
+        fn idempotent(x in 0f64..1.0) {
+            let d = Discretizer::paper_default();
+            let once = d.discretize(x);
+            // Upper bound of bucket k lands in bucket k+1's closed lower edge;
+            // clamping keeps re-discretization within one bucket width.
+            let twice = d.discretize(once);
+            prop_assert!((twice - once).abs() <= 1.0 / 25.0 + 1e-12);
+        }
+    }
+}

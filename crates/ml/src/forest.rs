@@ -1,0 +1,182 @@
+//! Random-Forest regressor: bagged CART trees with per-split feature
+//! subsampling.
+//!
+//! The model the paper's Interference Profiler adopts after comparing
+//! five regressors (§4.2.1, Fig. 18).
+
+use optum_types::{Error, Result};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::linalg::Matrix;
+use crate::tree::{DecisionTree, TreeParams};
+use crate::Regressor;
+
+/// Tuning knobs for a random forest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters; `max_features` of `None` is replaced by
+    /// `ceil(d / 3)` (the regression heuristic) at fit time.
+    pub tree: TreeParams,
+}
+
+impl Default for ForestParams {
+    fn default() -> ForestParams {
+        ForestParams {
+            n_trees: 30,
+            tree: TreeParams {
+                max_depth: 10,
+                min_samples_leaf: 2,
+                max_features: None,
+            },
+        }
+    }
+}
+
+/// A bagging ensemble of regression trees.
+///
+/// # Examples
+///
+/// ```
+/// use optum_ml::{Matrix, RandomForest, Regressor};
+///
+/// let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = (0..30).map(|i| if i < 15 { 0.0 } else { 1.0 }).collect();
+/// let x = Matrix::from_rows(&rows).unwrap();
+/// let mut rf = RandomForest::default_params(7);
+/// rf.fit(&x, &y).unwrap();
+/// assert!(rf.predict_row(&[3.0]) < 0.3);
+/// assert!(rf.predict_row(&[25.0]) > 0.7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    params: ForestParams,
+    seed: u64,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    pub fn new(params: ForestParams, seed: u64) -> Result<RandomForest> {
+        if params.n_trees == 0 {
+            return Err(Error::InvalidConfig("n_trees must be > 0".into()));
+        }
+        // Validate tree params early by constructing a probe tree.
+        DecisionTree::new(params.tree, 0)?;
+        Ok(RandomForest {
+            params,
+            seed,
+            trees: Vec::new(),
+        })
+    }
+
+    /// Creates a forest with [`ForestParams::default`].
+    pub fn default_params(seed: u64) -> RandomForest {
+        RandomForest::new(ForestParams::default(), seed).expect("defaults are valid")
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if x.rows() != y.len() {
+            return Err(Error::InvalidData("feature/target length mismatch".into()));
+        }
+        let n = x.rows();
+        let d = x.cols();
+        let mut tree_params = self.params.tree;
+        if tree_params.max_features.is_none() {
+            tree_params.max_features = Some((d / 3).max(1));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees.clear();
+        for t in 0..self.params.n_trees {
+            // Bootstrap resample.
+            let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let rows: Vec<Vec<f64>> = indices.iter().map(|&i| x.row(i).to_vec()).collect();
+            let targets: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
+            let bx = Matrix::from_rows(&rows)?;
+            let mut tree = DecisionTree::new(tree_params, self.seed.wrapping_add(t as u64 + 1))?;
+            tree.fit(&bx, &targets)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "fit before predict");
+        self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn validates_params() {
+        let bad = ForestParams {
+            n_trees: 0,
+            ..ForestParams::default()
+        };
+        assert!(RandomForest::new(bad, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| (i % 3) as f64 * 4.0).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut a = RandomForest::default_params(5);
+        let mut b = RandomForest::default_params(5);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_row(&[10.0, 1.0]), b.predict_row(&[10.0, 1.0]));
+        assert_eq!(a.tree_count(), 30);
+    }
+
+    #[test]
+    fn beats_single_tree_on_nonlinear_noisy_target() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        // Nonlinear target with noise: y = sin-ish threshold interaction.
+        for _ in 0..300 {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            let noise: f64 = rng.gen_range(-0.05..0.05);
+            rows.push(vec![a, b]);
+            y.push(((a - 0.5).max(0.0) * 2.0 + (b * 3.0).sin().abs() * 0.5 + noise).max(0.01));
+        }
+        let split = 250;
+        let train_rows: Vec<Vec<f64>> = rows[..split].to_vec();
+        let train_x = Matrix::from_rows(&train_rows).unwrap();
+        let mut rf = RandomForest::default_params(1);
+        rf.fit(&train_x, &y[..split]).unwrap();
+        let preds: Vec<f64> = rows[split..].iter().map(|r| rf.predict_row(r)).collect();
+        let r2 = r2_score(&preds, &y[split..]).unwrap();
+        assert!(r2 > 0.6, "forest R2 {r2}");
+    }
+
+    #[test]
+    fn averaging_smooths_predictions() {
+        // Forest output is an average, so it lies within tree outputs' range.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut rf = RandomForest::default_params(3);
+        rf.fit(&x, &y).unwrap();
+        let p = rf.predict_row(&[10.0]);
+        assert!((0.0..=19.0).contains(&p));
+    }
+}

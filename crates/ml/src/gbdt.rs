@@ -1,0 +1,209 @@
+//! Gradient-boosted regression trees.
+//!
+//! Not part of the paper's five-model comparison — included as an
+//! extension: boosting is the other obvious ensemble family, and the
+//! Fig. 18 harness accepts any [`Regressor`].
+
+use optum_types::{Error, Result};
+
+use crate::linalg::Matrix;
+use crate::tree::{DecisionTree, TreeParams};
+use crate::Regressor;
+
+/// Tuning knobs for gradient boosting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbdtParams {
+    /// Boosting rounds (trees).
+    pub n_rounds: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Per-tree parameters (kept shallow: boosting wants weak
+    /// learners).
+    pub tree: TreeParams,
+}
+
+impl Default for GbdtParams {
+    fn default() -> GbdtParams {
+        GbdtParams {
+            n_rounds: 60,
+            learning_rate: 0.15,
+            tree: TreeParams {
+                max_depth: 4,
+                min_samples_leaf: 4,
+                max_features: None,
+            },
+        }
+    }
+}
+
+/// A least-squares gradient-boosting ensemble: each round fits a
+/// shallow tree to the current residuals.
+///
+/// # Examples
+///
+/// ```
+/// use optum_ml::{GradientBoost, Matrix, Regressor};
+///
+/// let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
+/// let x = Matrix::from_rows(&rows).unwrap();
+/// let mut gb = GradientBoost::default_params(3);
+/// gb.fit(&x, &y).unwrap();
+/// assert!((gb.predict_row(&[5.0]) - 1.0).abs() < 0.5);
+/// assert!((gb.predict_row(&[35.0]) - 5.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientBoost {
+    params: GbdtParams,
+    seed: u64,
+    base: f64,
+    trees: Vec<DecisionTree>,
+}
+
+impl GradientBoost {
+    /// Creates an unfitted booster.
+    pub fn new(params: GbdtParams, seed: u64) -> Result<GradientBoost> {
+        if params.n_rounds == 0 {
+            return Err(Error::InvalidConfig("n_rounds must be > 0".into()));
+        }
+        if params.learning_rate <= 0.0 || params.learning_rate > 1.0 {
+            return Err(Error::InvalidConfig(
+                "learning_rate must be in (0, 1]".into(),
+            ));
+        }
+        DecisionTree::new(params.tree, 0)?;
+        Ok(GradientBoost {
+            params,
+            seed,
+            base: 0.0,
+            trees: Vec::new(),
+        })
+    }
+
+    /// Creates a booster with [`GbdtParams::default`].
+    pub fn default_params(seed: u64) -> GradientBoost {
+        GradientBoost::new(GbdtParams::default(), seed).expect("defaults are valid")
+    }
+
+    /// Number of fitted rounds.
+    pub fn round_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for GradientBoost {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if x.rows() != y.len() {
+            return Err(Error::InvalidData("feature/target length mismatch".into()));
+        }
+        self.base = y.iter().sum::<f64>() / y.len() as f64;
+        self.trees.clear();
+        let mut residuals: Vec<f64> = y.iter().map(|v| v - self.base).collect();
+        for round in 0..self.params.n_rounds {
+            let mut tree =
+                DecisionTree::new(self.params.tree, self.seed.wrapping_add(round as u64))?;
+            tree.fit(x, &residuals)?;
+            for (i, r) in residuals.iter_mut().enumerate() {
+                *r -= self.params.learning_rate * tree.predict_row(x.row(i));
+            }
+            self.trees.push(tree);
+            // Early stop when the residual energy is exhausted.
+            let sse: f64 = residuals.iter().map(|r| r * r).sum();
+            if sse < 1e-10 {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "fit before predict");
+        self.base
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn validates_params() {
+        let bad = GbdtParams {
+            n_rounds: 0,
+            ..GbdtParams::default()
+        };
+        assert!(GradientBoost::new(bad, 0).is_err());
+        let bad2 = GbdtParams {
+            learning_rate: 0.0,
+            ..GbdtParams::default()
+        };
+        assert!(GradientBoost::new(bad2, 0).is_err());
+        let bad3 = GbdtParams {
+            learning_rate: 1.5,
+            ..GbdtParams::default()
+        };
+        assert!(GradientBoost::new(bad3, 0).is_err());
+    }
+
+    #[test]
+    fn fits_nonlinear_target_better_than_one_weak_tree() {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 50.0]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| (r[0] * 2.2).sin() + 0.5 * (r[0] - 2.0).max(0.0))
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+
+        let mut gb = GradientBoost::default_params(1);
+        gb.fit(&x, &y).unwrap();
+        let gb_pred = gb.predict(&x);
+        let gb_r2 = r2_score(&gb_pred, &y).unwrap();
+
+        let mut weak = DecisionTree::new(
+            TreeParams {
+                max_depth: 4,
+                min_samples_leaf: 4,
+                max_features: None,
+            },
+            1,
+        )
+        .unwrap();
+        weak.fit(&x, &y).unwrap();
+        let weak_r2 = r2_score(&weak.predict(&x), &y).unwrap();
+
+        assert!(
+            gb_r2 > weak_r2,
+            "boosting {gb_r2:.3} <= single weak tree {weak_r2:.3}"
+        );
+        assert!(gb_r2 > 0.95, "boosted R2 {gb_r2:.3}");
+    }
+
+    #[test]
+    fn early_stops_on_pure_targets() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 20];
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut gb = GradientBoost::default_params(0);
+        gb.fit(&x, &y).unwrap();
+        assert!(
+            gb.round_count() <= 2,
+            "ran {} rounds on constant target",
+            gb.round_count()
+        );
+        assert!((gb.predict_row(&[5.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut a = GradientBoost::default_params(9);
+        let mut b = GradientBoost::default_params(9);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_row(&[25.0, 4.0]), b.predict_row(&[25.0, 4.0]));
+    }
+}

@@ -1,0 +1,341 @@
+//! Minimal dense linear algebra: row-major matrices and a
+//! partial-pivoting Gaussian solver, sufficient for the closed-form
+//! linear models.
+
+use optum_types::{Error, Result};
+
+/// A dense row-major `f64` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use optum_ml::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// let b = a.matmul(&a.transpose()).unwrap();
+/// assert_eq!(b.get(0, 0), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices; all rows must share one width
+    /// and there must be at least one row and one column.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Matrix> {
+        let Some(first) = rows.first() else {
+            return Err(Error::InvalidData("matrix needs at least one row".into()));
+        };
+        let cols = first.len();
+        if cols == 0 {
+            return Err(Error::InvalidData(
+                "matrix needs at least one column".into(),
+            ));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(Error::InvalidData(format!(
+                    "ragged rows: expected {cols} columns, found {}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Matrix> {
+        if data.len() != rows * cols || rows == 0 || cols == 0 {
+            return Err(Error::InvalidData(format!(
+                "buffer of {} does not fill {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` as an owned vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(Error::InvalidData(format!(
+                "dimension mismatch: {}x{} · {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(Error::InvalidData(format!(
+                "dimension mismatch: {}x{} · len {}",
+                self.rows,
+                self.cols,
+                v.len()
+            )));
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// In-place addition of `lambda` to the diagonal (ridge shrinkage).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            let v = self.get(i, i);
+            self.set(i, i, v + lambda);
+        }
+    }
+
+    /// Solves `self · x = b` by Gaussian elimination with partial
+    /// pivoting. Requires a square system; fails on (numerically)
+    /// singular matrices.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(Error::InvalidData("solve requires a square matrix".into()));
+        }
+        if b.len() != self.rows {
+            return Err(Error::InvalidData("rhs length mismatch".into()));
+        }
+        let n = self.rows;
+        // Augmented working copy.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot: the row with the largest magnitude in this column.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[r1 * n + col]
+                        .abs()
+                        .partial_cmp(&a[r2 * n + col].abs())
+                        .expect("matrix entries are finite")
+                })
+                .expect("non-empty range");
+            let pivot = a[pivot_row * n + col];
+            if pivot.abs() < 1e-12 {
+                return Err(Error::InvalidData("singular matrix".into()));
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / a[col * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut sum = x[col];
+            for j in (col + 1)..n {
+                sum -= a[col * n + j] * x[j];
+            }
+            x[col] = sum / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![]]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+        assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.matmul(&Matrix::identity(2)).unwrap(), a);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matvec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn add_diagonal() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_diagonal(0.5);
+        assert_eq!(a.get(0, 0), 0.5);
+        assert_eq!(a.get(1, 1), 0.5);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_recovers_rhs(
+            entries in proptest::collection::vec(-10f64..10.0, 9),
+            b in proptest::collection::vec(-10f64..10.0, 3),
+        ) {
+            let mut a = Matrix::from_vec(3, 3, entries).unwrap();
+            // Diagonal dominance guarantees non-singularity.
+            for i in 0..3 {
+                let v = a.get(i, i);
+                a.set(i, i, v + 40.0);
+            }
+            let x = a.solve(&b).unwrap();
+            let back = a.matvec(&x).unwrap();
+            for i in 0..3 {
+                prop_assert!((back[i] - b[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Closed-form linear models: ordinary least squares and Ridge.
+
+use optum_types::{Error, Result};
+
+use crate::linalg::Matrix;
+use crate::Regressor;
+
+/// Appends a bias column of ones to a feature matrix.
+fn with_bias(x: &Matrix) -> Matrix {
+    let mut rows = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let mut row = x.row(r).to_vec();
+        row.push(1.0);
+        rows.push(row);
+    }
+    Matrix::from_rows(&rows).expect("bias-augmented rows are rectangular")
+}
+
+/// Solves the (possibly ridge-regularized) normal equations
+/// `(XᵀX + λI)w = Xᵀy`. The bias coefficient is not penalized.
+fn solve_normal_equations(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if x.rows() != y.len() {
+        return Err(Error::InvalidData("feature/target length mismatch".into()));
+    }
+    let xb = with_bias(x);
+    let xt = xb.transpose();
+    let mut xtx = xt.matmul(&xb)?;
+    if lambda > 0.0 {
+        xtx.add_diagonal(lambda);
+        // Undo shrinkage on the bias term (last diagonal entry).
+        let last = xtx.rows() - 1;
+        let v = xtx.get(last, last);
+        xtx.set(last, last, v - lambda);
+    }
+    let xty = xt.matvec(y)?;
+    xtx.solve(&xty)
+}
+
+fn predict_with(weights: &[f64], row: &[f64]) -> f64 {
+    debug_assert_eq!(
+        weights.len(),
+        row.len() + 1,
+        "weights include the bias term"
+    );
+    let mut acc = weights[row.len()];
+    for (w, v) in weights.iter().zip(row) {
+        acc += w * v;
+    }
+    acc
+}
+
+/// Ordinary least squares via the normal equations.
+///
+/// # Examples
+///
+/// ```
+/// use optum_ml::{LinearRegression, Matrix, Regressor};
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+/// let y = [1.0, 3.0, 5.0]; // y = 2x + 1
+/// let mut lr = LinearRegression::new();
+/// lr.fit(&x, &y).unwrap();
+/// assert!((lr.predict_row(&[3.0]) - 7.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinearRegression {
+    weights: Option<Vec<f64>>,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model.
+    pub fn new() -> LinearRegression {
+        LinearRegression { weights: None }
+    }
+
+    /// The learned coefficients `[w_1, …, w_d, bias]`, if fitted.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        self.weights = Some(solve_normal_equations(x, y, 0.0)?);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let w = self.weights.as_ref().expect("fit before predict");
+        predict_with(w, row)
+    }
+}
+
+/// Ridge regression: OLS with L2 shrinkage `lambda` on the non-bias
+/// coefficients. Regularization also makes collinear feature sets
+/// solvable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeRegression {
+    lambda: f64,
+    weights: Option<Vec<f64>>,
+}
+
+impl RidgeRegression {
+    /// Creates an unfitted model; `lambda` must be non-negative.
+    pub fn new(lambda: f64) -> Result<RidgeRegression> {
+        if lambda < 0.0 || !lambda.is_finite() {
+            return Err(Error::InvalidConfig("lambda must be >= 0".into()));
+        }
+        Ok(RidgeRegression {
+            lambda,
+            weights: None,
+        })
+    }
+
+    /// The learned coefficients `[w_1, …, w_d, bias]`, if fitted.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
+impl Regressor for RidgeRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        self.weights = Some(solve_normal_equations(x, y, self.lambda)?);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let w = self.weights.as_ref().expect("fit before predict");
+        predict_with(w, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = [1.0, 3.5, 6.0, 8.5]; // y = 2.5x + 1.
+        let mut lr = LinearRegression::new();
+        lr.fit(&x, &y).unwrap();
+        let w = lr.weights().unwrap();
+        assert!((w[0] - 2.5).abs() < 1e-9);
+        assert!((w[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ols_multivariate() {
+        // y = 3a - 2b + 0.5, on a grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                rows.push(vec![a as f64, b as f64]);
+                y.push(3.0 * a as f64 - 2.0 * b as f64 + 0.5);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut lr = LinearRegression::new();
+        lr.fit(&x, &y).unwrap();
+        assert!((lr.predict_row(&[10.0, 10.0]) - 10.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let mut ols = LinearRegression::new();
+        ols.fit(&x, &y).unwrap();
+        let mut ridge = RidgeRegression::new(10.0).unwrap();
+        ridge.fit(&x, &y).unwrap();
+        let w_ols = ols.weights().unwrap()[0];
+        let w_ridge = ridge.weights().unwrap()[0];
+        assert!(w_ridge.abs() < w_ols.abs());
+        assert!(w_ridge > 0.0);
+    }
+
+    #[test]
+    fn ridge_solves_collinear_features() {
+        // Duplicate columns are singular for OLS but fine for ridge.
+        let rows: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..6).map(|i| 2.0 * i as f64).collect();
+        let mut ols = LinearRegression::new();
+        assert!(ols.fit(&x, &y).is_err());
+        let mut ridge = RidgeRegression::new(0.1).unwrap();
+        ridge.fit(&x, &y).unwrap();
+        // Weight mass is split across the duplicated columns.
+        let w = ridge.weights().unwrap();
+        assert!((w[0] - w[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_validates_lambda() {
+        assert!(RidgeRegression::new(-1.0).is_err());
+        assert!(RidgeRegression::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn fit_validates_lengths() {
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let mut lr = LinearRegression::new();
+        assert!(lr.fit(&x, &[1.0, 2.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn ols_residuals_orthogonal_to_features(
+            points in proptest::collection::vec((-10f64..10.0, -10f64..10.0), 5..40)
+        ) {
+            let rows: Vec<Vec<f64>> = points.iter().map(|p| vec![p.0]).collect();
+            let y: Vec<f64> = points.iter().map(|p| p.1).collect();
+            let x = Matrix::from_rows(&rows).unwrap();
+            let mut lr = LinearRegression::new();
+            // Skip degenerate all-equal-x draws where OLS is singular.
+            if lr.fit(&x, &y).is_ok() {
+                let preds = lr.predict(&x);
+                let dot: f64 = preds
+                    .iter()
+                    .zip(&y)
+                    .zip(&points)
+                    .map(|((p, t), pt)| (t - p) * pt.0)
+                    .sum();
+                prop_assert!(dot.abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Model-quality metrics beyond the error metrics in `optum-stats`.
+
+/// Coefficient of determination `R²`.
+///
+/// Returns `None` when the inputs mismatch in length, are empty, or the
+/// targets have zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use optum_ml::r2_score;
+///
+/// let perfect = r2_score(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap();
+/// assert!((perfect - 1.0).abs() < 1e-12);
+/// ```
+pub fn r2_score(predicted: &[f64], actual: &[f64]) -> Option<f64> {
+    if predicted.len() != actual.len() || actual.is_empty() {
+        return None;
+    }
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (a - p) * (a - p))
+        .sum();
+    Some(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_mean_predictions() {
+        assert!((r2_score(&[1.0, 2.0], &[1.0, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+        // Predicting the mean gives R² = 0.
+        let r = r2_score(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_than_mean_is_negative() {
+        let r = r2_score(&[3.0, 1.0], &[1.0, 3.0]).unwrap();
+        assert!(r < 0.0);
+    }
+
+    #[test]
+    fn undefined_cases() {
+        assert_eq!(r2_score(&[], &[]), None);
+        assert_eq!(r2_score(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(r2_score(&[1.0, 2.0], &[5.0, 5.0]), None);
+    }
+}

@@ -1,0 +1,321 @@
+//! CART regression tree with variance-reduction splits.
+//!
+//! The building block of the Random Forest the paper's Interference
+//! Profiler adopts (§4.2.1). Supports per-split feature subsampling so
+//! the forest can decorrelate its trees.
+
+use optum_types::{Error, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::linalg::Matrix;
+use crate::Regressor;
+
+/// Tuning knobs for a regression tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Features considered per split; `None` means all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> TreeParams {
+        TreeParams {
+            max_depth: 12,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART regression tree.
+///
+/// # Examples
+///
+/// ```
+/// use optum_ml::{DecisionTree, Matrix, Regressor};
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]).unwrap();
+/// let y = [0.0, 0.0, 5.0, 5.0];
+/// let mut tree = DecisionTree::default_params(0);
+/// tree.fit(&x, &y).unwrap();
+/// assert_eq!(tree.predict_row(&[0.5]), 0.0);
+/// assert_eq!(tree.predict_row(&[10.5]), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    params: TreeParams,
+    seed: u64,
+    root: Option<Node>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree.
+    pub fn new(params: TreeParams, seed: u64) -> Result<DecisionTree> {
+        if params.max_depth == 0 || params.min_samples_leaf == 0 {
+            return Err(Error::InvalidConfig(
+                "max_depth and min_samples_leaf must be > 0".into(),
+            ));
+        }
+        if params.max_features == Some(0) {
+            return Err(Error::InvalidConfig(
+                "max_features must be > 0 when set".into(),
+            ));
+        }
+        Ok(DecisionTree {
+            params,
+            seed,
+            root: None,
+            n_features: 0,
+        })
+    }
+
+    /// Creates a tree with [`TreeParams::default`].
+    pub fn default_params(seed: u64) -> DecisionTree {
+        DecisionTree::new(TreeParams::default(), seed).expect("defaults are valid")
+    }
+
+    /// Number of leaves in the fitted tree (0 when unfitted).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    fn build(
+        x: &Matrix,
+        y: &[f64],
+        indices: &[usize],
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> Node {
+        let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
+            return Node::Leaf { value: mean };
+        }
+        let sse_parent: f64 = indices.iter().map(|&i| (y[i] - mean).powi(2)).sum();
+        if sse_parent < 1e-12 {
+            return Node::Leaf { value: mean };
+        }
+
+        // Candidate feature subset (forest mode) or all features.
+        let d = x.cols();
+        let mut feats: Vec<usize> = (0..d).collect();
+        if let Some(k) = params.max_features {
+            feats.shuffle(rng);
+            feats.truncate(k.min(d));
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        let mut sortable: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
+        for &f in &feats {
+            sortable.clear();
+            sortable.extend(indices.iter().map(|&i| (x.get(i, f), y[i])));
+            sortable.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            // Prefix sums let each candidate threshold be scored in O(1).
+            let n = sortable.len();
+            let total_sum: f64 = sortable.iter().map(|p| p.1).sum();
+            let total_sq: f64 = sortable.iter().map(|p| p.1 * p.1).sum();
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for i in 0..n - 1 {
+                left_sum += sortable[i].1;
+                left_sq += sortable[i].1 * sortable[i].1;
+                // Can't split between equal feature values.
+                if sortable[i].0 == sortable[i + 1].0 {
+                    continue;
+                }
+                let nl = (i + 1) as f64;
+                let nr = (n - i - 1) as f64;
+                if (i + 1) < params.min_samples_leaf || (n - i - 1) < params.min_samples_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+                if best.is_none_or(|(_, _, b)| sse < b) {
+                    let threshold = (sortable[i].0 + sortable[i + 1].0) / 2.0;
+                    best = Some((f, threshold, sse));
+                }
+            }
+        }
+
+        let Some((feature, threshold, sse)) = best else {
+            return Node::Leaf { value: mean };
+        };
+        if sse >= sse_parent - 1e-12 {
+            return Node::Leaf { value: mean };
+        }
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| x.get(i, feature) <= threshold);
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(Self::build(x, y, &left_idx, depth + 1, params, rng)),
+            right: Box::new(Self::build(x, y, &right_idx, depth + 1, params, rng)),
+        }
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if x.rows() != y.len() {
+            return Err(Error::InvalidData("feature/target length mismatch".into()));
+        }
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.n_features = x.cols();
+        self.root = Some(Self::build(x, y, &indices, 0, &self.params, &mut rng));
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut node = self.root.as_ref().expect("fit before predict");
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validates_params() {
+        let bad = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
+        assert!(DecisionTree::new(bad, 0).is_err());
+        let bad2 = TreeParams {
+            max_features: Some(0),
+            ..TreeParams::default()
+        };
+        assert!(DecisionTree::new(bad2, 0).is_err());
+    }
+
+    #[test]
+    fn pure_targets_make_single_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let mut t = DecisionTree::default_params(0);
+        t.fit(&x, &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.predict_row(&[9.9]), 4.0);
+    }
+
+    #[test]
+    fn splits_step_function_exactly() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| if i < 25 { 1.0 } else { 9.0 }).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut t = DecisionTree::default_params(0);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict_row(&[10.0]), 1.0);
+        assert_eq!(t.predict_row(&[40.0]), 9.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let params = TreeParams {
+            max_depth: 2,
+            ..TreeParams::default()
+        };
+        let mut t = DecisionTree::new(params, 0).unwrap();
+        t.fit(&x, &y).unwrap();
+        assert!(t.leaf_count() <= 4);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let params = TreeParams {
+            min_samples_leaf: 5,
+            ..TreeParams::default()
+        };
+        let mut t = DecisionTree::new(params, 0).unwrap();
+        t.fit(&x, &y).unwrap();
+        assert!(t.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn learns_two_feature_interaction() {
+        // Target depends on feature 1 only; feature 0 is noise.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            rows.push(vec![(i * 7 % 13) as f64, (i % 2) as f64]);
+            y.push(if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut t = DecisionTree::default_params(0);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict_row(&[3.0, 0.0]), 0.0);
+        assert_eq!(t.predict_row(&[3.0, 1.0]), 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn predictions_within_target_range(
+            points in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 4..60),
+            probe in -200f64..200.0,
+        ) {
+            let rows: Vec<Vec<f64>> = points.iter().map(|p| vec![p.0]).collect();
+            let y: Vec<f64> = points.iter().map(|p| p.1).collect();
+            let x = Matrix::from_rows(&rows).unwrap();
+            let mut t = DecisionTree::default_params(1);
+            t.fit(&x, &y).unwrap();
+            let pred = t.predict_row(&[probe]);
+            let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(pred >= lo - 1e-9 && pred <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The Deployment Module (❼): conflict resolution for parallel
+//! distributed schedulers (§4.4).
+//!
+//! When several unified schedulers each handle a share of the
+//! submitted pods, two of them can pick the same host in the same
+//! round, invalidating each other's usage predictions. The Deployment
+//! Module accepts, per host, only the pod with the highest Node
+//! Selector score and re-dispatches the rest to their schedulers.
+
+use optum_types::{NodeId, PodId};
+
+/// A placement decision proposed by one of the parallel schedulers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProposedPlacement {
+    /// The pod being placed.
+    pub pod: PodId,
+    /// The proposed host.
+    pub node: NodeId,
+    /// The Node Selector score (Eq. 11) backing the proposal.
+    pub score: f64,
+    /// Index of the scheduler that proposed it.
+    pub scheduler: usize,
+}
+
+/// Outcome of one conflict-resolution round.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResolvedRound {
+    /// Accepted placements (at most one per host per round).
+    pub accepted: Vec<ProposedPlacement>,
+    /// Rejected proposals, to be re-dispatched to their schedulers.
+    pub redispatched: Vec<ProposedPlacement>,
+}
+
+/// The conflict-resolving deployment module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeploymentModule;
+
+impl DeploymentModule {
+    /// Resolves one round of proposals: for each host, the proposal
+    /// with the highest score wins (ties break toward the lower pod id
+    /// for determinism); everything else is re-dispatched.
+    pub fn resolve(&self, mut proposals: Vec<ProposedPlacement>) -> ResolvedRound {
+        // Sort so the winner of each host comes first.
+        proposals.sort_by(|a, b| {
+            a.node
+                .cmp(&b.node)
+                .then(b.score.partial_cmp(&a.score).expect("finite scores"))
+                .then(a.pod.cmp(&b.pod))
+        });
+        let mut round = ResolvedRound::default();
+        let mut last_node: Option<NodeId> = None;
+        for p in proposals {
+            if last_node == Some(p.node) {
+                round.redispatched.push(p);
+            } else {
+                last_node = Some(p.node);
+                round.accepted.push(p);
+            }
+        }
+        round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prop(pod: u32, node: u32, score: f64, scheduler: usize) -> ProposedPlacement {
+        ProposedPlacement {
+            pod: PodId(pod),
+            node: NodeId(node),
+            score,
+            scheduler,
+        }
+    }
+
+    #[test]
+    fn highest_score_wins_each_host() {
+        let round = DeploymentModule.resolve(vec![
+            prop(1, 0, 0.5, 0),
+            prop(2, 0, 0.9, 1),
+            prop(3, 1, 0.1, 0),
+        ]);
+        assert_eq!(round.accepted.len(), 2);
+        assert!(round
+            .accepted
+            .iter()
+            .any(|p| p.pod == PodId(2) && p.node == NodeId(0)));
+        assert!(round.accepted.iter().any(|p| p.pod == PodId(3)));
+        assert_eq!(round.redispatched, vec![prop(1, 0, 0.5, 0)]);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let round = DeploymentModule.resolve(vec![prop(7, 0, 0.5, 0), prop(3, 0, 0.5, 1)]);
+        assert_eq!(round.accepted[0].pod, PodId(3));
+        assert_eq!(round.redispatched[0].pod, PodId(7));
+    }
+
+    #[test]
+    fn no_conflicts_passes_everything() {
+        let round = DeploymentModule.resolve(vec![
+            prop(1, 0, 0.1, 0),
+            prop(2, 1, 0.2, 0),
+            prop(3, 2, 0.3, 1),
+        ]);
+        assert_eq!(round.accepted.len(), 3);
+        assert!(round.redispatched.is_empty());
+    }
+
+    #[test]
+    fn empty_round() {
+        let round = DeploymentModule.resolve(Vec::new());
+        assert!(round.accepted.is_empty());
+        assert!(round.redispatched.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Resolution is idempotent: re-resolving the accepted set
+        /// changes nothing.
+        #[test]
+        fn idempotent(
+            raw in proptest::collection::vec((0u32..40, 0u32..8, 0.0f64..1.0), 0..40)
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let proposals: Vec<ProposedPlacement> = raw
+                .into_iter()
+                .filter(|(p, _, _)| seen.insert(*p))
+                .map(|(pod, node, score)| ProposedPlacement {
+                    pod: PodId(pod),
+                    node: NodeId(node),
+                    score,
+                    scheduler: 0,
+                })
+                .collect();
+            let first = DeploymentModule.resolve(proposals);
+            let second = DeploymentModule.resolve(first.accepted.clone());
+            prop_assert_eq!(second.accepted, first.accepted);
+            prop_assert!(second.redispatched.is_empty());
+        }
+    }
+}

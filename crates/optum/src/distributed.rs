@@ -1,0 +1,190 @@
+//! Distributed Optum deployment (§4.4).
+//!
+//! At data-center scale "the resource management system may include
+//! multiple distributed unified schedulers that work in parallel, and
+//! each scheduler is responsible for scheduling a portion of submitted
+//! pods". Decisions made in the same round can conflict — two
+//! schedulers picking the same host invalidate each other's usage
+//! predictions — so the Deployment Module admits only the
+//! highest-scoring pod per host per round and re-dispatches the rest.
+//!
+//! [`DistributedOptum`] wraps `k` independent [`OptumScheduler`]s
+//! sharing one set of trained profiles. Pods are partitioned by id;
+//! within a tick, each host accepts at most one pod — a later
+//! scheduler whose best candidate was already claimed this round must
+//! settle for its next-best (or defer), exactly the re-dispatch path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use optum_sim::{ClusterView, Decision, Scheduler, TrainingData};
+use optum_types::{NodeId, PodSpec, Tick};
+
+use crate::deployment::{DeploymentModule, ProposedPlacement};
+use crate::profiler::{InterferenceProfiler, ProfilerConfig, ResourceUsageProfiler};
+use crate::scheduler::{OptumConfig, OptumScheduler};
+
+/// `k` parallel Optum schedulers behind a conflict-resolving
+/// Deployment Module.
+pub struct DistributedOptum {
+    schedulers: Vec<OptumScheduler>,
+    deployment: DeploymentModule,
+    /// Hosts already claimed in the current tick, with the claiming
+    /// proposal (host → proposal).
+    claimed: HashMap<NodeId, ProposedPlacement>,
+    current_tick: Tick,
+    /// Conflicts resolved so far (for inspection).
+    pub conflicts_resolved: u64,
+}
+
+impl DistributedOptum {
+    /// Builds `k` schedulers sharing one trained profile set.
+    pub fn from_training(
+        k: usize,
+        config: OptumConfig,
+        data: &TrainingData,
+        profiler_config: ProfilerConfig,
+    ) -> optum_types::Result<DistributedOptum> {
+        if k == 0 {
+            return Err(optum_types::Error::InvalidConfig(
+                "need at least one scheduler".into(),
+            ));
+        }
+        let usage = Arc::new(ResourceUsageProfiler::from_training(data));
+        let interference = Arc::new(InterferenceProfiler::train(data, profiler_config)?);
+        let schedulers = (0..k)
+            .map(|i| {
+                OptumScheduler::with_shared(
+                    OptumConfig {
+                        seed: config.seed.wrapping_add(i as u64),
+                        ..config
+                    },
+                    usage.clone(),
+                    interference.clone(),
+                )
+            })
+            .collect();
+        Ok(DistributedOptum {
+            schedulers,
+            deployment: DeploymentModule,
+            claimed: HashMap::new(),
+            current_tick: Tick(u64::MAX),
+            conflicts_resolved: 0,
+        })
+    }
+
+    /// Number of parallel schedulers.
+    pub fn shards(&self) -> usize {
+        self.schedulers.len()
+    }
+
+    fn shard_of(&self, pod: &PodSpec) -> usize {
+        pod.id.index() % self.schedulers.len()
+    }
+}
+
+impl Scheduler for DistributedOptum {
+    fn name(&self) -> String {
+        format!("Optum x{}", self.schedulers.len())
+    }
+
+    fn on_tick(&mut self, view: &ClusterView<'_>) {
+        for s in &mut self.schedulers {
+            s.on_tick(view);
+        }
+    }
+
+    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+        // A new round clears the claim table.
+        if view.tick != self.current_tick {
+            self.current_tick = view.tick;
+            self.claimed.clear();
+        }
+        let shard = self.shard_of(pod);
+        let decision = self.schedulers[shard].select_node(pod, view);
+        let Decision::Place(node) = decision else {
+            return decision;
+        };
+        let score = {
+            let e = self.schedulers[shard].explain(pod, &view.nodes[node.index()], view);
+            e.score
+        };
+        let proposal = ProposedPlacement {
+            pod: pod.id,
+            node,
+            score,
+            scheduler: shard,
+        };
+        match self.claimed.get(&node) {
+            None => {
+                self.claimed.insert(node, proposal);
+                Decision::Place(node)
+            }
+            Some(winner) => {
+                // Conflict: the Deployment Module keeps the higher
+                // score; the loser is re-dispatched (here: deferred to
+                // the next round, when predictions are fresh).
+                self.conflicts_resolved += 1;
+                let round = self.deployment.resolve(vec![*winner, proposal]);
+                let kept = round.accepted[0];
+                if kept.pod == pod.id {
+                    self.claimed.insert(node, kept);
+                    Decision::Place(node)
+                } else {
+                    Decision::Unplaceable(optum_types::DelayCause::Other)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optum_sim::run;
+    use optum_trace::{generate, WorkloadConfig};
+
+    fn training(w: &optum_trace::Workload) -> TrainingData {
+        crate::tracing::TracingCoordinator {
+            hosts: 30,
+            profile_days: 1,
+            training_stride: 20,
+        }
+        .collect(w)
+        .expect("profiling succeeds")
+    }
+
+    #[test]
+    fn distributed_matches_pipeline_and_resolves_conflicts() {
+        let w = generate(&WorkloadConfig::sized(30, 1, 31)).unwrap();
+        let data = training(&w);
+        let sched = DistributedOptum::from_training(
+            4,
+            OptumConfig::default(),
+            &data,
+            ProfilerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(sched.shards(), 4);
+        let result = run(&w, sched, optum_sim::SimConfig::new(30)).expect("simulation succeeds");
+        assert!(
+            result.placement_rate() > 0.95,
+            "distributed placement {:.3}",
+            result.placement_rate()
+        );
+        assert_eq!(result.scheduler, "Optum x4");
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        let w = generate(&WorkloadConfig::sized(30, 1, 31)).unwrap();
+        let data = training(&w);
+        assert!(DistributedOptum::from_training(
+            0,
+            OptumConfig::default(),
+            &data,
+            ProfilerConfig::default()
+        )
+        .is_err());
+    }
+}

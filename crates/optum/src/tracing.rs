@@ -1,0 +1,69 @@
+//! The Tracing Coordinator (❶): produces the offline-profiling
+//! dataset by replaying a profiling window of the workload under the
+//! production (AlibabaLike) scheduler with training collection on.
+//!
+//! The paper's profilers "use the running data of pods in the first
+//! seven days to build the learning model" (§5.1); the remaining day
+//! evaluates the schedulers.
+
+use optum_sched::AlibabaLike;
+use optum_sim::{run, SimConfig, TrainingData};
+use optum_trace::Workload;
+use optum_types::{Error, Result, Tick};
+
+/// Collects profiling data for the Offline Profiler.
+#[derive(Debug, Clone, Copy)]
+pub struct TracingCoordinator {
+    /// Hosts in the profiling cluster.
+    pub hosts: usize,
+    /// Profiling window length in days.
+    pub profile_days: u64,
+    /// Stride between per-pod training samples (ticks).
+    pub training_stride: u64,
+}
+
+impl TracingCoordinator {
+    /// A coordinator profiling the first `profile_days` days on
+    /// `hosts` hosts.
+    pub fn new(hosts: usize, profile_days: u64) -> TracingCoordinator {
+        TracingCoordinator {
+            hosts,
+            profile_days,
+            training_stride: 40,
+        }
+    }
+
+    /// Runs the profiling window under the production scheduler and
+    /// returns the collected dataset.
+    pub fn collect(&self, workload: &Workload) -> Result<TrainingData> {
+        let mut config = SimConfig::new(self.hosts);
+        config.collect_training = true;
+        config.training_stride = self.training_stride;
+        config.end_tick = Some(Tick::from_days(self.profile_days.min(workload.config.days)));
+        config.pods_per_app_sampled = 0;
+        let result = run(workload, AlibabaLike::default(), config)?;
+        result
+            .training
+            .ok_or_else(|| Error::InvalidData("profiling run produced no data".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optum_trace::{generate, WorkloadConfig};
+
+    #[test]
+    fn collects_profiling_dataset() {
+        let w = generate(&WorkloadConfig::small(3)).unwrap();
+        let coordinator = TracingCoordinator {
+            hosts: 40,
+            profile_days: 1,
+            training_stride: 10,
+        };
+        let data = coordinator.collect(&w).unwrap();
+        assert!(!data.psi.is_empty());
+        assert!(data.app_profiles.iter().any(|p| p.seen));
+        assert!(data.ero.observed_pairs() > 0);
+    }
+}

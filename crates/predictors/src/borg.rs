@@ -1,0 +1,76 @@
+//! The Borg default predictor: `λ · Σ requests`.
+
+use optum_types::Resources;
+
+use crate::{NodeObservation, ProfileSource, UsagePredictor};
+
+/// Google Borg's default prediction: the sum of the resource requests
+/// of all pods on the machine multiplied by a fixed ratio λ.
+///
+/// λ = 1.0 reduces to the conservative no-over-commit policy; λ = 0.9
+/// is widely deployed (§3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BorgDefault {
+    /// The fixed scaling ratio λ.
+    pub lambda: f64,
+}
+
+impl BorgDefault {
+    /// The widely used production setting (λ = 0.9).
+    pub fn production() -> BorgDefault {
+        BorgDefault { lambda: 0.9 }
+    }
+
+    /// The fully conservative setting (λ = 1.0).
+    pub fn conservative() -> BorgDefault {
+        BorgDefault { lambda: 1.0 }
+    }
+}
+
+impl UsagePredictor for BorgDefault {
+    fn name(&self) -> &'static str {
+        "Borg default"
+    }
+
+    fn predict(&self, obs: &NodeObservation<'_>, _profiles: &dyn ProfileSource) -> Resources {
+        let total: Resources = obs.pods.iter().map(|p| p.request).sum();
+        total * self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::pod;
+    use crate::NoProfiles;
+
+    #[test]
+    fn scales_request_sum() {
+        let pods = [pod(0, 0.2, 0.1), pod(1, 0.3, 0.2)];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        let p = BorgDefault::production().predict(&obs, &NoProfiles);
+        assert!((p.cpu - 0.45).abs() < 1e-12);
+        assert!((p.mem - 0.27).abs() < 1e-12);
+        let c = BorgDefault::conservative().predict(&obs, &NoProfiles);
+        assert!((c.cpu - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_node_predicts_zero() {
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &[],
+            cpu_history: &[0.5],
+            mem_history: &[0.5],
+        };
+        assert_eq!(
+            BorgDefault::production().predict(&obs, &NoProfiles),
+            Resources::ZERO
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Prediction-error evaluation harness (drives Fig. 11).
+//!
+//! §3.2.2 scores predictors by the signed relative error
+//! `(R̂ᵤ − Rᵤ)/Rᵤ` against the observed host usage: positive errors
+//! over-estimate (wasting capacity), negative errors under-estimate
+//! (risking interference).
+
+use optum_stats::{relative_error, Ecdf};
+
+/// Signed relative errors of one predictor over many (host, time)
+/// evaluation points, split by sign.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PredictionErrors {
+    /// Over-estimation errors (> 0), as emitted.
+    pub over: Vec<f64>,
+    /// Under-estimation errors (< 0), as emitted.
+    pub under: Vec<f64>,
+    /// Count of exact hits (error == 0) and skipped zero-actual points.
+    pub exact_or_skipped: usize,
+}
+
+impl PredictionErrors {
+    /// Records one (predicted, actual) evaluation point.
+    pub fn record(&mut self, predicted: f64, actual: f64) {
+        match relative_error(predicted, actual) {
+            Some(e) if e > 0.0 => self.over.push(e),
+            Some(e) if e < 0.0 => self.under.push(e),
+            _ => self.exact_or_skipped += 1,
+        }
+    }
+
+    /// Total evaluation points recorded.
+    pub fn len(&self) -> usize {
+        self.over.len() + self.under.len() + self.exact_or_skipped
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// CDF of over-estimation errors (the series of Fig. 11(a)).
+    pub fn over_cdf(&self) -> Option<Ecdf> {
+        Ecdf::new(self.over.clone())
+    }
+
+    /// CDF of under-estimation errors (the series of Fig. 11(b)).
+    pub fn under_cdf(&self) -> Option<Ecdf> {
+        Ecdf::new(self.under.clone())
+    }
+
+    /// Worst over-estimation (the ● marker of Fig. 11(a)).
+    pub fn max_over(&self) -> f64 {
+        self.over.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Worst under-estimation magnitude (the ★ marker of Fig. 11(b)).
+    pub fn max_under(&self) -> f64 {
+        self.under.iter().cloned().fold(0.0, |a, b| a.max(-b))
+    }
+
+    /// Fraction of points that under-estimate by more than `threshold`
+    /// (e.g. the paper's "under-estimate by more than 10%" comparison).
+    pub fn frac_under_worse_than(&self, threshold: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.under.iter().filter(|&&e| -e > threshold).count() as f64 / self.len() as f64
+    }
+}
+
+/// Folds paired (predicted, actual) series into [`PredictionErrors`].
+pub fn evaluate_predictor(points: impl IntoIterator<Item = (f64, f64)>) -> PredictionErrors {
+    let mut errs = PredictionErrors::default();
+    for (p, a) in points {
+        errs.record(p, a);
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_by_sign() {
+        let e = evaluate_predictor([(1.5, 1.0), (0.5, 1.0), (1.0, 1.0), (3.0, 0.0)]);
+        assert_eq!(e.over, vec![0.5]);
+        assert_eq!(e.under, vec![-0.5]);
+        assert_eq!(e.exact_or_skipped, 2);
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn extreme_markers() {
+        let e = evaluate_predictor([(2.0, 1.0), (1.1, 1.0), (0.2, 1.0), (0.9, 1.0)]);
+        assert!((e.max_over() - 1.0).abs() < 1e-12);
+        assert!((e.max_under() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_fraction() {
+        let e = evaluate_predictor([(0.5, 1.0), (0.95, 1.0), (1.5, 1.0), (1.0, 1.0)]);
+        assert!((e.frac_under_worse_than(0.1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdfs_exist_when_populated() {
+        let e = evaluate_predictor([(1.5, 1.0), (0.5, 1.0)]);
+        assert!(e.over_cdf().is_some());
+        assert!(e.under_cdf().is_some());
+        let empty = evaluate_predictor([]);
+        assert!(empty.over_cdf().is_none());
+    }
+}

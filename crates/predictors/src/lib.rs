@@ -1,0 +1,149 @@
+//! Host resource-usage predictors for over-commitment (§3.2.2).
+//!
+//! Over-committing schedulers must predict how much of a host's
+//! capacity will actually be used. This crate implements the industry
+//! predictors the paper evaluates — Borg default, Resource Central,
+//! N-sigma, and the Max predictor — plus the paper's contribution, the
+//! pairwise-ERO **Optum predictor** (Eqs. 3–8).
+//!
+//! All predictors implement [`UsagePredictor`] over a scheduler-agnostic
+//! [`NodeObservation`] (the pods resident on a host plus its recent
+//! usage history) and a [`ProfileSource`] supplying per-application
+//! profiling data (usage percentiles, memory profiles, ERO pairs).
+
+pub mod borg;
+pub mod error_eval;
+pub mod max;
+pub mod nsigma;
+pub mod optum;
+pub mod resource_central;
+
+pub use borg::BorgDefault;
+pub use error_eval::{evaluate_predictor, PredictionErrors};
+pub use max::MaxPredictor;
+pub use nsigma::NSigma;
+pub use optum::{OptumPredictor, OptumPredictorTriple};
+pub use resource_central::ResourceCentral;
+
+use optum_types::{AppId, Resources};
+
+/// A pod resident on (or about to be placed on) a host, as a predictor
+/// sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PodInfo {
+    /// Owning application.
+    pub app: AppId,
+    /// Resource request.
+    pub request: Resources,
+    /// Resource limit.
+    pub limit: Resources,
+}
+
+/// Everything a predictor may look at about one host.
+///
+/// `pods` are ordered by placement (the Optum predictor pairs
+/// consecutive pods in scheduling order, Eq. 8); the histories are the
+/// host's recent total usage, most recent last.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeObservation<'a> {
+    /// Host capacity.
+    pub capacity: Resources,
+    /// Resident pods in placement order.
+    pub pods: &'a [PodInfo],
+    /// Recent total CPU usage samples.
+    pub cpu_history: &'a [f64],
+    /// Recent total memory usage samples.
+    pub mem_history: &'a [f64],
+}
+
+/// Per-application profiling data a predictor may consult.
+///
+/// Every method has a conservative default so a predictor degrades
+/// gracefully for never-before-seen applications (ERO initializes to
+/// 1.0 per §4.2.2).
+pub trait ProfileSource {
+    /// The p99 of observed per-pod resource usage for an app, if known.
+    fn p99_usage(&self, app: AppId) -> Option<Resources>;
+
+    /// The profiled maximum memory *utilization* (usage/request) of an
+    /// app's pods: the observed maximum when the app's memory CoV is
+    /// ≤ 0.01, else 1.0 (§4.2.2). `None` when the app was never seen.
+    fn max_mem_util(&self, app: AppId) -> Option<f64>;
+
+    /// The effective resource-usage coefficient for an application
+    /// pair (Eq. 5); 1.0 when the pair was never co-located.
+    fn ero(&self, a: AppId, b: AppId) -> f64 {
+        let _ = (a, b);
+        1.0
+    }
+
+    /// The triple-wise coefficient (§4.2.2's extension); `None` when
+    /// triple profiles are not collected or the triple was never
+    /// observed co-located.
+    fn ero3(&self, a: AppId, b: AppId, c: AppId) -> Option<f64> {
+        let _ = (a, b, c);
+        None
+    }
+}
+
+/// A profile source that knows nothing: every value falls back to the
+/// conservative default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProfiles;
+
+impl ProfileSource for NoProfiles {
+    fn p99_usage(&self, _app: AppId) -> Option<Resources> {
+        None
+    }
+
+    fn max_mem_util(&self, _app: AppId) -> Option<f64> {
+        None
+    }
+}
+
+/// A host resource-usage predictor.
+pub trait UsagePredictor {
+    /// Short display name matching the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the host's total (CPU, memory) usage in the upcoming
+    /// period.
+    fn predict(&self, obs: &NodeObservation<'_>, profiles: &dyn ProfileSource) -> Resources;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// A profile source with fixed per-app values for tests.
+    pub struct FixedProfiles {
+        /// (p99 usage, max mem util) applied to every app.
+        pub p99: Resources,
+        /// Max memory utilization for every app.
+        pub mem_util: f64,
+        /// ERO for every pair.
+        pub ero: f64,
+    }
+
+    impl ProfileSource for FixedProfiles {
+        fn p99_usage(&self, _app: AppId) -> Option<Resources> {
+            Some(self.p99)
+        }
+
+        fn max_mem_util(&self, _app: AppId) -> Option<f64> {
+            Some(self.mem_util)
+        }
+
+        fn ero(&self, _a: AppId, _b: AppId) -> f64 {
+            self.ero
+        }
+    }
+
+    pub fn pod(app: u32, cpu: f64, mem: f64) -> PodInfo {
+        PodInfo {
+            app: AppId(app),
+            request: Resources::new(cpu, mem),
+            limit: Resources::new(cpu * 2.0, mem * 2.0),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The Max predictor: the per-dimension maximum of Borg default,
+//! Resource Central and N-sigma.
+
+use optum_types::Resources;
+
+use crate::{BorgDefault, NSigma, NodeObservation, ProfileSource, ResourceCentral, UsagePredictor};
+
+/// Takes the maximum prediction among the three industry predictors as
+/// its final prediction (§3.2.2) — maximally safe, maximally wasteful
+/// (it inherits every constituent's over-estimate, Fig. 11(a)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxPredictor {
+    borg: BorgDefault,
+    nsigma: NSigma,
+}
+
+impl MaxPredictor {
+    /// Production constituents: Borg λ = 0.9, N-sigma N = 5.
+    pub fn production() -> MaxPredictor {
+        MaxPredictor {
+            borg: BorgDefault::production(),
+            nsigma: NSigma::production(),
+        }
+    }
+}
+
+impl UsagePredictor for MaxPredictor {
+    fn name(&self) -> &'static str {
+        "Max Predictor"
+    }
+
+    fn predict(&self, obs: &NodeObservation<'_>, profiles: &dyn ProfileSource) -> Resources {
+        let b = self.borg.predict(obs, profiles);
+        let rc = ResourceCentral.predict(obs, profiles);
+        let ns = self.nsigma.predict(obs, profiles);
+        b.max(&rc).max(&ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{pod, FixedProfiles};
+
+    #[test]
+    fn dominates_each_constituent() {
+        let pods = [pod(0, 0.2, 0.1), pod(1, 0.1, 0.3)];
+        let cpu_hist = [0.1, 0.5, 0.2];
+        let mem_hist = [0.2, 0.2, 0.6];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &cpu_hist,
+            mem_history: &mem_hist,
+        };
+        let profiles = FixedProfiles {
+            p99: Resources::new(0.12, 0.09),
+            mem_util: 1.0,
+            ero: 1.0,
+        };
+        let max = MaxPredictor::production().predict(&obs, &profiles);
+        for p in [
+            BorgDefault::production().predict(&obs, &profiles),
+            ResourceCentral.predict(&obs, &profiles),
+            NSigma::production().predict(&obs, &profiles),
+        ] {
+            assert!(max.cpu >= p.cpu - 1e-12);
+            assert!(max.mem >= p.mem - 1e-12);
+        }
+    }
+}

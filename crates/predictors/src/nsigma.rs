@@ -1,0 +1,88 @@
+//! The N-sigma predictor: `μ + N·σ` of recent host usage.
+
+use optum_stats::{mean, stddev};
+use optum_types::Resources;
+
+use crate::{NodeObservation, ProfileSource, UsagePredictor};
+
+/// Assumes the host's total usage is Gaussian and predicts
+/// `mean + N × std` over the last observation window (usually 24 h);
+/// N = 5 in production deployments (§3.2.2).
+///
+/// With no history (a freshly drained host) it falls back to the sum
+/// of requests, the only safe guess.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NSigma {
+    /// The multiplier N on the standard deviation.
+    pub n: f64,
+}
+
+impl NSigma {
+    /// The production setting N = 5.
+    pub fn production() -> NSigma {
+        NSigma { n: 5.0 }
+    }
+}
+
+impl UsagePredictor for NSigma {
+    fn name(&self) -> &'static str {
+        "N-Sigma"
+    }
+
+    fn predict(&self, obs: &NodeObservation<'_>, _profiles: &dyn ProfileSource) -> Resources {
+        if obs.cpu_history.is_empty() || obs.mem_history.is_empty() {
+            return obs.pods.iter().map(|p| p.request).sum();
+        }
+        let cpu = mean(obs.cpu_history) + self.n * stddev(obs.cpu_history);
+        let mem = mean(obs.mem_history) + self.n * stddev(obs.mem_history);
+        Resources::new(cpu, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::pod;
+    use crate::NoProfiles;
+
+    #[test]
+    fn mean_plus_n_std() {
+        let cpu = [0.2, 0.4, 0.2, 0.4];
+        let mem = [0.3, 0.3, 0.3, 0.3];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &[],
+            cpu_history: &cpu,
+            mem_history: &mem,
+        };
+        let p = NSigma { n: 2.0 }.predict(&obs, &NoProfiles);
+        assert!((p.cpu - (0.3 + 2.0 * 0.1)).abs() < 1e-12);
+        assert!((p.mem - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falls_back_to_requests_without_history() {
+        let pods = [pod(0, 0.2, 0.1)];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        let p = NSigma::production().predict(&obs, &NoProfiles);
+        assert_eq!(p, Resources::new(0.2, 0.1));
+    }
+
+    #[test]
+    fn stable_usage_predicts_mean() {
+        let hist = [0.5; 48];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &[],
+            cpu_history: &hist,
+            mem_history: &hist,
+        };
+        let p = NSigma::production().predict(&obs, &NoProfiles);
+        assert!((p.cpu - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,241 @@
+//! The Optum predictor: pairwise effective-resource-usage (ERO)
+//! composition (§4.2.2, Eqs. 3–8).
+//!
+//! The peak of the *joint* usage of two pods is far below the sum of
+//! their individual peaks (Eq. 3), because peaks of different
+//! applications rarely align. The Resource Usage Profiler measures, for
+//! every application pair (A, B), the maximum observed ratio
+//!
+//! ```text
+//! ERO(A, B) = max over co-located pods p∈A, q∈B, over time of
+//!             (Cᵤ_p(t) + Cᵤ_q(t)) / (Cʳ_p + Cʳ_q)      (Eqs. 4–5)
+//! ```
+//!
+//! and the predictor walks the host's pods in scheduling order two at a
+//! time, estimating each pair's CPU usage as `ERO(A,B)·(Cʳ_p + Cʳ_q)`
+//! (Eq. 7) and summing (Eq. 8). Memory is predicted conservatively
+//! from per-application maximum memory utilization profiles.
+
+use optum_types::Resources;
+
+use crate::{NodeObservation, ProfileSource, UsagePredictor};
+
+/// The paper's pairwise-ERO usage predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OptumPredictor;
+
+impl UsagePredictor for OptumPredictor {
+    fn name(&self) -> &'static str {
+        "Optum Predictor"
+    }
+
+    fn predict(&self, obs: &NodeObservation<'_>, profiles: &dyn ProfileSource) -> Resources {
+        let mut cpu = 0.0;
+        // Pair consecutive pods in scheduling order (Eq. 8).
+        let mut chunks = obs.pods.chunks_exact(2);
+        for pair in &mut chunks {
+            let (p, q) = (&pair[0], &pair[1]);
+            let ero = profiles.ero(p.app, q.app).clamp(0.0, 1.0);
+            cpu += ero * (p.request.cpu + q.request.cpu);
+        }
+        // The unpaired trailing pod contributes its full request
+        // (the `(n+1) mod 2` term of Eq. 8).
+        if let Some(last) = chunks.remainder().first() {
+            cpu += last.request.cpu;
+        }
+        // Memory: per-pod profiled maximum utilization, defaulting to
+        // the full request for unprofiled apps (§4.2.2 profiles an
+        // app's max memory utilization as one unless its pods hold a
+        // stable memory footprint).
+        let mem = obs
+            .pods
+            .iter()
+            .map(|p| profiles.max_mem_util(p.app).unwrap_or(1.0).clamp(0.0, 1.0) * p.request.mem)
+            .sum();
+        Resources::new(cpu, mem)
+    }
+}
+
+/// Triple-wise variant of the Optum predictor (§4.2.2's extension):
+/// walks the host's pods three at a time, using observed triple
+/// coefficients where available and falling back to the tightest
+/// pairwise coefficient of the triple otherwise. Strictly tighter than
+/// [`OptumPredictor`] whenever triple profiles exist, at a much larger
+/// profiling cost — which is why the paper ships pairwise.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OptumPredictorTriple;
+
+impl UsagePredictor for OptumPredictorTriple {
+    fn name(&self) -> &'static str {
+        "Optum Predictor (triple)"
+    }
+
+    fn predict(&self, obs: &NodeObservation<'_>, profiles: &dyn ProfileSource) -> Resources {
+        let mut cpu = 0.0;
+        let mut chunks = obs.pods.chunks_exact(3);
+        for triple in &mut chunks {
+            let (p, q, r) = (&triple[0], &triple[1], &triple[2]);
+            let pairwise_min = profiles
+                .ero(p.app, q.app)
+                .min(profiles.ero(q.app, r.app))
+                .min(profiles.ero(p.app, r.app));
+            let coeff = profiles
+                .ero3(p.app, q.app, r.app)
+                .unwrap_or(pairwise_min)
+                .clamp(0.0, 1.0);
+            cpu += coeff * (p.request.cpu + q.request.cpu + r.request.cpu);
+        }
+        // Remainder (0–2 pods): pairwise, then singleton.
+        let rest = chunks.remainder();
+        if rest.len() == 2 {
+            let ero = profiles.ero(rest[0].app, rest[1].app).clamp(0.0, 1.0);
+            cpu += ero * (rest[0].request.cpu + rest[1].request.cpu);
+        } else if rest.len() == 1 {
+            cpu += rest[0].request.cpu;
+        }
+        let mem = obs
+            .pods
+            .iter()
+            .map(|p| profiles.max_mem_util(p.app).unwrap_or(1.0).clamp(0.0, 1.0) * p.request.mem)
+            .sum();
+        Resources::new(cpu, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{pod, FixedProfiles};
+    use crate::NoProfiles;
+
+    #[test]
+    fn pairs_in_scheduling_order() {
+        let pods = [pod(0, 0.2, 0.1), pod(1, 0.2, 0.1), pod(2, 0.2, 0.1)];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        let profiles = FixedProfiles {
+            p99: Resources::ZERO,
+            mem_util: 0.5,
+            ero: 0.6,
+        };
+        let p = OptumPredictor.predict(&obs, &profiles);
+        // First pair compressed by ERO, trailing pod at full request.
+        assert!((p.cpu - (0.6 * 0.4 + 0.2)).abs() < 1e-12);
+        // Memory: profiled max utilization applies per pod.
+        assert!((p.mem - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_apps_degrade_to_requests() {
+        // ERO defaults to 1.0 and memory to the full request: the
+        // prediction equals the Borg-conservative sum.
+        let pods = [pod(0, 0.3, 0.2), pod(1, 0.1, 0.1)];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        let p = OptumPredictor.predict(&obs, &NoProfiles);
+        assert!((p.cpu - 0.4).abs() < 1e-12);
+        assert!((p.mem - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_exceeds_request_sum() {
+        let pods = [pod(0, 0.3, 0.2), pod(1, 0.1, 0.1), pod(2, 0.2, 0.05)];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        let profiles = FixedProfiles {
+            p99: Resources::ZERO,
+            mem_util: 0.9,
+            ero: 0.8,
+        };
+        let p = OptumPredictor.predict(&obs, &profiles);
+        let total: Resources = pods.iter().map(|x| x.request).sum();
+        assert!(p.cpu <= total.cpu + 1e-12);
+        assert!(p.mem <= total.mem + 1e-12);
+    }
+
+    #[test]
+    fn triple_variant_is_at_most_pairwise() {
+        struct Src;
+        impl crate::ProfileSource for Src {
+            fn p99_usage(&self, _: optum_types::AppId) -> Option<Resources> {
+                None
+            }
+            fn max_mem_util(&self, _: optum_types::AppId) -> Option<f64> {
+                Some(0.5)
+            }
+            fn ero(&self, _: optum_types::AppId, _: optum_types::AppId) -> f64 {
+                0.6
+            }
+            fn ero3(
+                &self,
+                _: optum_types::AppId,
+                _: optum_types::AppId,
+                _: optum_types::AppId,
+            ) -> Option<f64> {
+                Some(0.45)
+            }
+        }
+        let pods = [
+            pod(0, 0.2, 0.1),
+            pod(1, 0.2, 0.1),
+            pod(2, 0.2, 0.1),
+            pod(3, 0.2, 0.1),
+            pod(4, 0.2, 0.1),
+        ];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        let pairwise = OptumPredictor.predict(&obs, &Src);
+        let triple = OptumPredictorTriple.predict(&obs, &Src);
+        // Triple: 0.45*(0.6) for the first three + 0.6*(0.4) pair.
+        assert!((triple.cpu - (0.45 * 0.6 + 0.6 * 0.4)).abs() < 1e-12);
+        assert!(triple.cpu <= pairwise.cpu + 1e-12);
+        assert_eq!(triple.mem, pairwise.mem);
+    }
+
+    #[test]
+    fn triple_falls_back_to_min_pairwise() {
+        use crate::testutil::FixedProfiles;
+        let profiles = FixedProfiles {
+            p99: Resources::ZERO,
+            mem_util: 1.0,
+            ero: 0.5,
+        };
+        let pods = [pod(0, 0.2, 0.1), pod(1, 0.2, 0.1), pod(2, 0.2, 0.1)];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        // No ero3 in FixedProfiles: falls back to min pairwise = 0.5.
+        let p = OptumPredictorTriple.predict(&obs, &profiles);
+        assert!((p.cpu - 0.5 * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_node_predicts_zero() {
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &[],
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        assert_eq!(OptumPredictor.predict(&obs, &NoProfiles), Resources::ZERO);
+    }
+}

@@ -1,0 +1,90 @@
+//! The Resource Central predictor: `Σ per-pod p99 usage`.
+
+use optum_types::Resources;
+
+use crate::{NodeObservation, ProfileSource, UsagePredictor};
+
+/// Microsoft Azure's Resource Central approach: predict a host's peak
+/// usage as the sum of the k-th percentile (usually 99) of each
+/// resident pod's usage (§3.2.2).
+///
+/// Per-pod percentiles come from the application profile (pods within
+/// an application behave consistently, Fig. 12, so the app-level
+/// percentile stands in for the pod-level one). Pods of unprofiled
+/// applications fall back to their full request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceCentral;
+
+impl UsagePredictor for ResourceCentral {
+    fn name(&self) -> &'static str {
+        "Resource Central"
+    }
+
+    fn predict(&self, obs: &NodeObservation<'_>, profiles: &dyn ProfileSource) -> Resources {
+        obs.pods
+            .iter()
+            .map(|p| match profiles.p99_usage(p.app) {
+                Some(p99) => p99.min(&p.limit),
+                None => p.request,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{pod, FixedProfiles};
+    use crate::NoProfiles;
+
+    #[test]
+    fn sums_profiled_p99() {
+        let pods = [pod(0, 0.2, 0.1), pod(1, 0.2, 0.1)];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        let profiles = FixedProfiles {
+            p99: Resources::new(0.05, 0.08),
+            mem_util: 1.0,
+            ero: 1.0,
+        };
+        let p = ResourceCentral.predict(&obs, &profiles);
+        assert!((p.cpu - 0.1).abs() < 1e-12);
+        assert!((p.mem - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falls_back_to_request_when_unprofiled() {
+        let pods = [pod(0, 0.2, 0.1)];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        let p = ResourceCentral.predict(&obs, &NoProfiles);
+        assert_eq!(p, Resources::new(0.2, 0.1));
+    }
+
+    #[test]
+    fn p99_capped_at_limit() {
+        let pods = [pod(0, 0.1, 0.1)];
+        let obs = NodeObservation {
+            capacity: Resources::UNIT,
+            pods: &pods,
+            cpu_history: &[],
+            mem_history: &[],
+        };
+        // Absurdly high p99 (stale profile) cannot exceed the limit.
+        let profiles = FixedProfiles {
+            p99: Resources::new(5.0, 5.0),
+            mem_util: 1.0,
+            ero: 1.0,
+        };
+        let p = ResourceCentral.predict(&obs, &profiles);
+        assert_eq!(p, Resources::new(0.2, 0.2));
+    }
+}

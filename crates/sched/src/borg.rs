@@ -1,0 +1,104 @@
+//! Borg-like scheduler: request-sum prediction with λ = 0.9.
+
+use optum_predictors::BorgDefault;
+use optum_sim::{ClusterView, Decision, Scheduler};
+use optum_types::PodSpec;
+
+use crate::{alignment, best_node};
+
+/// Places a pod wherever `λ·(Σ requests + request)` fits the
+/// capacity, ranking hosts by alignment against the λ-scaled free
+/// vector (§5.1, "Borg-Like").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BorgLike {
+    predictor: BorgDefault,
+}
+
+impl Default for BorgLike {
+    fn default() -> BorgLike {
+        BorgLike {
+            predictor: BorgDefault::production(),
+        }
+    }
+}
+
+impl BorgLike {
+    /// Creates the scheduler with an explicit λ.
+    pub fn with_lambda(lambda: f64) -> BorgLike {
+        BorgLike {
+            predictor: BorgDefault { lambda },
+        }
+    }
+}
+
+impl Scheduler for BorgLike {
+    fn name(&self) -> String {
+        "Borg-like".into()
+    }
+
+    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+        let lambda = self.predictor.lambda;
+        let request = pod.request;
+        let result = best_node(
+            view.nodes,
+            |n| {
+                if !view.allows(pod.app, n.spec.id) {
+                    return None;
+                }
+                let cap = n.spec.capacity;
+                let pred_cpu = lambda * (n.requested.cpu + request.cpu);
+                let pred_mem = lambda * (n.requested.mem + request.mem);
+                Some((pred_cpu <= cap.cpu, pred_mem <= cap.mem))
+            },
+            |n| alignment(&request, &(n.requested * lambda), &n.spec.capacity),
+        );
+        match result {
+            Ok(node) => Decision::Place(node),
+            Err(cause) => Decision::Unplaceable(cause),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optum_sim::{AppStatsStore, NodeRuntime, ResidentPod};
+    use optum_types::{AppId, ClusterConfig, NodeId, NodeSpec, PodId, Resources, SloClass, Tick};
+
+    #[test]
+    fn places_within_lambda_budget() {
+        let mut sched = BorgLike::default();
+        let apps = AppStatsStore::new(1);
+        let cluster = ClusterConfig::homogeneous(2);
+        let mut n0 = NodeRuntime::new(NodeSpec::standard(NodeId(0)));
+        n0.add_pod(ResidentPod {
+            id: PodId(1),
+            app: AppId(0),
+            slo: SloClass::Ls,
+            request: Resources::new(1.05, 0.2),
+            limit: Resources::new(2.0, 0.4),
+            placed_at: Tick(0),
+        });
+        let n1 = NodeRuntime::new(NodeSpec::standard(NodeId(1)));
+        let nodes = vec![n0, n1];
+        let view = ClusterView {
+            tick: Tick(0),
+            nodes: &nodes,
+            apps: &apps,
+            cluster: &cluster,
+            history_window: 10,
+            affinity: &[],
+        };
+        let pod = PodSpec {
+            id: PodId(9),
+            app: AppId(0),
+            slo: SloClass::Be,
+            request: Resources::new(0.1, 0.05),
+            limit: Resources::new(0.2, 0.1),
+            arrival: Tick(0),
+            nominal_duration: Some(5),
+        };
+        // Node 0: 0.9 * (1.05 + 0.1) > 1 -> infeasible; node 1 fits.
+        assert_eq!(sched.select_node(&pod, &view), Decision::Place(NodeId(1)));
+    }
+}

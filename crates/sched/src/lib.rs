@@ -1,0 +1,143 @@
+//! Baseline unified schedulers.
+//!
+//! Implements the scheduling policies the paper evaluates Optum
+//! against (§5.1):
+//!
+//! * [`AlibabaLike`] — the reference: the over-commitment asymmetry
+//!   measured in §3.2.1 (usage-based aggressive placement for BE,
+//!   request-based conservative placement for LS), with alignment-score
+//!   host ranking. Every improvement in Figs. 19–20 is relative to it.
+//! * [`RcLike`] — Resource-Central-style: per-pod p99 usage summed
+//!   against 0.8× capacity with a 1.2× over-commit cap.
+//! * [`NSigmaSched`] — Gaussian host-usage model, μ + 5σ.
+//! * [`BorgLike`] — λ·Σrequests with λ = 0.9.
+//! * [`Medea`] — a two-path scheduler: batched branch-and-bound ILP
+//!   placement for long-running pods, a fast traditional path for
+//!   short-running ones.
+
+pub mod alibaba;
+pub mod borg;
+pub mod medea;
+pub mod nsigma;
+pub mod rc;
+
+pub use alibaba::AlibabaLike;
+pub use borg::BorgLike;
+pub use medea::Medea;
+pub use nsigma::NSigmaSched;
+pub use rc::RcLike;
+
+use optum_sim::NodeRuntime;
+use optum_types::{DelayCause, Resources};
+
+/// Alignment score of a request against a host's *commitment* vector
+/// (its usage or its requests), normalized by capacity — "the inner
+/// product between the resource request vector of pod p and the
+/// resource usage or requests vector of host h" (§3.2.1). Preferring
+/// the highest score packs pods onto already-busy hosts, which is what
+/// concentrates over-commitment on a subset of hosts (Fig. 5) and
+/// frees the rest.
+pub fn alignment(request: &Resources, commitment: &Resources, capacity: &Resources) -> f64 {
+    request.dot(&commitment.div(capacity))
+}
+
+/// Tracks, across a candidate scan, which resource dimensions ever
+/// fit, to attribute scheduling delays (Fig. 9(b)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CauseTracker {
+    cpu_fit_somewhere: bool,
+    mem_fit_somewhere: bool,
+    scanned_any: bool,
+}
+
+impl CauseTracker {
+    /// Records one candidate's per-dimension feasibility.
+    pub fn record(&mut self, cpu_fits: bool, mem_fits: bool) {
+        self.scanned_any = true;
+        self.cpu_fit_somewhere |= cpu_fits;
+        self.mem_fit_somewhere |= mem_fits;
+    }
+
+    /// The delay cause implied by the scan.
+    pub fn cause(&self) -> DelayCause {
+        match (
+            self.scanned_any,
+            self.cpu_fit_somewhere,
+            self.mem_fit_somewhere,
+        ) {
+            (false, _, _) => DelayCause::Other,
+            (_, false, false) => DelayCause::CpuAndMemory,
+            (_, false, true) => DelayCause::Cpu,
+            (_, true, false) => DelayCause::Memory,
+            // Each dimension fit somewhere, just never together.
+            (_, true, true) => DelayCause::Other,
+        }
+    }
+}
+
+/// Scans all nodes, returning the feasible node with the highest
+/// score, or the delay cause when none is feasible.
+///
+/// `feasibility` returns per-dimension fit flags for a node, or `None`
+/// when the node is not a candidate at all (outside the pod's affinity
+/// or the scheduler's sample — such nodes do not contribute to delay
+/// attribution; a pod whose every candidate was excluded reports
+/// [`DelayCause::Other`], the paper's affinity bucket). `score` ranks
+/// feasible nodes.
+pub fn best_node(
+    nodes: &[NodeRuntime],
+    mut feasibility: impl FnMut(&NodeRuntime) -> Option<(bool, bool)>,
+    mut score: impl FnMut(&NodeRuntime) -> f64,
+) -> Result<optum_types::NodeId, DelayCause> {
+    let mut tracker = CauseTracker::default();
+    let mut best: Option<(usize, f64)> = None;
+    for (i, node) in nodes.iter().enumerate() {
+        let Some((cpu_ok, mem_ok)) = feasibility(node) else {
+            continue;
+        };
+        tracker.record(cpu_ok, mem_ok);
+        if cpu_ok && mem_ok {
+            let s = score(node);
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((i, s));
+            }
+        }
+    }
+    match best {
+        Some((i, _)) => Ok(optum_types::NodeId(i as u32)),
+        None => Err(tracker.cause()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_classification() {
+        let mut t = CauseTracker::default();
+        assert_eq!(t.cause(), DelayCause::Other, "empty scan");
+        t.record(false, false);
+        assert_eq!(t.cause(), DelayCause::CpuAndMemory);
+        t.record(false, true);
+        assert_eq!(t.cause(), DelayCause::Cpu);
+        let mut t2 = CauseTracker::default();
+        t2.record(true, false);
+        assert_eq!(t2.cause(), DelayCause::Memory);
+        t2.record(false, true);
+        assert_eq!(
+            t2.cause(),
+            DelayCause::Other,
+            "fits separately, never jointly"
+        );
+    }
+
+    #[test]
+    fn alignment_packs_onto_busy_hosts() {
+        let cap = Resources::UNIT;
+        let req = Resources::new(0.1, 0.01);
+        let busy = Resources::new(0.6, 0.3);
+        let idle = Resources::new(0.05, 0.05);
+        assert!(alignment(&req, &busy, &cap) > alignment(&req, &idle, &cap));
+    }
+}

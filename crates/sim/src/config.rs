@@ -1,0 +1,97 @@
+//! Simulation configuration.
+
+use optum_predictors::UsagePredictor;
+use optum_types::{ClusterConfig, Tick};
+
+/// Configuration of an online predictor-accuracy evaluation
+/// (drives Fig. 11).
+///
+/// Every `stride` ticks the simulator asks each predictor for every
+/// host's upcoming usage, then scores the prediction against the
+/// actual *peak* usage over the following `horizon` ticks.
+pub struct PredictorEval {
+    /// The predictors to score.
+    pub predictors: Vec<Box<dyn UsagePredictor>>,
+    /// Ticks between evaluation rounds.
+    pub stride: u64,
+    /// Look-ahead window whose actual peak is the ground truth.
+    pub horizon: u64,
+    /// Ticks to skip before the first evaluation round (predictors
+    /// need usage history to be meaningful).
+    pub warmup: u64,
+}
+
+/// Simulator configuration.
+pub struct SimConfig {
+    /// The cluster being simulated.
+    pub cluster: ClusterConfig,
+    /// Ticks of per-node usage history exposed to schedulers
+    /// (default: 24 hours, the window production predictors use).
+    pub history_window: usize,
+    /// Maximum placement decisions per tick (models real scheduler
+    /// throughput; Borg schedules ~250K tasks/hour ≈ 2,000 per tick).
+    pub schedule_budget_per_tick: usize,
+    /// Record, for each placement, the alignment-score rank of the
+    /// chosen host under usage- and request-based availability
+    /// (Fig. 10). Costs O(nodes) per placement.
+    pub record_ranks: bool,
+    /// Collect the offline-profiling dataset (PSI samples, completion
+    /// samples, ERO table, app profiles).
+    pub collect_training: bool,
+    /// Additionally collect triple-wise ERO profiles (§4.2.2's
+    /// extension; noticeably more profiling overhead).
+    pub collect_triple_ero: bool,
+    /// Stride between per-pod training samples, in ticks.
+    pub training_stride: u64,
+    /// Stride between recorded cluster/pod series points, in ticks.
+    pub series_stride: u64,
+    /// How many pods per application get full time series recorded
+    /// (Figs. 12–16 need per-pod series; recording all pods would not
+    /// fit in memory at scale).
+    pub pods_per_app_sampled: usize,
+    /// Stop the simulation early (defaults to the workload window).
+    pub end_tick: Option<Tick>,
+    /// Optional predictor-accuracy evaluation.
+    pub predictor_eval: Option<PredictorEval>,
+    /// Capture a per-node commitment snapshot at this tick (Fig. 5).
+    pub snapshot_tick: Option<Tick>,
+    /// Request over-commit budget assumed when preempting BE pods for
+    /// LSR (matches the production scheduler's CPU cap; preemption
+    /// against raw capacity would never free room on an over-committed
+    /// host).
+    pub preempt_request_cap: f64,
+}
+
+impl SimConfig {
+    /// Default configuration for a cluster of `hosts` standard nodes.
+    pub fn new(hosts: usize) -> SimConfig {
+        SimConfig {
+            cluster: ClusterConfig::homogeneous(hosts),
+            history_window: 2880,
+            schedule_budget_per_tick: 2000,
+            record_ranks: false,
+            collect_training: false,
+            collect_triple_ero: false,
+            training_stride: 10,
+            series_stride: 10,
+            pods_per_app_sampled: 2,
+            end_tick: None,
+            predictor_eval: None,
+            snapshot_tick: None,
+            preempt_request_cap: 3.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = SimConfig::new(50);
+        assert_eq!(c.cluster.node_count, 50);
+        assert_eq!(c.history_window, 2880);
+        assert!(c.predictor_eval.is_none());
+    }
+}

@@ -1,0 +1,1062 @@
+//! The simulation engine.
+
+use optum_predictors::PredictionErrors;
+use optum_types::{Error, NodeId, PodId, PsiWindow, Resources, Result, SloClass, Tick};
+
+use optum_trace::{hash_noise, Workload};
+
+use crate::appstats::AppStatsStore;
+use crate::config::SimConfig;
+use crate::node::{NodeRuntime, ResidentPod};
+use crate::result::{ClusterTickStats, PodOutcome, PodPoint, SimResult, ViolationStats};
+use crate::scheduler::{Decision, Scheduler};
+use crate::training::{
+    normalize_ct, AppUsageProfile, CtSample, PsiSample, TrainingData, TripleEroTable,
+};
+use crate::view::ClusterView;
+
+/// How often cached app percentiles refresh (ticks).
+const REFRESH_STRIDE: u64 = 60;
+/// How often pairwise ERO observations update (ticks).
+const ERO_STRIDE: u64 = 5;
+/// How often triple-wise ERO observations update (much sparser: the
+/// triple space is cubic).
+const TRIPLE_ERO_STRIDE: u64 = 25;
+
+/// Per-running-pod dynamic state.
+#[derive(Debug, Clone)]
+struct RunningState {
+    node: NodeId,
+    /// Wall-clock end for long-running pods.
+    end_tick: Option<Tick>,
+    /// Remaining work units for best-effort pods.
+    work_left: f64,
+    cpu_psi: PsiWindow,
+    mem_psi: PsiWindow,
+    worst_psi: f64,
+    max_pod_cpu_util: f64,
+    max_pod_mem_util: f64,
+    max_host_cpu_util: f64,
+    max_host_mem_util: f64,
+    util_sum: Resources,
+    util_ticks: u64,
+}
+
+/// An outstanding predictor-evaluation point: predictions made at one
+/// tick, scored against the peak usage seen until `matures`.
+struct EvalPoint {
+    node: usize,
+    matures: Tick,
+    predictions: Vec<Resources>,
+    peak: Resources,
+}
+
+/// The discrete-event simulator (see crate docs for the tick loop).
+pub struct Simulator<'w, S: Scheduler> {
+    workload: &'w Workload,
+    scheduler: S,
+    config: SimConfig,
+    nodes: Vec<NodeRuntime>,
+    apps: AppStatsStore,
+    pending: Vec<PodId>,
+    running: Vec<Option<RunningState>>,
+    /// Remaining work of preempted BE pods awaiting re-placement.
+    suspended_work: Vec<Option<f64>>,
+    outcomes: Vec<PodOutcome>,
+    next_arrival: usize,
+    sampled: Vec<bool>,
+    pod_series: Vec<(PodId, Vec<PodPoint>)>,
+    cluster_series: Vec<ClusterTickStats>,
+    violations: ViolationStats,
+    // Training collection.
+    psi_samples: Vec<PsiSample>,
+    ct_samples: Vec<CtSample>,
+    triple_ero: TripleEroTable,
+    // Predictor evaluation.
+    eval_points: Vec<EvalPoint>,
+    eval_errors: Vec<(String, PredictionErrors)>,
+    node_snapshot: Vec<crate::result::NodeSnapshot>,
+    // Scratch buffers reused across ticks.
+    usage_scratch: Vec<(PodId, Resources, f64)>,
+    app_group_scratch: Vec<(u32, f64, f64)>,
+    affinity_fractions: Vec<f64>,
+    end_tick: Tick,
+}
+
+impl<'w, S: Scheduler> Simulator<'w, S> {
+    /// Builds a simulator over a workload.
+    pub fn new(workload: &'w Workload, scheduler: S, config: SimConfig) -> Result<Self> {
+        if config.cluster.node_count == 0 {
+            return Err(Error::InvalidConfig(
+                "cluster needs at least one node".into(),
+            ));
+        }
+        let end_tick = config
+            .end_tick
+            .unwrap_or(Tick(workload.config.window_ticks()))
+            .min(Tick(workload.config.window_ticks()));
+        let nodes: Vec<NodeRuntime> = config
+            .cluster
+            .nodes()
+            .map(|n| NodeRuntime::with_window(n, config.history_window))
+            .collect();
+        let n_pods = workload.pods.len();
+        let n_apps = workload.apps.len();
+        // Pick the per-app sampled pods (the first K submitted).
+        let mut sampled = vec![false; n_pods];
+        let mut per_app = vec![0usize; n_apps];
+        if config.pods_per_app_sampled > 0 {
+            for pod in &workload.pods {
+                let a = pod.spec.app.index();
+                if per_app[a] < config.pods_per_app_sampled {
+                    per_app[a] += 1;
+                    sampled[pod.spec.id.index()] = true;
+                }
+            }
+        }
+        let outcomes = workload
+            .pods
+            .iter()
+            .map(|p| PodOutcome {
+                id: p.spec.id,
+                app: p.spec.app,
+                slo: p.spec.slo,
+                request: p.spec.request,
+                arrival: p.spec.arrival,
+                node: None,
+                placed_at: None,
+                wait_ticks: 0,
+                delay_cause: None,
+                completed_at: None,
+                nominal_duration: p.spec.nominal_duration.unwrap_or(0),
+                actual_duration: None,
+                worst_psi: 0.0,
+                max_pod_cpu_util: 0.0,
+                max_pod_mem_util: 0.0,
+                max_host_cpu_util: 0.0,
+                max_host_mem_util: 0.0,
+                mean_pod_cpu_util: 0.0,
+                mean_pod_mem_util: 0.0,
+                preemptions: 0,
+                rank_by_usage: None,
+                rank_by_request: None,
+            })
+            .collect();
+        let eval_errors = config
+            .predictor_eval
+            .as_ref()
+            .map(|e| {
+                e.predictors
+                    .iter()
+                    .map(|p| (p.name().to_string(), PredictionErrors::default()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let pod_series = sampled
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| (PodId(i as u32), Vec::new()))
+            .collect();
+        Ok(Simulator {
+            workload,
+            scheduler,
+            config,
+            nodes,
+            apps: AppStatsStore::new(n_apps),
+            pending: Vec::new(),
+            running: vec![None; n_pods],
+            suspended_work: vec![None; n_pods],
+            outcomes,
+            next_arrival: 0,
+            sampled,
+            pod_series,
+            cluster_series: Vec::new(),
+            violations: ViolationStats::default(),
+            psi_samples: Vec::new(),
+            ct_samples: Vec::new(),
+            triple_ero: TripleEroTable::new(),
+            eval_points: Vec::new(),
+            eval_errors,
+            node_snapshot: Vec::new(),
+            usage_scratch: Vec::new(),
+            app_group_scratch: Vec::new(),
+            affinity_fractions: workload.apps.iter().map(|a| a.affinity_fraction).collect(),
+            end_tick,
+        })
+    }
+
+    /// Runs the simulation to completion and returns the result.
+    pub fn run(mut self) -> Result<SimResult> {
+        let mut t = Tick(0);
+        while t < self.end_tick {
+            let (sub_be, sub_ls) = self.admit_arrivals(t);
+            if t.0.is_multiple_of(REFRESH_STRIDE) {
+                self.apps.refresh_all();
+            }
+            self.tick_hook(t);
+            self.schedule_round(t);
+            self.physics_pass(t, sub_be, sub_ls);
+            if self.config.snapshot_tick == Some(t) {
+                self.node_snapshot = self.take_snapshot(t);
+            }
+            self.predictor_eval(t);
+            t = t.next();
+        }
+        self.finalize(t);
+        let training = if self.config.collect_training {
+            Some(TrainingData {
+                psi: std::mem::take(&mut self.psi_samples),
+                ct: std::mem::take(&mut self.ct_samples),
+                ero: self.apps.ero_table().clone(),
+                triples: if self.config.collect_triple_ero {
+                    Some(std::mem::take(&mut self.triple_ero))
+                } else {
+                    None
+                },
+                app_profiles: self.snapshot_profiles(),
+            })
+        } else {
+            None
+        };
+        Ok(SimResult {
+            scheduler: self.scheduler.name(),
+            outcomes: self.outcomes,
+            cluster_series: self.cluster_series,
+            pod_series: self.pod_series,
+            violations: self.violations,
+            predictor_errors: self.eval_errors,
+            training,
+            node_snapshot: self.node_snapshot,
+            end_tick: self.end_tick,
+        })
+    }
+
+    fn take_snapshot(&self, t: Tick) -> Vec<crate::result::NodeSnapshot> {
+        self.nodes
+            .iter()
+            .map(|n| crate::result::NodeSnapshot {
+                node: n.spec.id,
+                at: t,
+                capacity: n.spec.capacity,
+                requested: n.requested,
+                limits: n.limits,
+                usage: n.usage,
+                pod_count: n.pod_count() as u32,
+            })
+            .collect()
+    }
+
+    fn snapshot_profiles(&self) -> Vec<AppUsageProfile> {
+        (0..self.workload.apps.len())
+            .map(|i| {
+                let s = self.apps.get(optum_types::AppId(i as u32));
+                AppUsageProfile {
+                    seen: s.samples > 0,
+                    p99_usage: s.p99().unwrap_or(Resources::ZERO),
+                    max_cpu_util: s.max_cpu_util,
+                    max_mem_util: s.max_mem_util,
+                    mem_cov: s.mem_cov(),
+                    max_qps_norm: s.max_qps_norm,
+                }
+            })
+            .collect()
+    }
+
+    fn admit_arrivals(&mut self, t: Tick) -> (usize, usize) {
+        let mut be = 0;
+        let mut ls = 0;
+        while self.next_arrival < self.workload.pods.len()
+            && self.workload.pods[self.next_arrival].spec.arrival <= t
+        {
+            let pod = &self.workload.pods[self.next_arrival];
+            self.pending.push(pod.spec.id);
+            match pod.spec.slo {
+                SloClass::Be => be += 1,
+                SloClass::Ls | SloClass::Lsr => ls += 1,
+                _ => {}
+            }
+            self.next_arrival += 1;
+        }
+        (be, ls)
+    }
+
+    fn tick_hook(&mut self, t: Tick) {
+        let view = ClusterView {
+            tick: t,
+            nodes: &self.nodes,
+            apps: &self.apps,
+            cluster: &self.config.cluster,
+            history_window: self.config.history_window,
+            affinity: &self.affinity_fractions,
+        };
+        self.scheduler.on_tick(&view);
+    }
+
+    fn schedule_round(&mut self, t: Tick) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // Highest SLO priority first, FIFO within a class.
+        let workload = self.workload;
+        self.pending.sort_by_key(|&id| {
+            let spec = &workload.pods[id.index()].spec;
+            (std::cmp::Reverse(spec.slo.priority()), spec.arrival, id)
+        });
+        let mut budget = self.config.schedule_budget_per_tick;
+        let pending = std::mem::take(&mut self.pending);
+        for pid in pending {
+            if budget == 0 {
+                self.pending.push(pid);
+                continue;
+            }
+            budget -= 1;
+            let spec = &self.workload.pods[pid.index()].spec;
+            let view = ClusterView {
+                tick: t,
+                nodes: &self.nodes,
+                apps: &self.apps,
+                cluster: &self.config.cluster,
+                history_window: self.config.history_window,
+                affinity: &self.affinity_fractions,
+            };
+            let decision = self.scheduler.select_node(spec, &view);
+            match decision {
+                Decision::Place(node) if node.index() < self.nodes.len() => {
+                    self.place(pid, node, t);
+                }
+                Decision::Place(_) => {
+                    // A scheduler bug: out-of-range node. Treat as
+                    // unplaceable rather than corrupting state.
+                    self.outcomes[pid.index()].delay_cause = Some(optum_types::DelayCause::Other);
+                    self.pending.push(pid);
+                }
+                Decision::Unplaceable(cause) => {
+                    self.outcomes[pid.index()].delay_cause = Some(cause);
+                    if spec.slo == SloClass::Lsr {
+                        if let Some(node) = self.try_preempt_for(pid, t) {
+                            self.place(pid, node, t);
+                            continue;
+                        }
+                    }
+                    self.pending.push(pid);
+                }
+            }
+        }
+    }
+
+    /// Preempts BE pods to make room for an LSR pod (§3.1.3: LSR pods
+    /// wait less than BE because the scheduler preempts BE for them).
+    /// Returns the chosen node when preemption freed enough room.
+    fn try_preempt_for(&mut self, pid: PodId, t: Tick) -> Option<NodeId> {
+        let spec = &self.workload.pods[pid.index()].spec;
+        let request = spec.request;
+        let frac = self
+            .affinity_fractions
+            .get(spec.app.index())
+            .copied()
+            .unwrap_or(1.0);
+        // Free room is measured against the over-commit budget the
+        // production scheduler itself uses, not raw capacity.
+        let kappa = self.config.preempt_request_cap;
+        let budget_free = |node: &NodeRuntime| {
+            // CPU follows the over-commit budget; memory stays
+            // conservatively committed (the reference's asymmetry).
+            let cap = node.spec.capacity;
+            Resources::new(cap.cpu * kappa, cap.mem * 1.25).saturating_sub(&node.requested)
+        };
+        // Pick the node where evicting BE pods frees the most room:
+        // maximal (budget-free + BE-requested), within affinity.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !optum_trace::affinity_allows(spec.app.0, node.spec.id.0, frac) {
+                continue;
+            }
+            let be_req: Resources = node
+                .pods
+                .iter()
+                .filter(|p| p.slo == SloClass::Be)
+                .map(|p| p.request)
+                .sum();
+            let after = budget_free(node) + be_req;
+            if request.fits_within(&after) {
+                let score = after.cpu + after.mem;
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((i, score));
+                }
+            }
+        }
+        let (node_idx, _) = best?;
+        // Evict newest BE pods first until the request fits.
+        loop {
+            if request.fits_within(&budget_free(&self.nodes[node_idx])) {
+                return Some(NodeId(node_idx as u32));
+            }
+            let victim = self.nodes[node_idx]
+                .pods
+                .iter()
+                .rev()
+                .find(|p| p.slo == SloClass::Be)
+                .map(|p| p.id)?;
+            self.evict(victim, t);
+        }
+    }
+
+    /// Removes a running pod and requeues it (keeping its remaining
+    /// work).
+    fn evict(&mut self, pid: PodId, _t: Tick) {
+        let Some(state) = self.running[pid.index()].take() else {
+            return;
+        };
+        self.nodes[state.node.index()].remove_pod(pid);
+        self.suspended_work[pid.index()] = Some(state.work_left);
+        let outcome = &mut self.outcomes[pid.index()];
+        outcome.preemptions += 1;
+        outcome.node = None;
+        // Carry performance peaks across the eviction.
+        outcome.worst_psi = outcome.worst_psi.max(state.worst_psi);
+        outcome.max_pod_cpu_util = outcome.max_pod_cpu_util.max(state.max_pod_cpu_util);
+        outcome.max_pod_mem_util = outcome.max_pod_mem_util.max(state.max_pod_mem_util);
+        outcome.max_host_cpu_util = outcome.max_host_cpu_util.max(state.max_host_cpu_util);
+        outcome.max_host_mem_util = outcome.max_host_mem_util.max(state.max_host_mem_util);
+        self.pending.push(pid);
+    }
+
+    fn place(&mut self, pid: PodId, node: NodeId, t: Tick) {
+        let gen = &self.workload.pods[pid.index()];
+        let spec = &gen.spec;
+        if self.config.record_ranks {
+            let (ru, rr) = self.ranks_of(node, spec.request);
+            let outcome = &mut self.outcomes[pid.index()];
+            if outcome.rank_by_usage.is_none() {
+                outcome.rank_by_usage = Some(ru);
+                outcome.rank_by_request = Some(rr);
+            }
+        }
+        self.nodes[node.index()].add_pod(ResidentPod {
+            id: pid,
+            app: spec.app,
+            slo: spec.slo,
+            request: spec.request,
+            limit: spec.limit,
+            placed_at: t,
+        });
+        let duration = spec.nominal_duration.unwrap_or(u64::MAX);
+        let is_be = spec.slo == SloClass::Be;
+        let work_left = if is_be {
+            // Preempted BE pods resume their remaining work.
+            self.suspended_work[pid.index()]
+                .take()
+                .unwrap_or(duration as f64)
+        } else {
+            0.0
+        };
+        self.running[pid.index()] = Some(RunningState {
+            node,
+            end_tick: if is_be {
+                None
+            } else {
+                Some(Tick(t.0.saturating_add(duration)))
+            },
+            work_left,
+            cpu_psi: PsiWindow::ZERO,
+            mem_psi: PsiWindow::ZERO,
+            worst_psi: 0.0,
+            max_pod_cpu_util: 0.0,
+            max_pod_mem_util: 0.0,
+            max_host_cpu_util: 0.0,
+            max_host_mem_util: 0.0,
+            util_sum: Resources::ZERO,
+            util_ticks: 0,
+        });
+        let outcome = &mut self.outcomes[pid.index()];
+        outcome.node = Some(node);
+        if outcome.placed_at.is_none() {
+            // Waiting time counts from submission to first placement;
+            // `placed_at` keeps the first start so completion durations
+            // span preemptions.
+            outcome.placed_at = Some(t);
+            outcome.wait_ticks = t.saturating_since(spec.arrival);
+        }
+    }
+
+    /// Alignment-score ranks of the chosen node among all nodes, where
+    /// the score is the inner product of the request with the host's
+    /// usage (first) or requests (second) vector (Fig. 10; §3.2.1).
+    fn ranks_of(&self, chosen: NodeId, request: Resources) -> (u32, u32) {
+        let score_u = |n: &NodeRuntime| request.dot(&n.usage.div(&n.spec.capacity));
+        let score_r = |n: &NodeRuntime| request.dot(&n.requested.div(&n.spec.capacity));
+        let su = score_u(&self.nodes[chosen.index()]);
+        let sr = score_r(&self.nodes[chosen.index()]);
+        let mut rank_u = 1u32;
+        let mut rank_r = 1u32;
+        for n in &self.nodes {
+            if score_u(n) > su {
+                rank_u += 1;
+            }
+            if score_r(n) > sr {
+                rank_r += 1;
+            }
+        }
+        (rank_u, rank_r)
+    }
+
+    fn physics_pass(&mut self, t: Tick, sub_be: usize, sub_ls: usize) {
+        let record_series = t.0.is_multiple_of(self.config.series_stride);
+        let mut sum_cpu_util = 0.0;
+        let mut sum_mem_util = 0.0;
+        let mut max_cpu_util: f64 = 0.0;
+        let mut max_mem_util: f64 = 0.0;
+        let mut active_nodes = 0usize;
+        let mut active_cpu_util = 0.0;
+        let mut active_mem_util = 0.0;
+        let mut be_util_sum = 0.0;
+        let mut be_count = 0usize;
+        let mut ls_util_sum = 0.0;
+        let mut ls_count = 0usize;
+        let mut ls_qps_sum = 0.0;
+        let mut running_count = 0usize;
+        let mut completions: Vec<(PodId, usize)> = Vec::new();
+
+        for node_idx in 0..self.nodes.len() {
+            // Pass 1: raw usage per resident pod.
+            self.usage_scratch.clear();
+            {
+                let node = &self.nodes[node_idx];
+                for rp in &node.pods {
+                    let gen = &self.workload.pods[rp.id.index()];
+                    let app = self.workload.app_of(gen);
+                    let usage =
+                        Resources::new(app.pod_cpu_usage(gen, t), app.pod_mem_usage(gen, t));
+                    let qps_norm = app.qps_norm(t);
+                    self.usage_scratch.push((rp.id, usage, qps_norm));
+                }
+            }
+            let raw: Resources = self.usage_scratch.iter().map(|(_, u, _)| *u).sum();
+            let cap = self.nodes[node_idx].spec.capacity;
+            self.violations.total_node_ticks += 1;
+            let cpu_scale = if raw.cpu > cap.cpu {
+                self.violations.cpu_node_ticks += 1;
+                cap.cpu / raw.cpu
+            } else {
+                1.0
+            };
+            let mem_scale = if raw.mem > cap.mem {
+                self.violations.mem_node_ticks += 1;
+                cap.mem / raw.mem
+            } else {
+                1.0
+            };
+            let clamped = Resources::new(raw.cpu.min(cap.cpu), raw.mem.min(cap.mem));
+            self.nodes[node_idx].push_usage(clamped);
+            let host_util = clamped.div(&cap);
+            sum_cpu_util += host_util.cpu;
+            sum_mem_util += host_util.mem;
+            max_cpu_util = max_cpu_util.max(host_util.cpu);
+            max_mem_util = max_mem_util.max(host_util.mem);
+            if !self.usage_scratch.is_empty() {
+                active_nodes += 1;
+                active_cpu_util += host_util.cpu;
+                active_mem_util += host_util.mem;
+            }
+            running_count += self.usage_scratch.len();
+
+            // Pass 2: per-pod performance, stats and training samples.
+            // ERO observations feed both offline training and the live
+            // profile source predictors read, so they are always on.
+            let collect_ero = t.0.is_multiple_of(ERO_STRIDE);
+            self.app_group_scratch.clear();
+            for i in 0..self.usage_scratch.len() {
+                let (pid, raw_usage, qps_norm) = self.usage_scratch[i];
+                let usage = Resources::new(raw_usage.cpu * cpu_scale, raw_usage.mem * mem_scale);
+                let gen = &self.workload.pods[pid.index()];
+                let app = self.workload.app_of(gen);
+                let request = gen.spec.request;
+                let pod_cpu_util = if request.cpu > 0.0 {
+                    usage.cpu / request.cpu
+                } else {
+                    0.0
+                };
+                let pod_mem_util = if request.mem > 0.0 {
+                    usage.mem / request.mem
+                } else {
+                    0.0
+                };
+                self.apps.observe(gen.spec.app, usage, request, qps_norm);
+
+                if collect_ero {
+                    // Track the max-usage pod per app on this node.
+                    match self
+                        .app_group_scratch
+                        .iter_mut()
+                        .find(|(a, _, _)| *a == gen.spec.app.0)
+                    {
+                        Some(entry) => {
+                            if usage.cpu > entry.1 {
+                                entry.1 = usage.cpu;
+                                entry.2 = request.cpu;
+                            }
+                        }
+                        None => {
+                            self.app_group_scratch
+                                .push((gen.spec.app.0, usage.cpu, request.cpu))
+                        }
+                    }
+                }
+
+                let is_ls = gen.spec.slo.is_latency_sensitive();
+                let is_be = gen.spec.slo == SloClass::Be;
+                if is_be {
+                    be_util_sum += pod_cpu_util;
+                    be_count += 1;
+                } else if is_ls {
+                    ls_util_sum += pod_cpu_util;
+                    ls_count += 1;
+                    ls_qps_sum += app.pod_qps(pid, t);
+                }
+
+                let state = self.running[pid.index()]
+                    .as_mut()
+                    .expect("resident pod must have running state");
+                let psi_inst = app.psi_instant(gen, pod_cpu_util, host_util.cpu, t);
+                state.cpu_psi = PsiWindow::step(state.cpu_psi, psi_inst);
+                let mem_psi_inst = app.mem_psi_instant(pid, host_util.mem, t);
+                state.mem_psi = PsiWindow::step(state.mem_psi, mem_psi_inst);
+                state.worst_psi = state.worst_psi.max(state.cpu_psi.avg60);
+                state.max_pod_cpu_util = state.max_pod_cpu_util.max(pod_cpu_util);
+                state.max_pod_mem_util = state.max_pod_mem_util.max(pod_mem_util);
+                state.max_host_cpu_util = state.max_host_cpu_util.max(host_util.cpu);
+                state.max_host_mem_util = state.max_host_mem_util.max(host_util.mem);
+                state.util_sum += Resources::new(pod_cpu_util, pod_mem_util);
+                state.util_ticks += 1;
+
+                // Training samples, strided and phase-shifted per pod so
+                // the dataset spans many pods without exploding.
+                if self.config.collect_training
+                    && is_ls
+                    && (t.0 + pid.0 as u64).is_multiple_of(self.config.training_stride)
+                {
+                    self.psi_samples.push(PsiSample {
+                        app: gen.spec.app,
+                        pod_cpu_util,
+                        pod_mem_util,
+                        host_cpu_util: host_util.cpu,
+                        host_mem_util: host_util.mem,
+                        qps_norm,
+                        psi: state.cpu_psi.avg60,
+                    });
+                }
+
+                // Recorded series for sampled pods.
+                if record_series && self.sampled[pid.index()] {
+                    let rt = app.response_time(gen, state.cpu_psi.avg60, t);
+                    let qps = app.pod_qps(pid, t);
+                    let noise = hash_noise(0xF00D, pid.0 as u64, t.0);
+                    let (rx, tx) = if is_be {
+                        (
+                            gen.input_factor * usage.cpu * (0.8 + 0.4 * noise),
+                            gen.input_factor * usage.cpu * 0.3,
+                        )
+                    } else {
+                        (qps * 0.01 * (0.9 + 0.2 * noise), qps * 0.004)
+                    };
+                    if let Some((_, series)) = self.pod_series.iter_mut().find(|(id, _)| *id == pid)
+                    {
+                        series.push(PodPoint {
+                            tick: t,
+                            usage,
+                            cpu_psi: state.cpu_psi,
+                            mem_psi: state.mem_psi,
+                            qps,
+                            response_time: rt,
+                            host_cpu_util: host_util.cpu,
+                            host_mem_util: host_util.mem,
+                            rx,
+                            tx,
+                        });
+                    }
+                }
+
+                // Progress and completion.
+                if is_be {
+                    state.work_left -= app.be_progress_rate(host_util.cpu, host_util.mem);
+                    if state.work_left <= 0.0 {
+                        completions.push((pid, node_idx));
+                    }
+                } else if state.end_tick == Some(t) {
+                    completions.push((pid, node_idx));
+                }
+            }
+
+            if collect_ero {
+                for i in 0..self.app_group_scratch.len() {
+                    for j in (i + 1)..self.app_group_scratch.len() {
+                        let (a, ua, ra) = self.app_group_scratch[i];
+                        let (b, ub, rb) = self.app_group_scratch[j];
+                        if ra + rb > 0.0 {
+                            self.apps.observe_pair(
+                                optum_types::AppId(a),
+                                optum_types::AppId(b),
+                                (ua + ub) / (ra + rb),
+                            );
+                        }
+                    }
+                }
+                if self.config.collect_triple_ero && t.0.is_multiple_of(TRIPLE_ERO_STRIDE) {
+                    let g = &self.app_group_scratch;
+                    for i in 0..g.len() {
+                        for j in (i + 1)..g.len() {
+                            for k in (j + 1)..g.len() {
+                                let denom = g[i].2 + g[j].2 + g[k].2;
+                                if denom > 0.0 {
+                                    self.triple_ero.observe(
+                                        optum_types::AppId(g[i].0),
+                                        optum_types::AppId(g[j].0),
+                                        optum_types::AppId(g[k].0),
+                                        (g[i].1 + g[j].1 + g[k].1) / denom,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for (pid, node_idx) in completions {
+            self.complete(pid, node_idx, t);
+        }
+
+        if record_series {
+            let n = self.nodes.len() as f64;
+            let active = active_nodes.max(1) as f64;
+            self.cluster_series.push(ClusterTickStats {
+                tick: t,
+                mean_cpu_util: sum_cpu_util / n,
+                max_cpu_util,
+                mean_mem_util: sum_mem_util / n,
+                max_mem_util,
+                active_nodes,
+                mean_cpu_util_active: active_cpu_util / active,
+                mean_mem_util_active: active_mem_util / active,
+                pending: self.pending.len(),
+                running: running_count,
+                submitted_be: sub_be,
+                submitted_ls: sub_ls,
+                mean_be_pod_util: if be_count > 0 {
+                    be_util_sum / be_count as f64
+                } else {
+                    0.0
+                },
+                mean_ls_pod_util: if ls_count > 0 {
+                    ls_util_sum / ls_count as f64
+                } else {
+                    0.0
+                },
+                mean_ls_qps: if ls_count > 0 {
+                    ls_qps_sum / ls_count as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+
+    fn complete(&mut self, pid: PodId, node_idx: usize, t: Tick) {
+        let Some(state) = self.running[pid.index()].take() else {
+            return;
+        };
+        self.nodes[node_idx].remove_pod(pid);
+        let gen = &self.workload.pods[pid.index()];
+        let outcome = &mut self.outcomes[pid.index()];
+        outcome.completed_at = Some(t);
+        if let Some(placed) = outcome.placed_at {
+            outcome.actual_duration = Some(t.saturating_since(placed) + 1);
+        }
+        outcome.worst_psi = outcome.worst_psi.max(state.worst_psi);
+        outcome.max_pod_cpu_util = outcome.max_pod_cpu_util.max(state.max_pod_cpu_util);
+        outcome.max_pod_mem_util = outcome.max_pod_mem_util.max(state.max_pod_mem_util);
+        outcome.max_host_cpu_util = outcome.max_host_cpu_util.max(state.max_host_cpu_util);
+        outcome.max_host_mem_util = outcome.max_host_mem_util.max(state.max_host_mem_util);
+        if state.util_ticks > 0 {
+            let mean = state.util_sum.scale(1.0 / state.util_ticks as f64);
+            outcome.mean_pod_cpu_util = mean.cpu;
+            outcome.mean_pod_mem_util = mean.mem;
+        }
+
+        // Completion-time training sample for BE pods.
+        if self.config.collect_training && gen.spec.slo == SloClass::Be {
+            if let (Some(actual), nominal) = (outcome.actual_duration, outcome.nominal_duration) {
+                if nominal > 0 {
+                    self.ct_samples.push(CtSample {
+                        app: gen.spec.app,
+                        max_pod_cpu_util: outcome.max_pod_cpu_util,
+                        max_pod_mem_util: outcome.max_pod_mem_util,
+                        max_host_cpu_util: outcome.max_host_cpu_util,
+                        max_host_mem_util: outcome.max_host_mem_util,
+                        ct_norm: normalize_ct(nominal, actual),
+                    });
+                }
+            }
+        }
+    }
+
+    fn predictor_eval(&mut self, t: Tick) {
+        let Some(eval) = &self.config.predictor_eval else {
+            return;
+        };
+        // Update peaks of open points.
+        for p in &mut self.eval_points {
+            p.peak = p.peak.max(&self.nodes[p.node].usage);
+        }
+        // Resolve matured points.
+        let mut i = 0;
+        while i < self.eval_points.len() {
+            if self.eval_points[i].matures <= t {
+                let p = self.eval_points.swap_remove(i);
+                for (k, pred) in p.predictions.iter().enumerate() {
+                    self.eval_errors[k].1.record(pred.cpu, p.peak.cpu);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Issue new points on the stride, after the warm-up window.
+        if t.0 < eval.warmup.max(1) || !t.0.is_multiple_of(eval.stride) {
+            return;
+        }
+        let view = ClusterView {
+            tick: t,
+            nodes: &self.nodes,
+            apps: &self.apps,
+            cluster: &self.config.cluster,
+            history_window: self.config.history_window,
+            affinity: &self.affinity_fractions,
+        };
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if node.pods.is_empty() {
+                continue;
+            }
+            let obs = view.observation(node);
+            let predictions: Vec<Resources> = eval
+                .predictors
+                .iter()
+                .map(|p| p.predict(&obs, self.apps_ref()))
+                .collect();
+            self.eval_points.push(EvalPoint {
+                node: idx,
+                matures: Tick(t.0 + eval.horizon),
+                predictions,
+                peak: node.usage,
+            });
+        }
+    }
+
+    fn apps_ref(&self) -> &AppStatsStore {
+        &self.apps
+    }
+
+    fn finalize(&mut self, end: Tick) {
+        // Pods still pending: censored waiting times.
+        for &pid in &self.pending {
+            let o = &mut self.outcomes[pid.index()];
+            o.wait_ticks = end.saturating_since(o.arrival);
+        }
+        // Pods still running: flush their peaks into outcomes.
+        for pid in 0..self.running.len() {
+            if let Some(state) = self.running[pid].take() {
+                let o = &mut self.outcomes[pid];
+                o.worst_psi = o.worst_psi.max(state.worst_psi);
+                o.max_pod_cpu_util = o.max_pod_cpu_util.max(state.max_pod_cpu_util);
+                o.max_pod_mem_util = o.max_pod_mem_util.max(state.max_pod_mem_util);
+                o.max_host_cpu_util = o.max_host_cpu_util.max(state.max_host_cpu_util);
+                o.max_host_mem_util = o.max_host_mem_util.max(state.max_host_mem_util);
+                if state.util_ticks > 0 {
+                    let mean = state.util_sum.scale(1.0 / state.util_ticks as f64);
+                    o.mean_pod_cpu_util = mean.cpu;
+                    o.mean_pod_mem_util = mean.mem;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{Decision, Scheduler};
+    use optum_trace::{generate, WorkloadConfig};
+    use optum_types::{DelayCause, PodSpec};
+
+    /// First-fit by requests against raw capacity (no over-commit).
+    struct FirstFit;
+
+    impl Scheduler for FirstFit {
+        fn name(&self) -> String {
+            "first-fit".into()
+        }
+
+        fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+            for node in view.nodes {
+                if pod.request.fits_within(&node.free_by_request()) {
+                    return Decision::Place(node.spec.id);
+                }
+            }
+            Decision::Unplaceable(DelayCause::CpuAndMemory)
+        }
+    }
+
+    /// A scheduler that always declines, to exercise waiting paths.
+    struct Refuser;
+
+    impl Scheduler for Refuser {
+        fn name(&self) -> String {
+            "refuser".into()
+        }
+
+        fn select_node(&mut self, _pod: &PodSpec, _view: &ClusterView<'_>) -> Decision {
+            Decision::Unplaceable(DelayCause::Other)
+        }
+    }
+
+    /// One shared simulation run (several tests assert on different
+    /// aspects of the same result; rerunning it per test is wasteful).
+    fn small_run() -> &'static SimResult {
+        use std::sync::OnceLock;
+        static RESULT: OnceLock<SimResult> = OnceLock::new();
+        RESULT.get_or_init(|| {
+            let w = generate(&WorkloadConfig::small(7)).unwrap();
+            let mut cfg = SimConfig::new(40);
+            cfg.record_ranks = true;
+            cfg.collect_training = true;
+            crate::run(&w, FirstFit, cfg).unwrap()
+        })
+    }
+
+    #[test]
+    fn runs_to_completion_and_places_pods() {
+        let r = small_run();
+        assert_eq!(r.scheduler, "first-fit");
+        assert!(
+            r.placement_rate() > 0.5,
+            "placement rate {}",
+            r.placement_rate()
+        );
+        // Some pods complete inside the window.
+        assert!(r.outcomes.iter().any(|o| o.completed_at.is_some()));
+        // Utilization is positive and bounded.
+        let mean = r.mean_cpu_utilization();
+        assert!(mean > 0.01 && mean < 1.0, "mean cpu util {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let r1 = crate::run(&w, FirstFit, SimConfig::new(40)).unwrap();
+        let r2 = crate::run(&w, FirstFit, SimConfig::new(40)).unwrap();
+        assert_eq!(r1.outcomes, r2.outcomes);
+        assert_eq!(r1.violations, r2.violations);
+    }
+
+    #[test]
+    fn refusing_scheduler_places_nothing_but_lsr_preempts() {
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let r = crate::run(&w, Refuser, SimConfig::new(40)).unwrap();
+        // No BE pods can be preempted onto nodes (nothing is placed),
+        // so nothing at all should run.
+        assert_eq!(
+            r.outcomes
+                .iter()
+                .filter(|o| o.scheduled() && o.slo != SloClass::Lsr)
+                .count(),
+            0
+        );
+        // Every unplaced pod accumulated (censored) waiting time.
+        let unplaced = r.outcomes.iter().find(|o| !o.scheduled()).unwrap();
+        assert!(unplaced.wait_ticks > 0);
+        assert_eq!(unplaced.delay_cause, Some(DelayCause::Other));
+    }
+
+    #[test]
+    fn be_completion_times_inflate_under_contention() {
+        let r = small_run();
+        let inflations: Vec<f64> = r
+            .outcomes_of(SloClass::Be)
+            .filter_map(|o| o.inflation())
+            .collect();
+        assert!(!inflations.is_empty());
+        // Inflation is never negative (work cannot run faster than nominal).
+        assert!(inflations.iter().all(|&x| x >= -1e-9));
+    }
+
+    #[test]
+    fn training_data_collected() {
+        let r = small_run();
+        let t = r.training.as_ref().unwrap();
+        assert!(!t.psi.is_empty(), "no PSI samples");
+        assert!(!t.ct.is_empty(), "no CT samples");
+        assert!(t.ero.observed_pairs() > 0, "no ERO observations");
+        assert!(t.app_profiles.iter().any(|p| p.seen));
+        // PSI samples are in-range.
+        assert!(t.psi.iter().all(|s| (0.0..=1.0).contains(&s.psi)));
+        assert!(t.ct.iter().all(|s| (0.0..=1.0).contains(&s.ct_norm)));
+    }
+
+    #[test]
+    fn ranks_recorded_when_enabled() {
+        let r = small_run();
+        let with_ranks = r
+            .outcomes
+            .iter()
+            .filter(|o| o.rank_by_usage.is_some())
+            .count();
+        assert!(with_ranks > 0);
+        for o in &r.outcomes {
+            if let Some(rank) = o.rank_by_usage {
+                assert!(rank >= 1 && rank as usize <= 40);
+            }
+        }
+    }
+
+    #[test]
+    fn series_recorded_on_stride() {
+        let r = small_run();
+        assert!(!r.cluster_series.is_empty());
+        // Strided: roughly window / stride entries.
+        let expected = (r.end_tick.0 / 10) as usize;
+        assert!(r.cluster_series.len() >= expected.saturating_sub(2));
+        assert!(!r.pod_series.is_empty());
+        assert!(r.pod_series.iter().any(|(_, s)| !s.is_empty()));
+    }
+
+    #[test]
+    fn predictor_eval_scores_points() {
+        use optum_predictors::{BorgDefault, NSigma};
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let mut cfg = SimConfig::new(40);
+        cfg.predictor_eval = Some(crate::config::PredictorEval {
+            predictors: vec![
+                Box::new(BorgDefault::production()),
+                Box::new(NSigma::production()),
+            ],
+            stride: 120,
+            horizon: 120,
+            warmup: 120,
+        });
+        let r = crate::run(&w, FirstFit, cfg).unwrap();
+        assert_eq!(r.predictor_errors.len(), 2);
+        let (name, errs) = &r.predictor_errors[0];
+        assert_eq!(name, "Borg default");
+        assert!(errs.len() > 10, "too few eval points: {}", errs.len());
+        // Borg default over-estimates massively on this workload
+        // (requests are ~5x usage).
+        assert!(errs.over.len() > errs.under.len());
+    }
+
+    #[test]
+    fn violations_counted() {
+        let r = small_run();
+        assert!(r.violations.total_node_ticks > 0);
+        assert!(r.violations.rate() <= 1.0);
+    }
+}

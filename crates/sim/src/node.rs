@@ -1,0 +1,289 @@
+//! Per-node runtime state.
+
+use optum_predictors::PodInfo;
+use optum_types::{AppId, NodeSpec, PodId, Resources, SloClass, Tick};
+
+/// A pod resident on a node, as the node tracks it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidentPod {
+    /// Pod identity.
+    pub id: PodId,
+    /// Owning application.
+    pub app: AppId,
+    /// SLO class.
+    pub slo: SloClass,
+    /// Resource request.
+    pub request: Resources,
+    /// Resource limit.
+    pub limit: Resources,
+    /// When the pod was placed here.
+    pub placed_at: Tick,
+}
+
+/// Runtime state of one physical host.
+///
+/// Keeps resident pods in placement order (the Optum predictor pairs
+/// them in that order), running request/limit sums, the last computed
+/// actual usage, and an append-only usage history from which schedulers
+/// read their observation windows.
+#[derive(Debug, Clone)]
+pub struct NodeRuntime {
+    /// Static description.
+    pub spec: NodeSpec,
+    /// Resident pods, in placement order.
+    pub pods: Vec<ResidentPod>,
+    /// Parallel predictor-facing view of `pods`.
+    infos: Vec<PodInfo>,
+    /// Sum of resident requests.
+    pub requested: Resources,
+    /// Sum of resident requests of best-effort pods only (schedulers
+    /// reserve burst headroom for the non-BE remainder).
+    pub requested_be: Resources,
+    /// Sum of resident limits.
+    pub limits: Resources,
+    /// Actual usage computed in the last physics pass.
+    pub usage: Resources,
+    /// Append-only CPU usage history (one entry per tick).
+    cpu_history: Vec<f64>,
+    /// Append-only memory usage history (one entry per tick).
+    mem_history: Vec<f64>,
+    /// Statistics window length in ticks.
+    window: usize,
+    /// Incremental windowed sums: (Σx, Σx²) for CPU and memory, so
+    /// N-sigma-style mean/std queries are O(1) instead of O(window).
+    cpu_sums: (f64, f64),
+    mem_sums: (f64, f64),
+}
+
+/// Default statistics window: 24 hours of 30-second ticks.
+const DEFAULT_WINDOW: usize = 2880;
+
+impl NodeRuntime {
+    /// Creates an empty node with the default 24-hour stats window.
+    pub fn new(spec: NodeSpec) -> NodeRuntime {
+        NodeRuntime::with_window(spec, DEFAULT_WINDOW)
+    }
+
+    /// Creates an empty node with an explicit stats window.
+    pub fn with_window(spec: NodeSpec, window: usize) -> NodeRuntime {
+        NodeRuntime {
+            spec,
+            pods: Vec::new(),
+            infos: Vec::new(),
+            requested: Resources::ZERO,
+            requested_be: Resources::ZERO,
+            limits: Resources::ZERO,
+            usage: Resources::ZERO,
+            cpu_history: Vec::new(),
+            mem_history: Vec::new(),
+            window: window.max(1),
+            cpu_sums: (0.0, 0.0),
+            mem_sums: (0.0, 0.0),
+        }
+    }
+
+    /// Number of resident pods.
+    pub fn pod_count(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// Adds a pod (placement).
+    pub fn add_pod(&mut self, pod: ResidentPod) {
+        self.requested += pod.request;
+        if pod.slo == SloClass::Be {
+            self.requested_be += pod.request;
+        }
+        self.limits += pod.limit;
+        self.infos.push(PodInfo {
+            app: pod.app,
+            request: pod.request,
+            limit: pod.limit,
+        });
+        self.pods.push(pod);
+    }
+
+    /// Removes a pod (completion or preemption); returns it when found.
+    pub fn remove_pod(&mut self, id: PodId) -> Option<ResidentPod> {
+        let idx = self.pods.iter().position(|p| p.id == id)?;
+        let pod = self.pods.remove(idx);
+        self.infos.remove(idx);
+        self.requested -= pod.request;
+        if pod.slo == SloClass::Be {
+            self.requested_be -= pod.request;
+        }
+        self.limits -= pod.limit;
+        // Clamp float drift so an emptied node reads exactly zero.
+        if self.pods.is_empty() {
+            self.requested = Resources::ZERO;
+            self.requested_be = Resources::ZERO;
+            self.limits = Resources::ZERO;
+        }
+        Some(pod)
+    }
+
+    /// Records the node's actual usage for this tick and slides the
+    /// windowed sums.
+    pub fn push_usage(&mut self, usage: Resources) {
+        self.usage = usage;
+        self.cpu_history.push(usage.cpu);
+        self.mem_history.push(usage.mem);
+        self.cpu_sums.0 += usage.cpu;
+        self.cpu_sums.1 += usage.cpu * usage.cpu;
+        self.mem_sums.0 += usage.mem;
+        self.mem_sums.1 += usage.mem * usage.mem;
+        let n = self.cpu_history.len();
+        if n > self.window {
+            let old_cpu = self.cpu_history[n - 1 - self.window];
+            let old_mem = self.mem_history[n - 1 - self.window];
+            self.cpu_sums.0 -= old_cpu;
+            self.cpu_sums.1 -= old_cpu * old_cpu;
+            self.mem_sums.0 -= old_mem;
+            self.mem_sums.1 -= old_mem * old_mem;
+        }
+    }
+
+    /// Windowed (mean, std) of CPU usage in O(1); zeros when empty.
+    pub fn cpu_stats(&self) -> (f64, f64) {
+        Self::stats_of(self.cpu_sums, self.cpu_history.len().min(self.window))
+    }
+
+    /// Windowed (mean, std) of memory usage in O(1); zeros when empty.
+    pub fn mem_stats(&self) -> (f64, f64) {
+        Self::stats_of(self.mem_sums, self.mem_history.len().min(self.window))
+    }
+
+    fn stats_of(sums: (f64, f64), n: usize) -> (f64, f64) {
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let mean = sums.0 / n as f64;
+        // Guard against tiny negative variance from float drift.
+        let var = (sums.1 / n as f64 - mean * mean).max(0.0);
+        (mean, var.sqrt())
+    }
+
+    /// The last `window` CPU usage samples (fewer if young).
+    pub fn cpu_window(&self, window: usize) -> &[f64] {
+        let n = self.cpu_history.len();
+        &self.cpu_history[n.saturating_sub(window)..]
+    }
+
+    /// The last `window` memory usage samples (fewer if young).
+    pub fn mem_window(&self, window: usize) -> &[f64] {
+        let n = self.mem_history.len();
+        &self.mem_history[n.saturating_sub(window)..]
+    }
+
+    /// Maximum recorded CPU usage over the trailing `window` ticks.
+    pub fn peak_cpu(&self, window: usize) -> f64 {
+        self.cpu_window(window).iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Predictor-facing pod list, in placement order.
+    pub fn pod_infos(&self) -> &[PodInfo] {
+        &self.infos
+    }
+
+    /// Current utilization (usage relative to capacity).
+    pub fn utilization(&self) -> Resources {
+        self.usage.div(&self.spec.capacity)
+    }
+
+    /// Free capacity by requests (negative coordinates clamped to 0).
+    pub fn free_by_request(&self) -> Resources {
+        self.spec.capacity.saturating_sub(&self.requested)
+    }
+
+    /// Free capacity by last actual usage.
+    pub fn free_by_usage(&self) -> Resources {
+        self.spec.capacity.saturating_sub(&self.usage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optum_types::NodeId;
+
+    fn pod(id: u32, cpu: f64, mem: f64) -> ResidentPod {
+        ResidentPod {
+            id: PodId(id),
+            app: AppId(0),
+            slo: SloClass::Ls,
+            request: Resources::new(cpu, mem),
+            limit: Resources::new(cpu * 2.0, mem * 2.0),
+            placed_at: Tick(0),
+        }
+    }
+
+    #[test]
+    fn add_remove_keeps_sums() {
+        let mut n = NodeRuntime::new(NodeSpec::standard(NodeId(0)));
+        n.add_pod(pod(1, 0.2, 0.1));
+        n.add_pod(pod(2, 0.3, 0.2));
+        assert_eq!(n.requested, Resources::new(0.5, 0.30000000000000004));
+        assert_eq!(n.pod_infos().len(), 2);
+        let removed = n.remove_pod(PodId(1)).unwrap();
+        assert_eq!(removed.id, PodId(1));
+        assert!((n.requested.cpu - 0.3).abs() < 1e-12);
+        assert_eq!(n.pod_infos()[0].request.cpu, 0.3);
+        assert!(n.remove_pod(PodId(9)).is_none());
+        n.remove_pod(PodId(2));
+        assert_eq!(n.requested, Resources::ZERO);
+    }
+
+    #[test]
+    fn history_windows() {
+        let mut n = NodeRuntime::new(NodeSpec::standard(NodeId(0)));
+        for i in 0..10 {
+            n.push_usage(Resources::new(i as f64 / 10.0, 0.5));
+        }
+        assert_eq!(n.cpu_window(3), &[0.7, 0.8, 0.9]);
+        assert_eq!(n.cpu_window(100).len(), 10);
+        assert_eq!(n.peak_cpu(5), 0.9);
+        assert_eq!(n.mem_window(2), &[0.5, 0.5]);
+        assert_eq!(n.usage.cpu, 0.9);
+    }
+
+    #[test]
+    fn free_capacity() {
+        let mut n = NodeRuntime::new(NodeSpec::standard(NodeId(0)));
+        n.add_pod(pod(1, 0.7, 0.2));
+        assert!((n.free_by_request().cpu - 0.3).abs() < 1e-12);
+        n.add_pod(pod(2, 0.7, 0.2));
+        // Over-committed: free-by-request clamps at zero.
+        assert_eq!(n.free_by_request().cpu, 0.0);
+        n.push_usage(Resources::new(0.4, 0.1));
+        assert!((n.free_by_usage().cpu - 0.6).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod window_tests {
+    use super::*;
+    use optum_types::NodeId;
+
+    #[test]
+    fn incremental_stats_match_direct() {
+        let mut n = NodeRuntime::with_window(NodeSpec::standard(NodeId(0)), 5);
+        let xs = [0.1, 0.9, 0.4, 0.6, 0.2, 0.8, 0.3, 0.7];
+        for &x in &xs {
+            n.push_usage(Resources::new(x, x / 2.0));
+        }
+        let window = &xs[xs.len() - 5..];
+        let mean = optum_stats::mean(window);
+        let std = optum_stats::stddev(window);
+        let (m, s) = n.cpu_stats();
+        assert!((m - mean).abs() < 1e-9, "{m} vs {mean}");
+        assert!((s - std).abs() < 1e-9, "{s} vs {std}");
+        let (mm, _) = n.mem_stats();
+        assert!((mm - mean / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let n = NodeRuntime::new(NodeSpec::standard(NodeId(0)));
+        assert_eq!(n.cpu_stats(), (0.0, 0.0));
+        assert_eq!(n.mem_stats(), (0.0, 0.0));
+    }
+}

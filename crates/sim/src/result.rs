@@ -1,0 +1,284 @@
+//! Simulation results: everything the paper's figures are computed
+//! from.
+
+use optum_predictors::PredictionErrors;
+use optum_types::{AppId, DelayCause, NodeId, PodId, PsiWindow, Resources, SloClass, Tick};
+
+use crate::training::TrainingData;
+
+/// Final outcome of one pod.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodOutcome {
+    /// Pod identity.
+    pub id: PodId,
+    /// Owning application.
+    pub app: AppId,
+    /// SLO class.
+    pub slo: SloClass,
+    /// Resource request.
+    pub request: Resources,
+    /// Submission tick.
+    pub arrival: Tick,
+    /// Host the pod landed on, if placed.
+    pub node: Option<NodeId>,
+    /// Tick the pod was placed, if placed.
+    pub placed_at: Option<Tick>,
+    /// Ticks spent waiting in the pending queue (placement − arrival;
+    /// for never-placed pods, window end − arrival).
+    pub wait_ticks: u64,
+    /// The last recorded reason a scheduling round declined the pod.
+    pub delay_cause: Option<DelayCause>,
+    /// Completion tick, if the pod finished inside the window.
+    pub completed_at: Option<Tick>,
+    /// Nominal (contention-free) duration in ticks.
+    pub nominal_duration: u64,
+    /// Actual wall-clock running duration in ticks (BE pods inflate
+    /// under contention).
+    pub actual_duration: Option<u64>,
+    /// Worst CPU PSI (60-second window) observed while running.
+    pub worst_psi: f64,
+    /// Maximum pod CPU utilization (usage/request) while running.
+    pub max_pod_cpu_util: f64,
+    /// Maximum pod memory utilization while running.
+    pub max_pod_mem_util: f64,
+    /// Maximum CPU utilization of the hosting node while running.
+    pub max_host_cpu_util: f64,
+    /// Maximum memory utilization of the hosting node while running.
+    pub max_host_mem_util: f64,
+    /// Mean pod CPU utilization (usage/request) over the run.
+    pub mean_pod_cpu_util: f64,
+    /// Mean pod memory utilization over the run.
+    pub mean_pod_mem_util: f64,
+    /// Times this pod was preempted by an LSR pod.
+    pub preemptions: u32,
+    /// Alignment-score rank of the chosen host under usage-based
+    /// availability (1 = best; recorded when `record_ranks` is set).
+    pub rank_by_usage: Option<u32>,
+    /// Alignment-score rank under request-based availability.
+    pub rank_by_request: Option<u32>,
+}
+
+impl PodOutcome {
+    /// Waiting time in seconds.
+    pub fn wait_seconds(&self) -> f64 {
+        self.wait_ticks as f64 * optum_types::TICK_SECONDS as f64
+    }
+
+    /// Whether the pod was ever placed.
+    pub fn scheduled(&self) -> bool {
+        self.placed_at.is_some()
+    }
+
+    /// Completion-time inflation `(actual − nominal)/nominal`, when
+    /// the pod completed.
+    pub fn inflation(&self) -> Option<f64> {
+        let actual = self.actual_duration? as f64;
+        if self.nominal_duration == 0 {
+            return None;
+        }
+        Some((actual - self.nominal_duration as f64) / self.nominal_duration as f64)
+    }
+}
+
+/// Per-tick cluster aggregate statistics (recorded on a stride).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterTickStats {
+    /// The tick.
+    pub tick: Tick,
+    /// Mean CPU utilization across all hosts.
+    pub mean_cpu_util: f64,
+    /// Maximum CPU utilization across hosts.
+    pub max_cpu_util: f64,
+    /// Mean memory utilization across all hosts.
+    pub mean_mem_util: f64,
+    /// Maximum memory utilization across hosts.
+    pub max_mem_util: f64,
+    /// Hosts with at least one resident pod. Packing quality shows
+    /// here: a scheduler that achieves the same work on fewer active
+    /// hosts saves resources (the objective of Eq. 6 / Fig. 19(a)).
+    pub active_nodes: usize,
+    /// Mean CPU utilization across *active* hosts only.
+    pub mean_cpu_util_active: f64,
+    /// Mean memory utilization across *active* hosts only.
+    pub mean_mem_util_active: f64,
+    /// Pods waiting in the pending queue.
+    pub pending: usize,
+    /// Pods currently running.
+    pub running: usize,
+    /// BE pods submitted during this tick.
+    pub submitted_be: usize,
+    /// LS + LSR pods submitted during this tick.
+    pub submitted_ls: usize,
+    /// Mean per-pod CPU utilization of running BE pods.
+    pub mean_be_pod_util: f64,
+    /// Mean per-pod CPU utilization of running LS/LSR pods.
+    pub mean_ls_pod_util: f64,
+    /// Mean QPS of running LS/LSR pods.
+    pub mean_ls_qps: f64,
+}
+
+/// One sampled point of a pod's recorded time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PodPoint {
+    /// The tick.
+    pub tick: Tick,
+    /// Actual usage.
+    pub usage: Resources,
+    /// CPU PSI windows.
+    pub cpu_psi: PsiWindow,
+    /// Memory PSI windows.
+    pub mem_psi: PsiWindow,
+    /// QPS (LS pods).
+    pub qps: f64,
+    /// Response time in ms (LS pods).
+    pub response_time: f64,
+    /// Hosting node CPU utilization.
+    pub host_cpu_util: f64,
+    /// Hosting node memory utilization.
+    pub host_mem_util: f64,
+    /// Network receive volume proxy.
+    pub rx: f64,
+    /// Network transmit volume proxy.
+    pub tx: f64,
+}
+
+/// A point-in-time snapshot of one node's commitments (drives the
+/// over-commitment-rate distributions of Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSnapshot {
+    /// The node.
+    pub node: NodeId,
+    /// Snapshot tick.
+    pub at: Tick,
+    /// Node capacity.
+    pub capacity: Resources,
+    /// Sum of resident requests.
+    pub requested: Resources,
+    /// Sum of resident limits.
+    pub limits: Resources,
+    /// Actual usage at the snapshot.
+    pub usage: Resources,
+    /// Resident pods.
+    pub pod_count: u32,
+}
+
+/// Capacity-violation accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ViolationStats {
+    /// Node-ticks where raw CPU demand exceeded capacity.
+    pub cpu_node_ticks: u64,
+    /// Node-ticks where raw memory demand exceeded capacity.
+    pub mem_node_ticks: u64,
+    /// Total node-ticks simulated.
+    pub total_node_ticks: u64,
+}
+
+impl ViolationStats {
+    /// Overall violation rate (violating node-ticks per node-tick).
+    pub fn rate(&self) -> f64 {
+        if self.total_node_ticks == 0 {
+            return 0.0;
+        }
+        (self.cpu_node_ticks + self.mem_node_ticks) as f64 / self.total_node_ticks as f64
+    }
+}
+
+/// Everything a simulation run produces.
+pub struct SimResult {
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Per-pod outcomes, indexed by pod id.
+    pub outcomes: Vec<PodOutcome>,
+    /// Strided cluster aggregates.
+    pub cluster_series: Vec<ClusterTickStats>,
+    /// Full time series for sampled pods.
+    pub pod_series: Vec<(PodId, Vec<PodPoint>)>,
+    /// Capacity-violation accounting.
+    pub violations: ViolationStats,
+    /// Predictor-accuracy results (when enabled).
+    pub predictor_errors: Vec<(String, PredictionErrors)>,
+    /// Offline-profiling dataset (when enabled).
+    pub training: Option<TrainingData>,
+    /// Per-node commitment snapshot (when `snapshot_tick` is set).
+    pub node_snapshot: Vec<NodeSnapshot>,
+    /// Last simulated tick (exclusive).
+    pub end_tick: Tick,
+}
+
+impl SimResult {
+    /// Outcomes of pods in a given SLO class.
+    pub fn outcomes_of(&self, slo: SloClass) -> impl Iterator<Item = &PodOutcome> {
+        self.outcomes.iter().filter(move |o| o.slo == slo)
+    }
+
+    /// Mean CPU utilization across the recorded series.
+    pub fn mean_cpu_utilization(&self) -> f64 {
+        if self.cluster_series.is_empty() {
+            return 0.0;
+        }
+        self.cluster_series
+            .iter()
+            .map(|s| s.mean_cpu_util)
+            .sum::<f64>()
+            / self.cluster_series.len() as f64
+    }
+
+    /// Fraction of placed pods among all submitted.
+    pub fn placement_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.scheduled()).count() as f64 / self.outcomes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> PodOutcome {
+        PodOutcome {
+            id: PodId(0),
+            app: AppId(0),
+            slo: SloClass::Be,
+            request: Resources::new(0.02, 0.01),
+            arrival: Tick(10),
+            node: Some(NodeId(3)),
+            placed_at: Some(Tick(14)),
+            wait_ticks: 4,
+            delay_cause: Some(DelayCause::Cpu),
+            completed_at: Some(Tick(100)),
+            nominal_duration: 50,
+            actual_duration: Some(86),
+            worst_psi: 0.2,
+            max_pod_cpu_util: 0.4,
+            max_pod_mem_util: 0.9,
+            max_host_cpu_util: 0.8,
+            max_host_mem_util: 0.6,
+            mean_pod_cpu_util: 0.3,
+            mean_pod_mem_util: 0.8,
+            preemptions: 0,
+            rank_by_usage: None,
+            rank_by_request: None,
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = outcome();
+        assert_eq!(o.wait_seconds(), 120.0);
+        assert!(o.scheduled());
+        assert!((o.inflation().unwrap() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_rate() {
+        let v = ViolationStats {
+            cpu_node_ticks: 5,
+            mem_node_ticks: 5,
+            total_node_ticks: 1000,
+        };
+        assert!((v.rate() - 0.01).abs() < 1e-12);
+        assert_eq!(ViolationStats::default().rate(), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The scheduler interface the simulator drives.
+
+use optum_types::{DelayCause, NodeId, PodSpec};
+
+use crate::view::ClusterView;
+
+/// The outcome of one placement attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Place the pod on this host.
+    Place(NodeId),
+    /// No acceptable host this round; retry later. The cause feeds the
+    /// delay attribution of Fig. 9(b).
+    Unplaceable(DelayCause),
+}
+
+/// A unified scheduler: given a pending pod and the cluster state,
+/// pick a host (or decline).
+///
+/// The simulator calls [`Scheduler::select_node`] once per pending pod
+/// per tick (budget permitting), in SLO-priority order, updating the
+/// cluster view between calls. [`Scheduler::on_tick`] runs once per
+/// tick before scheduling, for bookkeeping (profile updates, window
+/// maintenance).
+pub trait Scheduler {
+    /// Display name (used in result labeling).
+    fn name(&self) -> String;
+
+    /// Chooses a host for `pod`, or declines with a cause.
+    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision;
+
+    /// Per-tick bookkeeping hook.
+    fn on_tick(&mut self, view: &ClusterView<'_>) {
+        let _ = view;
+    }
+}
+
+/// Blanket impl so boxed schedulers can be passed around.
+impl Scheduler for Box<dyn Scheduler> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+        self.as_mut().select_node(pod, view)
+    }
+
+    fn on_tick(&mut self, view: &ClusterView<'_>) {
+        self.as_mut().on_tick(view)
+    }
+}

@@ -1,0 +1,185 @@
+//! The cluster state a scheduler sees at decision time.
+
+use optum_predictors::{NodeObservation, PodInfo, UsagePredictor};
+use optum_types::{ClusterConfig, Resources, Tick};
+
+use crate::appstats::AppStatsStore;
+use crate::node::NodeRuntime;
+
+/// Read-only view of the cluster handed to schedulers.
+pub struct ClusterView<'a> {
+    /// Current tick.
+    pub tick: Tick,
+    /// All hosts with their runtime state.
+    pub nodes: &'a [NodeRuntime],
+    /// Live per-application statistics (a [`ProfileSource`]).
+    ///
+    /// [`ProfileSource`]: optum_predictors::ProfileSource
+    pub apps: &'a AppStatsStore,
+    /// Cluster configuration (capacities, memory guard).
+    pub cluster: &'a ClusterConfig,
+    /// Ticks of usage history exposed through observations.
+    pub history_window: usize,
+    /// Per-application affinity fractions (empty slice = no affinity
+    /// constraints; every app admits every node).
+    pub affinity: &'a [f64],
+}
+
+impl<'a> ClusterView<'a> {
+    /// Whether `app`'s affinity admits `node` (§2.1: candidates are
+    /// the affinity-satisfying nodes).
+    pub fn allows(&self, app: optum_types::AppId, node: optum_types::NodeId) -> bool {
+        match self.affinity.get(app.index()) {
+            Some(&f) => optum_trace::affinity_allows(app.0, node.0, f),
+            None => true,
+        }
+    }
+
+    /// A predictor observation of one host as-is.
+    pub fn observation(&self, node: &'a NodeRuntime) -> NodeObservation<'a> {
+        NodeObservation {
+            capacity: node.spec.capacity,
+            pods: node.pod_infos(),
+            cpu_history: node.cpu_window(self.history_window),
+            mem_history: node.mem_window(self.history_window),
+        }
+    }
+
+    /// A predictor observation of one host *as if* `extra` had just
+    /// been placed on it; `buf` is a caller-owned scratch buffer reused
+    /// across candidates to avoid per-candidate allocation.
+    pub fn observation_plus<'b>(
+        &self,
+        node: &'b NodeRuntime,
+        extra: PodInfo,
+        buf: &'b mut Vec<PodInfo>,
+    ) -> NodeObservation<'b>
+    where
+        'a: 'b,
+    {
+        buf.clear();
+        buf.extend_from_slice(node.pod_infos());
+        buf.push(extra);
+        NodeObservation {
+            capacity: node.spec.capacity,
+            pods: buf,
+            cpu_history: node.cpu_window(self.history_window),
+            mem_history: node.mem_window(self.history_window),
+        }
+    }
+
+    /// Convenience: predicted usage of a host after hypothetically
+    /// adding `extra`.
+    pub fn predict_plus(
+        &self,
+        predictor: &dyn UsagePredictor,
+        node: &NodeRuntime,
+        extra: PodInfo,
+        buf: &mut Vec<PodInfo>,
+    ) -> Resources {
+        let obs = self.observation_plus(node, extra, buf);
+        predictor.predict(&obs, self.apps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeRuntime, ResidentPod};
+    use optum_predictors::{BorgDefault, PodInfo};
+    use optum_types::{AppId, NodeId, NodeSpec, PodId, Resources, SloClass, Tick};
+
+    fn fixture() -> (Vec<NodeRuntime>, AppStatsStore, ClusterConfig) {
+        let mut node = NodeRuntime::new(NodeSpec::standard(NodeId(0)));
+        node.add_pod(ResidentPod {
+            id: PodId(1),
+            app: AppId(0),
+            slo: SloClass::Ls,
+            request: Resources::new(0.2, 0.1),
+            limit: Resources::new(0.4, 0.2),
+            placed_at: Tick(0),
+        });
+        node.push_usage(Resources::new(0.1, 0.05));
+        (
+            vec![node],
+            AppStatsStore::new(2),
+            ClusterConfig::homogeneous(1),
+        )
+    }
+
+    #[test]
+    fn observation_reflects_node_state() {
+        let (nodes, apps, cluster) = fixture();
+        let view = ClusterView {
+            tick: Tick(1),
+            nodes: &nodes,
+            apps: &apps,
+            cluster: &cluster,
+            history_window: 8,
+            affinity: &[],
+        };
+        let obs = view.observation(&nodes[0]);
+        assert_eq!(obs.pods.len(), 1);
+        assert_eq!(obs.cpu_history, &[0.1]);
+        assert_eq!(obs.mem_history, &[0.05]);
+    }
+
+    #[test]
+    fn observation_plus_appends_without_mutating_node() {
+        let (nodes, apps, cluster) = fixture();
+        let view = ClusterView {
+            tick: Tick(1),
+            nodes: &nodes,
+            apps: &apps,
+            cluster: &cluster,
+            history_window: 8,
+            affinity: &[],
+        };
+        let extra = PodInfo {
+            app: AppId(1),
+            request: Resources::new(0.3, 0.2),
+            limit: Resources::new(0.6, 0.4),
+        };
+        let mut buf = Vec::new();
+        let pred = view.predict_plus(&BorgDefault::conservative(), &nodes[0], extra, &mut buf);
+        // Conservative Borg: sum of requests including the newcomer.
+        assert!((pred.cpu - 0.5).abs() < 1e-12);
+        assert!((pred.mem - 0.30000000000000004).abs() < 1e-12);
+        assert_eq!(nodes[0].pod_infos().len(), 1, "node untouched");
+    }
+
+    #[test]
+    fn affinity_defaults_open_and_respects_fractions() {
+        let (nodes, apps, cluster) = fixture();
+        let view = ClusterView {
+            tick: Tick(1),
+            nodes: &nodes,
+            apps: &apps,
+            cluster: &cluster,
+            history_window: 8,
+            affinity: &[],
+        };
+        assert!(
+            view.allows(AppId(0), NodeId(0)),
+            "no constraints when empty"
+        );
+
+        let fractions = vec![0.0, 1.0];
+        let view2 = ClusterView {
+            tick: Tick(1),
+            nodes: &nodes,
+            apps: &apps,
+            cluster: &cluster,
+            history_window: 8,
+            affinity: &fractions,
+        };
+        assert!(
+            !view2.allows(AppId(0), NodeId(0)),
+            "zero fraction admits nothing"
+        );
+        assert!(
+            view2.allows(AppId(1), NodeId(0)),
+            "unit fraction admits everything"
+        );
+    }
+}

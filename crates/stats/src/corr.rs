@@ -1,0 +1,235 @@
+//! Correlation coefficients.
+//!
+//! Figures 13–16 of the paper plot distributions of the correlation
+//! between pod performance and OS-level metrics across applications.
+
+use crate::describe::{mean, stddev};
+
+/// Pearson product-moment correlation between two equal-length samples.
+///
+/// Returns `None` when the slices differ in length, hold fewer than two
+/// points, or either side has zero variance (the coefficient is
+/// undefined there).
+///
+/// # Examples
+///
+/// ```
+/// use optum_stats::pearson;
+///
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [2.0, 4.0, 6.0];
+/// assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let (sx, sy) = (stddev(xs), stddev(ys));
+    if sx == 0.0 || sy == 0.0 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let covariance = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / n;
+    Some((covariance / (sx * sy)).clamp(-1.0, 1.0))
+}
+
+/// Ranks a sample with average ranks for ties (1-based, fractional).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // Find the run of tied values starting at i.
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Average rank of positions i..=j (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson over average-tied ranks).
+///
+/// More robust than Pearson for the monotone-but-nonlinear
+/// relationships PSI exhibits with utilization.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys).any(|v| v.is_nan()) {
+        return None;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(spearman(&[1.0, f64::NAN], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear() {
+        let x: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        // Pearson < 1 on a convex curve; Spearman exactly 1.
+        assert!(pearson(&x, &y).unwrap() < 0.999);
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_ranks_averaged() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn known_value() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        // Spearman of this permutation: 1 - 6*sum(d^2)/(n(n^2-1)), d = (1,-1,1,-1,0).
+        let expected = 1.0 - 6.0 * 4.0 / (5.0 * 24.0);
+        assert!((spearman(&x, &y).unwrap() - expected).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_symmetric_and_bounded(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&xs, &ys) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+                let r2 = pearson(&ys, &xs).unwrap();
+                prop_assert!((r - r2).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn correlation_invariant_to_affine_map(
+            pairs in proptest::collection::vec((-1e2f64..1e2, -1e2f64..1e2), 3..50),
+            a in 0.1f64..10.0,
+            b in -1e2f64..1e2,
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            if let (Some(r1), Some(r2)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
+                prop_assert!((r1 - r2).abs() < 1e-6);
+            }
+        }
+    }
+}
+
+/// Kendall's tau-b rank correlation.
+///
+/// More robust than Spearman for small samples with many ties; used by
+/// downstream analyses that compare ordering stability of scheduler
+/// scores.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys).any(|v| v.is_nan()) {
+        return None;
+    }
+    let n = xs.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                ties_x += 1;
+                ties_y += 1;
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as i64;
+    let denom = (((total - ties_x) as f64) * ((total - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / denom)
+}
+
+#[cfg(test)]
+mod kendall_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_orderings() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_ties() {
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall_tau(&x, &y).unwrap();
+        assert!(tau > 0.7 && tau <= 1.0, "tau {tau}");
+    }
+
+    #[test]
+    fn undefined_cases() {
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), None);
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(kendall_tau(&[1.0, f64::NAN], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn agrees_with_spearman_direction() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v * 0.3).sin() + v * 0.1).collect();
+        let tau = kendall_tau(&x, &y).unwrap();
+        let rho = spearman(&x, &y).unwrap();
+        assert_eq!(tau.signum(), rho.signum());
+    }
+}

@@ -1,0 +1,166 @@
+//! Descriptive statistics: mean, variance, CoV, summaries.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(optum_stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation: standard deviation divided by mean
+/// (§3.3.1 of the paper quantifies within-application consistency with
+/// this). Returns `None` when the mean is zero or the slice is empty,
+/// since the ratio is undefined there.
+///
+/// # Examples
+///
+/// ```
+/// use optum_stats::coefficient_of_variation;
+///
+/// // Identical samples: CoV = 0 (perfectly consistent behavior).
+/// assert_eq!(coefficient_of_variation(&[2.0, 2.0, 2.0]), Some(0.0));
+/// assert_eq!(coefficient_of_variation(&[]), None);
+/// ```
+pub fn coefficient_of_variation(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let m = mean(xs);
+    if m == 0.0 {
+        return None;
+    }
+    Some(stddev(xs) / m.abs())
+}
+
+/// A one-pass numeric summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice; returns `None` when empty.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary {
+            count: xs.len(),
+            mean: mean(xs),
+            std: stddev(xs),
+            min,
+            max,
+        })
+    }
+
+    /// Coefficient of variation of the summarized sample, if defined.
+    pub fn cov(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std / self.mean.abs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(stddev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), None);
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn cov_matches_manual() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let cov = coefficient_of_variation(&xs).unwrap();
+        assert!((cov - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_undefined_for_zero_mean() {
+        assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 3.0, 5.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.cov(), Some(s.std / 3.0));
+    }
+
+    proptest! {
+        #[test]
+        fn variance_is_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::of(&xs).unwrap();
+            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        }
+
+        #[test]
+        fn shifting_does_not_change_variance(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            shift in -1e3f64..1e3,
+        ) {
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            prop_assert!((variance(&xs) - variance(&shifted)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Nearly every characterization figure in the paper is a CDF; this
+//! module provides the one implementation they all share.
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts the sample once; evaluation is `O(log n)`.
+/// NaN samples are rejected at construction.
+///
+/// # Examples
+///
+/// ```
+/// use optum_stats::Ecdf;
+///
+/// let cdf = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+/// assert_eq!(cdf.eval(2.0), 0.4);
+/// assert_eq!(cdf.quantile(0.5), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample. Returns `None` when the sample is
+    /// empty or contains NaN.
+    pub fn new(mut samples: Vec<f64>) -> Option<Ecdf> {
+        if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Some(Ecdf { sorted: samples })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the ECDF holds no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // `partition_point` returns the count of samples <= x.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X > x)` — the survival function, used for tail plots.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]` (nearest-rank; `q = 0` gives
+    /// the minimum, `q = 1` the maximum).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let rank = (q * (self.sorted.len() as f64 - 1.0)).round() as usize;
+        self.sorted[rank.min(self.sorted.len() - 1)]
+    }
+
+    /// The p-th percentile, `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Emits `(x, F(x))` pairs at every sample point — the series a
+    /// figure plots.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Emits `(x, F(x))` pairs at `points` evenly spaced x-positions
+    /// spanning the sample range — a fixed-size series for reporting.
+    pub fn curve_sampled(&self, points: usize) -> Vec<(f64, f64)> {
+        let (lo, hi) = (self.min(), self.max());
+        if points <= 1 || hi <= lo {
+            return vec![(lo, self.eval(lo))];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_counts_inclusive() {
+        let cdf = Ecdf::new(vec![1.0, 1.0, 2.0, 5.0]).unwrap();
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.5);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(10.0), 1.0);
+        assert_eq!(cdf.survival(1.0), 0.5);
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(vec![]).is_none());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn quantiles_hit_order_statistics() {
+        let cdf = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.5), 30.0);
+        assert_eq!(cdf.quantile(1.0), 50.0);
+        assert_eq!(cdf.percentile(99.0), 50.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let cdf = Ecdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+        let curve = cdf.curve();
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve.last().unwrap().1, 1.0);
+        assert!(curve
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn curve_sampled_fixed_size() {
+        let cdf = Ecdf::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let pts = cdf.curve_sampled(11);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[10].0, 3.0);
+    }
+
+    #[test]
+    fn degenerate_single_sample() {
+        let cdf = Ecdf::new(vec![7.0]).unwrap();
+        assert_eq!(cdf.quantile(0.3), 7.0);
+        assert_eq!(cdf.curve_sampled(5), vec![(7.0, 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_is_monotone(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            a in -1e6f64..1e6,
+            b in -1e6f64..1e6,
+        ) {
+            let cdf = Ecdf::new(xs).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(cdf.eval(lo) <= cdf.eval(hi));
+        }
+
+        #[test]
+        fn quantile_of_eval_brackets_x(xs in proptest::collection::vec(0f64..1e3, 2..100)) {
+            let cdf = Ecdf::new(xs.clone()).unwrap();
+            for &x in &xs {
+                // x must lie within [min, max] and eval stays in [0,1].
+                let f = cdf.eval(x);
+                prop_assert!((0.0..=1.0).contains(&f));
+                prop_assert!(cdf.quantile(f) >= cdf.min() && cdf.quantile(f) <= cdf.max());
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Prediction-error metrics.
+//!
+//! The paper evaluates its resource-usage predictors with the signed
+//! relative error `(R̂ᵤ − Rᵤ)/Rᵤ` (§3.2.2) and its interference
+//! profilers with MAPE (§5.2).
+
+/// Signed relative error `(predicted − actual) / actual`.
+///
+/// Positive values over-estimate (waste resources); negative values
+/// under-estimate (risk performance degradation). Returns `None` when
+/// `actual` is zero.
+pub fn relative_error(predicted: f64, actual: f64) -> Option<f64> {
+    if actual == 0.0 {
+        return None;
+    }
+    Some((predicted - actual) / actual)
+}
+
+/// Mean absolute percentage error over paired samples; skips pairs with
+/// zero actual value. Returns `None` when no valid pair remains or the
+/// lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use optum_stats::mape;
+///
+/// let m = mape(&[110.0, 90.0], &[100.0, 100.0]).unwrap();
+/// assert!((m - 0.1).abs() < 1e-12);
+/// ```
+pub fn mape(predicted: &[f64], actual: &[f64]) -> Option<f64> {
+    if predicted.len() != actual.len() {
+        return None;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&p, &a) in predicted.iter().zip(actual) {
+        if a != 0.0 {
+            sum += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Mean absolute error; `None` on length mismatch or empty input.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> Option<f64> {
+    if predicted.len() != actual.len() || predicted.is_empty() {
+        return None;
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum();
+    Some(sum / predicted.len() as f64)
+}
+
+/// Root-mean-square error; `None` on length mismatch or empty input.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> Option<f64> {
+    if predicted.len() != actual.len() || predicted.is_empty() {
+        return None;
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    Some((sum / predicted.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relative_error_signs() {
+        assert_eq!(relative_error(150.0, 100.0), Some(0.5));
+        assert_eq!(relative_error(75.0, 100.0), Some(-0.25));
+        assert_eq!(relative_error(1.0, 0.0), None);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let m = mape(&[1.0, 5.0], &[0.0, 4.0]).unwrap();
+        assert!((m - 0.25).abs() < 1e-12);
+        assert_eq!(mape(&[1.0], &[0.0]), None);
+        assert_eq!(mape(&[1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn mae_rmse_basic() {
+        let p = [1.0, 2.0, 3.0];
+        let a = [2.0, 2.0, 1.0];
+        assert_eq!(mae(&p, &a), Some(1.0));
+        let expected = ((1.0f64 + 0.0 + 4.0) / 3.0).sqrt();
+        assert!((rmse(&p, &a).unwrap() - expected).abs() < 1e-12);
+        assert_eq!(mae(&[], &[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn rmse_at_least_mae(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..100)
+        ) {
+            let p: Vec<f64> = pairs.iter().map(|x| x.0).collect();
+            let a: Vec<f64> = pairs.iter().map(|x| x.1).collect();
+            prop_assert!(rmse(&p, &a).unwrap() + 1e-9 >= mae(&p, &a).unwrap());
+        }
+
+        #[test]
+        fn perfect_prediction_has_zero_error(xs in proptest::collection::vec(0.1f64..1e3, 1..50)) {
+            prop_assert_eq!(mape(&xs, &xs), Some(0.0));
+            prop_assert_eq!(mae(&xs, &xs), Some(0.0));
+            prop_assert_eq!(rmse(&xs, &xs), Some(0.0));
+        }
+    }
+}

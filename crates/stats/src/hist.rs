@@ -1,0 +1,157 @@
+//! Fixed-bin histograms and binned aggregation.
+
+/// A histogram over `[lo, hi)` with equal-width bins; values outside the
+/// range are clamped into the edge bins so no sample is lost.
+///
+/// # Examples
+///
+/// ```
+/// use optum_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.add(1.0);
+/// h.add(1.5);
+/// h.add(9.0);
+/// assert_eq!(h.counts(), &[2, 0, 0, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram; `None` when the range is empty or
+    /// `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Histogram> {
+        // The negated form also rejects NaN bounds, deliberately.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(lo < hi) || bins == 0 {
+            return None;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Index of the bin a value falls into (clamped to the edges).
+    pub fn bin_of(&self, x: f64) -> usize {
+        let bins = self.counts.len();
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        (idx.max(0.0) as usize).min(bins - 1)
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center x-coordinate of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Fraction of samples per bin; zeros if the histogram is empty.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// Groups `(x, y)` pairs into equal-width x-bins and returns the mean y
+/// per non-empty bin as `(bin_center, mean_y, count)` — the aggregation
+/// behind Fig. 9(a)'s "average waiting time per request-size bucket".
+pub fn binned_mean(pairs: &[(f64, f64)], lo: f64, hi: f64, bins: usize) -> Vec<(f64, f64, usize)> {
+    let Some(hist) = Histogram::new(lo, hi, bins) else {
+        return Vec::new();
+    };
+    let mut sums = vec![0.0; bins];
+    let mut counts = vec![0usize; bins];
+    for &(x, y) in pairs {
+        let b = hist.bin_of(x);
+        sums[b] += y;
+        counts[b] += 1;
+    }
+    (0..bins)
+        .filter(|&b| counts[b] > 0)
+        .map(|b| (hist.bin_center(b), sums[b] / counts[b] as f64, counts[b]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_bad_ranges() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 3).unwrap();
+        for i in 0..9 {
+            h.add(i as f64);
+        }
+        let f = h.frequencies();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn binned_mean_groups() {
+        let pairs = [(0.5, 10.0), (0.6, 20.0), (2.5, 5.0)];
+        let out = binned_mean(&pairs, 0.0, 3.0, 3);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (0.5, 15.0, 2));
+        assert_eq!(out[1], (2.5, 5.0, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn no_sample_lost(xs in proptest::collection::vec(-1e3f64..1e3, 0..200)) {
+            let mut h = Histogram::new(0.0, 1.0, 7).unwrap();
+            for &x in &xs {
+                h.add(x);
+            }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+    }
+}

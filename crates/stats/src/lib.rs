@@ -1,0 +1,27 @@
+//! Statistics toolkit and random samplers.
+//!
+//! Everything the characterization study (§3 of the paper) needs to
+//! compute its figures — empirical CDFs, coefficients of variation,
+//! Pearson/Spearman correlations, histograms, prediction-error metrics —
+//! plus the random distributions the synthetic trace generator draws
+//! from (normal, lognormal, Pareto, Zipf, diurnal curves).
+//!
+//! The offline crate registry has no `rand_distr` or math crates, so the
+//! samplers are implemented here from first principles (Box–Muller,
+//! inverse-CDF transforms).
+
+pub mod corr;
+pub mod describe;
+pub mod dist;
+pub mod ecdf;
+pub mod error_metrics;
+pub mod hist;
+pub mod rolling;
+
+pub use corr::{kendall_tau, pearson, spearman};
+pub use describe::{coefficient_of_variation, mean, stddev, variance, Summary};
+pub use dist::{BoundedPareto, Diurnal, Exponential, LogNormal, Normal, Pareto, Sampler, Zipf};
+pub use ecdf::Ecdf;
+pub use error_metrics::{mae, mape, relative_error, rmse};
+pub use hist::Histogram;
+pub use rolling::RollingWindow;

@@ -1,0 +1,57 @@
+//! Scratch calibration: prints aggregate workload statistics.
+use optum_trace::{generate, WorkloadConfig};
+use optum_types::{SloClass, Tick, TICKS_PER_DAY};
+
+fn main() {
+    let hosts = 200usize;
+    let cfg = WorkloadConfig::sized(hosts, 8, 42);
+    let w = generate(&cfg).unwrap();
+    println!("apps: {}  pods: {}", w.apps.len(), w.pods.len());
+    for (c, n) in w.slo_distribution() {
+        println!(
+            "  {c}: {n} ({:.1}%)",
+            100.0 * n as f64 / w.pods.len() as f64
+        );
+    }
+    for day in [1u64, 4] {
+        for hour in [6u64, 18] {
+            let t = Tick(day * TICKS_PER_DAY + hour * 120);
+            let mut resident = 0usize;
+            let (mut cpu_u, mut mem_u, mut cpu_r, mut mem_r) = (0.0, 0.0, 0.0, 0.0);
+            let mut be_res = 0usize;
+            let mut be_cpu = 0.0;
+            for p in &w.pods {
+                let end = p.spec.arrival.0 + p.spec.nominal_duration.unwrap_or(u64::MAX);
+                if p.spec.arrival.0 <= t.0 && t.0 < end {
+                    resident += 1;
+                    let app = w.app_of(p);
+                    cpu_u += app.pod_cpu_usage(p, t);
+                    mem_u += app.pod_mem_usage(p, t);
+                    cpu_r += p.spec.request.cpu;
+                    mem_r += p.spec.request.mem;
+                    if p.spec.slo == SloClass::Be {
+                        be_res += 1;
+                        be_cpu += app.pod_cpu_usage(p, t);
+                    }
+                }
+            }
+            let h = hosts as f64;
+            println!("d{day}h{hour}: resident/host {:.1} (BE {:.2}) | cpu_use/host {:.3} (BE {:.4}) mem_use {:.3} | cpu_req/host {:.2} mem_req {:.2}",
+                resident as f64 / h, be_res as f64 / h, cpu_u / h, be_cpu / h, mem_u / h, cpu_r / h, mem_r / h);
+        }
+    }
+    let mut per_min = std::collections::HashMap::new();
+    for p in &w.pods {
+        *per_min.entry(p.spec.arrival.minute()).or_insert(0u64) += 1;
+    }
+    let mut counts: Vec<u64> = per_min.values().copied().collect();
+    counts.sort();
+    let q = |f: f64| counts[((counts.len() - 1) as f64 * f) as usize];
+    println!(
+        "arrivals/min: p50 {} p90 {} p99 {} max {}",
+        q(0.5),
+        q(0.9),
+        q(0.99),
+        q(1.0)
+    );
+}

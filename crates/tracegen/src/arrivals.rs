@@ -1,0 +1,176 @@
+//! Pod arrival-stream generation.
+//!
+//! Long-running classes (LS/LSR/Unknown/System/VMEnv) maintain a steady
+//! replica count with exponential-lifetime churn, which yields the
+//! near-constant LS submission rate of Fig. 3(a). Best-effort jobs
+//! arrive as a non-homogeneous Poisson process anti-phase to the LS
+//! diurnal, each spawning a heavy-tailed burst of tasks — producing the
+//! heavy-tailed per-minute submission counts of Fig. 7.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use optum_stats::{Exponential, LogNormal, Sampler};
+use optum_types::{PodId, PodSpec, Resources, Tick};
+
+use crate::config::WorkloadConfig;
+use crate::population::{AppKind, AppProfile, GeneratedPod};
+
+/// Draws a Poisson count with mean `lambda` (Knuth's method; fine for
+/// the per-tick rates used here, which are ≪ 30).
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Builds the pod spec shared by every pod of `app`.
+fn spec_for(app: &AppProfile, id: u32, arrival: Tick, duration: Option<u64>) -> PodSpec {
+    PodSpec {
+        id: PodId(id),
+        app: app.id,
+        slo: app.slo,
+        request: Resources::new(app.cpu_request, app.mem_request),
+        limit: Resources::new(
+            app.cpu_request * app.limit_factor,
+            app.mem_request * app.limit_factor,
+        ),
+        arrival,
+        nominal_duration: duration,
+    }
+}
+
+/// Generates the full pod stream for one long-running application:
+/// each replica slot is a renewal chain of pods with exponential
+/// lifetimes, replaced on death until the window closes.
+fn long_running_pods(
+    app: &AppProfile,
+    config: &WorkloadConfig,
+    next_id: &mut u32,
+    rng: &mut StdRng,
+    rt_sigma: f64,
+    out: &mut Vec<GeneratedPod>,
+) {
+    let window = config.window_ticks();
+    let lifetime =
+        Exponential::new(1.0 / app.mean_lifetime_ticks().max(1.0)).expect("positive lifetime");
+    let input_dist = LogNormal::from_median(1.0, 0.08).expect("valid params");
+    let rt_dist = LogNormal::from_median(1.0, rt_sigma).expect("valid params");
+    for _slot in 0..app.replicas() {
+        // Initial replicas ramp in over the first twelve hours (a
+        // cluster fills gradually; a cold-start burst would smear
+        // placements across every host before any packing signal
+        // exists).
+        let mut t = rng.gen_range(0..12 * optum_types::TICKS_PER_HOUR);
+        while t < window {
+            let life = lifetime.sample(rng).max(optum_types::TICKS_PER_HOUR as f64) as u64;
+            let pod = GeneratedPod {
+                spec: spec_for(app, *next_id, Tick(t), Some(life)),
+                input_factor: input_dist.sample(rng),
+                rt_factor: rt_dist.sample(rng),
+            };
+            *next_id += 1;
+            out.push(pod);
+            // The replacement is submitted one tick after the death.
+            t = t.saturating_add(life).saturating_add(1);
+        }
+    }
+}
+
+/// Generates the pod stream for one best-effort application: jobs
+/// arrive Poisson at the app's diurnal rate; each spawns a heavy-tailed
+/// burst of tasks whose nominal work scales with their input size.
+fn best_effort_pods(
+    app: &AppProfile,
+    config: &WorkloadConfig,
+    next_id: &mut u32,
+    rng: &mut StdRng,
+    out: &mut Vec<GeneratedPod>,
+) {
+    let AppKind::Be(params) = &app.kind else {
+        return;
+    };
+    let window = config.window_ticks();
+    let input_dist = LogNormal::from_median(1.0, config.be_input_sigma).expect("valid params");
+    for t in 0..window {
+        let hour = Tick(t).hour_of_day();
+        let jobs = poisson(rng, params.job_rate.at(hour));
+        for _ in 0..jobs {
+            let tasks = params.tasks_per_job.sample(rng).round().max(1.0) as u64;
+            for k in 0..tasks {
+                // Tasks of one job trickle in over a couple of ticks.
+                let arrival = Tick((t + k % 3).min(window - 1));
+                let input = input_dist.sample(rng);
+                // Bigger inputs mean proportionally more work.
+                let work = (params.duration.sample(rng) * input.sqrt())
+                    .round()
+                    .max(1.0) as u64;
+                let pod = GeneratedPod {
+                    spec: spec_for(app, *next_id, arrival, Some(work)),
+                    input_factor: input,
+                    rt_factor: 1.0,
+                };
+                *next_id += 1;
+                out.push(pod);
+            }
+        }
+    }
+}
+
+/// Generates the complete pod arrival stream across all applications,
+/// sorted by arrival tick, with ids equal to vector positions.
+pub fn generate_pods(
+    config: &WorkloadConfig,
+    apps: &[AppProfile],
+    rng: &mut StdRng,
+) -> Vec<GeneratedPod> {
+    let mut out = Vec::new();
+    let mut next_id = 0u32;
+    for app in apps {
+        match &app.kind {
+            AppKind::Be(_) => best_effort_pods(app, config, &mut next_id, rng, &mut out),
+            AppKind::Ls(_) => {
+                // Per-app RT spread: some services have deep call
+                // chains (high CoV), some are shallow.
+                let rt_sigma = rng.gen_range(0.6..1.1);
+                long_running_pods(app, config, &mut next_id, rng, rt_sigma, &mut out);
+            }
+            AppKind::Other(_) => {
+                long_running_pods(app, config, &mut next_id, rng, 0.1, &mut out);
+            }
+        }
+    }
+    out.sort_by_key(|p| p.spec.arrival);
+    // Re-key ids to sorted positions so PodId doubles as an index.
+    for (i, pod) in out.iter_mut().enumerate() {
+        pod.spec.id = PodId(i as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 2.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Workload persistence.
+//!
+//! Generated workloads serialize to JSON so an experiment's exact
+//! trace can be archived, shared, and replayed byte-identically —
+//! generation is already deterministic per seed, but an archived trace
+//! also survives generator changes.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use optum_types::{Error, Result};
+
+use crate::workload::Workload;
+
+/// Serializes a workload to a JSON string.
+pub fn to_json(workload: &Workload) -> Result<String> {
+    serde_json::to_string(workload)
+        .map_err(|e| Error::InvalidData(format!("serialize workload: {e}")))
+}
+
+/// Deserializes a workload from a JSON string.
+pub fn from_json(json: &str) -> Result<Workload> {
+    serde_json::from_str(json).map_err(|e| Error::InvalidData(format!("deserialize workload: {e}")))
+}
+
+/// Writes a workload to a JSON file.
+pub fn save(workload: &Workload, path: impl AsRef<Path>) -> Result<()> {
+    let file = File::create(path.as_ref())
+        .map_err(|e| Error::InvalidData(format!("create {}: {e}", path.as_ref().display())))?;
+    serde_json::to_writer(BufWriter::new(file), workload)
+        .map_err(|e| Error::InvalidData(format!("write workload: {e}")))
+}
+
+/// Reads a workload from a JSON file.
+pub fn load(path: impl AsRef<Path>) -> Result<Workload> {
+    let file = File::open(path.as_ref())
+        .map_err(|e| Error::InvalidData(format!("open {}: {e}", path.as_ref().display())))?;
+    serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| Error::InvalidData(format!("read workload: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, WorkloadConfig};
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let w = generate(&WorkloadConfig::sized(10, 1, 5)).unwrap();
+        let json = to_json(&w).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let w = generate(&WorkloadConfig::sized(10, 1, 6)).unwrap();
+        let dir = std::env::temp_dir().join("optum_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.json");
+        save(&w, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(w, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("{not json").is_err());
+        assert!(load("/nonexistent/definitely/missing.json").is_err());
+    }
+}

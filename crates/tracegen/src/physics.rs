@@ -1,0 +1,99 @@
+//! Deterministic noise primitives for the ground-truth physics.
+//!
+//! Physics noise must be a pure function of identity and time — never
+//! of RNG consumption order — so that two schedulers evaluated on the
+//! same workload face *identical* conditions and their outcomes differ
+//! only by their decisions. The generator hashes (seed, entity, tick)
+//! through SplitMix64 to get reproducible pseudo-random values.
+
+/// SplitMix64: a fast, well-distributed 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pseudo-random value in `[0, 1)` keyed by
+/// `(seed, a, b)`.
+///
+/// # Examples
+///
+/// ```
+/// use optum_trace::hash_noise;
+///
+/// let u = hash_noise(7, 3, 100);
+/// assert!((0.0..1.0).contains(&u));
+/// assert_eq!(u, hash_noise(7, 3, 100));
+/// assert_ne!(u, hash_noise(7, 3, 101));
+/// ```
+pub fn hash_noise(seed: u64, a: u64, b: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(a ^ splitmix64(b)));
+    // Take the top 53 bits for a uniform double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic value in `[-amplitude, +amplitude]`.
+pub fn hash_noise_signed(seed: u64, a: u64, b: u64, amplitude: f64) -> f64 {
+    (hash_noise(seed, a, b) * 2.0 - 1.0) * amplitude
+}
+
+/// Logistic sigmoid, the saturating nonlinearity of the PSI physics.
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Whether an application's affinity admits a node.
+///
+/// Unified requests carry affinity requirements (§2.1: "the scheduler
+/// first selects the nodes satisfying the affinity as the candidate
+/// nodes"); Fig. 9(b) attributes a sizeable share of scheduling delays
+/// to them. Each application is deterministically admitted to a
+/// `fraction` of the fleet via the same hash family as the physics
+/// noise, so every scheduler sees identical affinity sets.
+pub fn affinity_allows(app: u32, node: u32, fraction: f64) -> bool {
+    fraction >= 1.0 || hash_noise(0xAFF1_517E, app as u64, node as u64) < fraction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn noise_is_deterministic_and_keyed() {
+        assert_eq!(hash_noise(1, 2, 3), hash_noise(1, 2, 3));
+        assert_ne!(hash_noise(1, 2, 3), hash_noise(2, 2, 3));
+        assert_ne!(hash_noise(1, 2, 3), hash_noise(1, 3, 2));
+    }
+
+    #[test]
+    fn noise_is_roughly_uniform() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| hash_noise(42, i, 7)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let below_025 = (0..n).filter(|&i| hash_noise(42, i, 7) < 0.25).count() as f64 / n as f64;
+        assert!((below_025 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn sigmoid_shape() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+    }
+
+    proptest! {
+        #[test]
+        fn signed_noise_within_amplitude(a in 0u64..1000, b in 0u64..1000, amp in 0f64..10.0) {
+            let v = hash_noise_signed(9, a, b, amp);
+            prop_assert!(v.abs() <= amp);
+        }
+
+        #[test]
+        fn unsigned_noise_in_unit_interval(s in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+            let v = hash_noise(s, a, b);
+            prop_assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Workload assembly: application population plus pod arrival stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use optum_stats::{BoundedPareto, Diurnal, LogNormal, Sampler};
+use optum_types::{AppId, Error, Result, SloClass};
+
+use crate::arrivals::generate_pods;
+use crate::config::WorkloadConfig;
+use crate::population::{AppKind, AppProfile, BeParams, LsParams, OtherParams};
+
+pub use crate::population::GeneratedPod;
+
+/// A complete generated workload: the application population and every
+/// pod submitted over the trace window (sorted by arrival; a pod's id
+/// is its index).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The generator configuration this workload was built from.
+    pub config: WorkloadConfig,
+    /// Application profiles, indexed by [`AppId`].
+    pub apps: Vec<AppProfile>,
+    /// All pods, sorted by arrival tick.
+    pub pods: Vec<GeneratedPod>,
+}
+
+impl Workload {
+    /// The profile of an application.
+    pub fn app(&self, id: AppId) -> &AppProfile {
+        &self.apps[id.index()]
+    }
+
+    /// The profile of the application owning a pod.
+    pub fn app_of(&self, pod: &GeneratedPod) -> &AppProfile {
+        self.app(pod.spec.app)
+    }
+
+    /// Count of pods per SLO class (the data behind Fig. 2(b)).
+    pub fn slo_distribution(&self) -> Vec<(SloClass, usize)> {
+        SloClass::ALL
+            .iter()
+            .map(|&class| {
+                (
+                    class,
+                    self.pods.iter().filter(|p| p.spec.slo == class).count(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Rounds a scaled density to a count, keeping at least one app for
+/// any positive density.
+fn scaled_count(density: f64, scale: f64) -> usize {
+    if density <= 0.0 {
+        return 0;
+    }
+    (density * scale).round().max(1.0) as usize
+}
+
+/// Draws a replica count around `mean` with moderate spread.
+fn draw_replicas(rng: &mut StdRng, mean: f64) -> usize {
+    let dist = LogNormal::from_median(mean * 0.85, 0.5).expect("positive mean");
+    (dist.sample(rng).round() as usize).clamp(2, 250)
+}
+
+fn build_ls_app(id: u32, slo: SloClass, config: &WorkloadConfig, rng: &mut StdRng) -> AppProfile {
+    let req_dist = LogNormal::from_median(config.ls_cpu_request_median, config.request_sigma)
+        .expect("valid params");
+    let mem_dist = LogNormal::from_median(config.ls_mem_request_median, config.request_sigma)
+        .expect("valid params");
+    let qps_base = LogNormal::from_median(80.0, 0.7)
+        .expect("valid params")
+        .sample(rng);
+    let amp = (config.diurnal_amp * rng.gen_range(0.7..1.3)).clamp(0.05, 0.95);
+    // LS peaks cluster in the afternoon (customers' regular activity).
+    let phase = rng.gen_range(7.5..10.5);
+    let ratio = config.ls_cpu_usage_ratio * rng.gen_range(0.7..1.3);
+    let floor = 0.35 * ratio;
+    // Chosen so the day-average of floor + span·qps_norm equals ratio.
+    let span = (ratio - floor) * (1.0 + amp);
+    let mean_replicas = if slo == SloClass::Lsr {
+        config.lsr_mean_replicas
+    } else {
+        config.ls_mean_replicas
+    };
+    let lifetime_days = config.ls_mean_lifetime_days * rng.gen_range(0.6..1.6);
+    AppProfile {
+        id: AppId(id),
+        slo,
+        cpu_request: req_dist.sample(rng).clamp(0.002, 0.5),
+        mem_request: mem_dist.sample(rng).clamp(0.001, 0.3),
+        limit_factor: rng.gen_range(1.5..2.5),
+        affinity_fraction: (config.ls_affinity_fraction * rng.gen_range(0.7..1.4)).min(1.0),
+        kind: AppKind::Ls(LsParams {
+            replicas: draw_replicas(rng, mean_replicas),
+            qps: Diurnal::new(qps_base, amp, phase).expect("amp clamped to [0,1]"),
+            mean_lifetime_ticks: lifetime_days * optum_types::TICKS_PER_DAY as f64,
+            cpu_floor: floor,
+            cpu_span: span,
+            mem_util: config.ls_mem_usage_ratio * rng.gen_range(0.8..1.2),
+            psi_sens: rng.gen_range(0.5..1.0),
+            psi_threshold: rng.gen_range(0.8..0.97),
+            psi_beta: rng.gen_range(10.0..16.0),
+            rt_base_ms: LogNormal::from_median(20.0, 0.6)
+                .expect("valid")
+                .sample(rng),
+        }),
+        seed: splitseed(config.seed, id),
+    }
+}
+
+fn build_other_app(
+    id: u32,
+    slo: SloClass,
+    config: &WorkloadConfig,
+    rng: &mut StdRng,
+) -> AppProfile {
+    let req_dist = LogNormal::from_median(config.ls_cpu_request_median * 0.8, config.request_sigma)
+        .expect("valid params");
+    let mem_dist = LogNormal::from_median(config.ls_mem_request_median * 0.8, config.request_sigma)
+        .expect("valid params");
+    let lifetime_days = match slo {
+        // System agents are longer-lived than services but still roll
+        // (upgrades restart them).
+        SloClass::System => config.ls_mean_lifetime_days * 1.5,
+        _ => config.ls_mean_lifetime_days * rng.gen_range(0.8..2.0),
+    };
+    AppProfile {
+        id: AppId(id),
+        slo,
+        cpu_request: req_dist.sample(rng).clamp(0.002, 0.5),
+        mem_request: mem_dist.sample(rng).clamp(0.001, 0.3),
+        limit_factor: rng.gen_range(1.5..2.5),
+        affinity_fraction: (config.ls_affinity_fraction * rng.gen_range(1.0..2.0)).min(1.0),
+        kind: AppKind::Other(OtherParams {
+            replicas: draw_replicas(rng, config.other_mean_replicas),
+            cpu_util: rng.gen_range(0.2..0.35),
+            mem_util: rng.gen_range(0.4..0.6),
+            mean_lifetime_ticks: lifetime_days * optum_types::TICKS_PER_DAY as f64,
+        }),
+        seed: splitseed(config.seed, id),
+    }
+}
+
+fn build_be_app(
+    id: u32,
+    config: &WorkloadConfig,
+    pods_per_day: f64,
+    rng: &mut StdRng,
+) -> AppProfile {
+    let req_dist = LogNormal::from_median(config.be_cpu_request_median, config.request_sigma)
+        .expect("valid params");
+    let mem_dist = LogNormal::from_median(config.be_mem_request_median, config.request_sigma)
+        .expect("valid params");
+    let tasks_per_job = BoundedPareto::new(
+        1.0,
+        config.be_tasks_per_job_max,
+        config.be_tasks_per_job_alpha,
+    )
+    .expect("valid params");
+    // Mean tasks/job via a quick deterministic numeric estimate.
+    let mean_tasks = {
+        let mut probe = StdRng::seed_from_u64(splitseed(config.seed, id) ^ 0xBEEF);
+        let n = 400;
+        tasks_per_job.sample_n(&mut probe, n).iter().sum::<f64>() / n as f64
+    };
+    let jobs_per_tick = pods_per_day / mean_tasks / optum_types::TICKS_PER_DAY as f64;
+    let amp = (config.diurnal_amp * rng.gen_range(0.8..1.2)).clamp(0.05, 0.95);
+    // Anti-phase to the LS cluster: BE floods in overnight.
+    let phase = rng.gen_range(19.5..22.5);
+    AppProfile {
+        id: AppId(id),
+        slo: SloClass::Be,
+        cpu_request: req_dist.sample(rng).clamp(0.002, 0.5),
+        mem_request: mem_dist.sample(rng).clamp(0.001, 0.3),
+        limit_factor: rng.gen_range(1.5..2.5),
+        affinity_fraction: (config.be_affinity_fraction * rng.gen_range(0.9..1.2)).min(1.0),
+        kind: AppKind::Be(BeParams {
+            job_rate: Diurnal::new(jobs_per_tick, amp, phase).expect("amp clamped"),
+            tasks_per_job,
+            duration: BoundedPareto::new(
+                1.0,
+                config.be_duration_max_ticks,
+                config.be_duration_alpha,
+            )
+            .expect("valid params"),
+            cpu_ratio: config.be_cpu_usage_ratio * rng.gen_range(0.7..1.3),
+            mem_ratio: config.be_mem_usage_ratio * rng.gen_range(0.95..1.04),
+            ct_cpu_sens: rng.gen_range(1.5..4.0),
+            ct_cpu_threshold: rng.gen_range(0.65..0.85),
+            ct_mem_sens: rng.gen_range(0.8..2.0),
+            ct_mem_threshold: rng.gen_range(0.75..0.9),
+        }),
+        seed: splitseed(config.seed, id),
+    }
+}
+
+/// Derives a per-app noise seed from the master seed.
+fn splitseed(seed: u64, id: u32) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(id as u64)
+}
+
+/// Generates the full synthetic workload for a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use optum_trace::{generate, WorkloadConfig};
+///
+/// let w = generate(&WorkloadConfig::small(1)).unwrap();
+/// assert!(!w.pods.is_empty());
+/// assert!(w.pods.windows(2).all(|p| p[0].spec.arrival <= p[1].spec.arrival));
+/// ```
+pub fn generate(config: &WorkloadConfig) -> Result<Workload> {
+    if config.hosts == 0 || config.days == 0 {
+        return Err(Error::InvalidConfig("hosts and days must be > 0".into()));
+    }
+    let scale = config.scale();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut apps = Vec::new();
+    let mut id = 0u32;
+    for _ in 0..scaled_count(config.ls_apps_per_100, scale) {
+        apps.push(build_ls_app(id, SloClass::Ls, config, &mut rng));
+        id += 1;
+    }
+    for _ in 0..scaled_count(config.lsr_apps_per_100, scale) {
+        apps.push(build_ls_app(id, SloClass::Lsr, config, &mut rng));
+        id += 1;
+    }
+    for _ in 0..scaled_count(config.unknown_apps_per_100, scale) {
+        apps.push(build_other_app(id, SloClass::Unknown, config, &mut rng));
+        id += 1;
+    }
+    for _ in 0..scaled_count(config.system_apps_per_100, scale) {
+        apps.push(build_other_app(id, SloClass::System, config, &mut rng));
+        id += 1;
+    }
+    for _ in 0..scaled_count(config.vmenv_apps_per_100, scale) {
+        apps.push(build_other_app(id, SloClass::VmEnv, config, &mut rng));
+        id += 1;
+    }
+    // BE pod budget is split across BE apps by Zipf popularity.
+    let n_be = scaled_count(config.be_apps_per_100, scale);
+    if n_be > 0 {
+        let zipf_weights: Vec<f64> = (1..=n_be).map(|k| 1.0 / (k as f64).powf(1.1)).collect();
+        let weight_sum: f64 = zipf_weights.iter().sum();
+        let total_per_day = config.be_pods_per_100_per_day * scale;
+        for w in &zipf_weights {
+            let share = total_per_day * w / weight_sum;
+            apps.push(build_be_app(id, config, share, &mut rng));
+            id += 1;
+        }
+    }
+
+    let pods = generate_pods(config, &apps, &mut rng);
+    if pods.is_empty() {
+        return Err(Error::InvalidData("generated workload has no pods".into()));
+    }
+    Ok(Workload {
+        config: config.clone(),
+        apps,
+        pods,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optum_types::Tick;
+
+    fn small() -> Workload {
+        generate(&WorkloadConfig::small(11)).unwrap()
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(&WorkloadConfig::small(3)).unwrap();
+        let b = generate(&WorkloadConfig::small(3)).unwrap();
+        assert_eq!(a.pods.len(), b.pods.len());
+        assert_eq!(a.pods[0], b.pods[0]);
+        let c = generate(&WorkloadConfig::small(4)).unwrap();
+        assert_ne!(a.pods.len(), c.pods.len());
+    }
+
+    #[test]
+    fn ids_are_sorted_positions() {
+        let w = small();
+        for (i, p) in w.pods.iter().enumerate() {
+            assert_eq!(p.spec.id.index(), i);
+        }
+        assert!(w
+            .pods
+            .windows(2)
+            .all(|p| p[0].spec.arrival <= p[1].spec.arrival));
+    }
+
+    #[test]
+    fn every_class_is_present() {
+        let w = small();
+        let dist = w.slo_distribution();
+        for (class, count) in &dist {
+            assert!(*count > 0, "class {class} missing from population");
+        }
+    }
+
+    #[test]
+    fn slo_mix_matches_figure_2b_shape() {
+        let w = generate(&WorkloadConfig::sized(200, 4, 5)).unwrap();
+        let total = w.pods.len() as f64;
+        let share =
+            |class: SloClass| w.pods.iter().filter(|p| p.spec.slo == class).count() as f64 / total;
+        let be = share(SloClass::Be);
+        let ls = share(SloClass::Ls);
+        let lsr = share(SloClass::Lsr);
+        // Loose bands around the published proportions. BE runs above
+        // Fig. 2(b)'s 30% by design: the production trace's BE pods
+        // are individually larger, so matching BE's share of cluster
+        // CPU (which drives every scheduling result) requires more of
+        // our smaller BE pods. DESIGN.md records the substitution.
+        assert!((0.3..=0.6).contains(&be), "BE share {be}");
+        assert!((0.1..=0.4).contains(&ls), "LS share {ls}");
+        assert!(ls + lsr > 0.18, "LS+LSR share {}", ls + lsr);
+        assert!(share(SloClass::Unknown) > 0.1);
+    }
+
+    #[test]
+    fn be_requests_are_small_and_heavy_tailed_durations() {
+        let w = small();
+        let be: Vec<&GeneratedPod> = w
+            .pods
+            .iter()
+            .filter(|p| p.spec.slo == SloClass::Be)
+            .collect();
+        assert!(!be.is_empty());
+        let mean_req: f64 = be.iter().map(|p| p.spec.request.cpu).sum::<f64>() / be.len() as f64;
+        assert!(mean_req < 0.1, "BE mean cpu request {mean_req}");
+        let max_dur = be
+            .iter()
+            .map(|p| p.spec.nominal_duration.unwrap())
+            .max()
+            .unwrap();
+        let min_dur = be
+            .iter()
+            .map(|p| p.spec.nominal_duration.unwrap())
+            .min()
+            .unwrap();
+        assert!(max_dur > 20 * min_dur.max(1), "durations not heavy-tailed");
+    }
+
+    #[test]
+    fn long_running_replicas_churn() {
+        let w = small();
+        // Some LS app must have pods arriving after day one (replacements).
+        let late_ls = w
+            .pods
+            .iter()
+            .any(|p| p.spec.slo == SloClass::Ls && p.spec.arrival > Tick::from_days(1));
+        assert!(late_ls, "no LS churn observed");
+    }
+
+    #[test]
+    fn app_lookup() {
+        let w = small();
+        let pod = &w.pods[0];
+        let app = w.app_of(pod);
+        assert_eq!(app.id, pod.spec.app);
+        assert_eq!(app.slo, pod.spec.slo);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let mut c = WorkloadConfig::small(0);
+        c.hosts = 0;
+        assert!(generate(&c).is_err());
+    }
+}

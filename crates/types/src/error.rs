@@ -1,0 +1,44 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the platform's components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A configuration value was out of range or inconsistent.
+    InvalidConfig(String),
+    /// A scheduling request could not be satisfied.
+    Unschedulable(String),
+    /// A model was used before being trained, or with mismatched
+    /// feature dimensions.
+    Model(String),
+    /// Input data was empty or malformed.
+    InvalidData(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Unschedulable(msg) => write!(f, "unschedulable: {msg}"),
+            Error::Model(msg) => write!(f, "model error: {msg}"),
+            Error::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::InvalidConfig("node_count must be > 0".into());
+        assert!(e.to_string().contains("node_count"));
+    }
+}

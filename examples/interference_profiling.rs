@@ -1,0 +1,74 @@
+//! Train the Interference Profiler and inspect what it learned: the
+//! per-application PSI response to host pressure (the models behind
+//! Eq. 1 and Fig. 18).
+//!
+//! ```text
+//! cargo run --release --example interference_profiling
+//! ```
+
+use optum_platform::optum::{InterferenceProfiler, ModelKind, ProfilerConfig, TracingCoordinator};
+use optum_platform::tracegen::{generate, WorkloadConfig};
+use optum_platform::types::AppId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = generate(&WorkloadConfig::sized(50, 2, 42))?;
+    let training = TracingCoordinator::new(50, 2).collect(&workload)?;
+
+    // Compare the model families of Fig. 18 on the same dataset.
+    println!("model-family comparison (median validation MAPE across apps):");
+    for kind in ModelKind::ALL {
+        let profiler = InterferenceProfiler::train(
+            &training,
+            ProfilerConfig {
+                model: kind,
+                ..ProfilerConfig::default()
+            },
+        )?;
+        let mut mapes: Vec<f64> = profiler.ls_mapes().iter().map(|(_, m)| *m).collect();
+        mapes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if mapes.is_empty() {
+            continue;
+        }
+        println!(
+            "  {:>6}: {:>6.3} (over {} LS apps)",
+            kind.label(),
+            mapes[mapes.len() / 2],
+            mapes.len()
+        );
+    }
+
+    // Show the learned pressure curve of a few applications.
+    let profiler = InterferenceProfiler::train(&training, ProfilerConfig::default())?;
+    println!("\nlearned PSI vs host CPU utilization (Random Forest):");
+    for app_idx in 0..workload.apps.len().min(60) {
+        let app = AppId(app_idx as u32);
+        let profile = &training.app_profiles[app_idx];
+        if !profile.seen {
+            continue;
+        }
+        let Some(curve): Option<Vec<f64>> = [0.3, 0.5, 0.7, 0.9]
+            .iter()
+            .map(|&h| {
+                profiler.predict_psi(
+                    app,
+                    profile.max_cpu_util,
+                    profile.max_mem_util,
+                    h,
+                    0.4,
+                    profile.max_qps_norm,
+                )
+            })
+            .collect()
+        else {
+            continue;
+        };
+        println!(
+            "  app {:>3}: util 0.3→{:.2}  0.5→{:.2}  0.7→{:.2}  0.9→{:.2}",
+            app_idx, curve[0], curve[1], curve[2], curve[3]
+        );
+        if app_idx > 8 {
+            break;
+        }
+    }
+    Ok(())
+}

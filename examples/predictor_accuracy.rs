@@ -1,0 +1,50 @@
+//! Compare host resource-usage predictors on live cluster state — a
+//! miniature of the paper's Fig. 11 experiment.
+//!
+//! ```text
+//! cargo run --release --example predictor_accuracy
+//! ```
+
+use optum_platform::predictors::{
+    BorgDefault, MaxPredictor, NSigma, OptumPredictor, ResourceCentral,
+};
+use optum_platform::sched::AlibabaLike;
+use optum_platform::sim::{run, PredictorEval, SimConfig};
+use optum_platform::tracegen::{generate, WorkloadConfig};
+use optum_platform::types::TICKS_PER_HOUR;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = generate(&WorkloadConfig::sized(50, 2, 9))?;
+    let mut config = SimConfig::new(50);
+    config.predictor_eval = Some(PredictorEval {
+        predictors: vec![
+            Box::new(BorgDefault::production()),
+            Box::new(ResourceCentral),
+            Box::new(NSigma::production()),
+            Box::new(MaxPredictor::production()),
+            Box::new(OptumPredictor),
+        ],
+        stride: TICKS_PER_HOUR,
+        horizon: TICKS_PER_HOUR,
+        warmup: 24 * TICKS_PER_HOUR,
+    });
+    let result = run(&workload, AlibabaLike::default(), config)?;
+
+    println!(
+        "{:<18} {:>8} {:>10} {:>10} {:>12}",
+        "predictor", "points", "max_over", "max_under", "P(under>10%)"
+    );
+    for (name, errs) in &result.predictor_errors {
+        println!(
+            "{:<18} {:>8} {:>9.0}% {:>9.0}% {:>12.4}",
+            name,
+            errs.len(),
+            errs.max_over() * 100.0,
+            errs.max_under() * 100.0,
+            errs.frac_under_worse_than(0.1)
+        );
+    }
+    println!("\nOver-estimation wastes capacity; under-estimation risks interference.");
+    println!("The Optum predictor's pairwise ERO composition keeps both tails short.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: generate a synthetic unified-scheduling workload, run
+//! it through the production-like reference scheduler, and read the
+//! basic cluster statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use optum_platform::prelude::*;
+use optum_platform::sched::AlibabaLike;
+use optum_platform::sim::{run, SimConfig};
+use optum_platform::tracegen::{generate, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small cluster: 50 hosts over 2 simulated days.
+    let workload = generate(&WorkloadConfig::sized(50, 2, 7))?;
+    println!(
+        "workload: {} applications, {} pods over {} days",
+        workload.apps.len(),
+        workload.pods.len(),
+        workload.config.days
+    );
+    for (class, count) in workload.slo_distribution() {
+        println!("  {class:>8}: {count} pods");
+    }
+
+    // Simulate under the reference scheduler.
+    let result = run(&workload, AlibabaLike::default(), SimConfig::new(50))?;
+    println!("\nscheduler: {}", result.scheduler);
+    println!("placement rate: {:.1}%", result.placement_rate() * 100.0);
+    println!(
+        "mean host CPU utilization: {:.1}%",
+        result.mean_cpu_utilization() * 100.0
+    );
+    println!("capacity violation rate: {:.5}", result.violations.rate());
+
+    // Waiting times by class.
+    for slo in [SloClass::Be, SloClass::Ls, SloClass::Lsr] {
+        let waits: Vec<f64> = result.outcomes_of(slo).map(|o| o.wait_seconds()).collect();
+        if waits.is_empty() {
+            continue;
+        }
+        let mean = waits.iter().sum::<f64>() / waits.len() as f64;
+        let max = waits.iter().cloned().fold(0.0, f64::max);
+        println!("{slo:>5} waiting: mean {mean:.0}s, max {max:.0}s");
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Facade crate for the Optum unified resource management platform.
+//!
+//! Re-exports the workspace's public surface under one roof so that
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use optum_platform::prelude::*;
+//!
+//! let cluster = ClusterConfig::homogeneous(10);
+//! assert_eq!(cluster.node_count, 10);
+//! ```
+
+pub use optum_core as optum;
+pub use optum_experiments as experiments;
+pub use optum_ml as ml;
+pub use optum_predictors as predictors;
+pub use optum_sched as sched;
+pub use optum_sim as sim;
+pub use optum_stats as stats;
+pub use optum_trace as tracegen;
+pub use optum_types as types;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use optum_types::{
+        AppId, ClusterConfig, NodeId, PodId, PodSpec, Resources, SloClass, Tick,
+    };
+}

@@ -1,0 +1,188 @@
+//! Integration tests asserting the characterization *shapes* the
+//! synthetic workload must reproduce (the qualitative claims of §3).
+
+use optum_platform::sched::AlibabaLike;
+use optum_platform::sim::{run, SimConfig};
+use optum_platform::stats::{mean, pearson};
+use optum_platform::tracegen::{generate, AppKind, WorkloadConfig};
+use optum_platform::types::{SloClass, Tick, TICKS_PER_DAY};
+
+fn workload() -> optum_platform::tracegen::Workload {
+    generate(&WorkloadConfig::sized(50, 2, 123)).expect("generation succeeds")
+}
+
+#[test]
+fn implication_1_be_fills_ls_valleys() {
+    // BE arrival rates peak where LS QPS troughs (anti-phase curves).
+    let w = workload();
+    let ls_peak_hours: Vec<f64> = w
+        .apps
+        .iter()
+        .filter_map(|a| match &a.kind {
+            AppKind::Ls(p) => Some((p.qps.phase + 6.0) % 24.0),
+            _ => None,
+        })
+        .collect();
+    let be_peak_hours: Vec<f64> = w
+        .apps
+        .iter()
+        .filter_map(|a| match &a.kind {
+            AppKind::Be(p) => Some((p.job_rate.phase + 6.0) % 24.0),
+            _ => None,
+        })
+        .collect();
+    let ls_mid = mean(&ls_peak_hours);
+    let be_mid = mean(&be_peak_hours);
+    let gap = (ls_mid - be_mid).abs();
+    let wrapped = gap.min(24.0 - gap);
+    assert!(
+        wrapped > 8.0,
+        "BE peaks ({be_mid:.1}h) must oppose LS peaks ({ls_mid:.1}h)"
+    );
+}
+
+#[test]
+fn implication_2_overcommitted_but_underutilized() {
+    let w = workload();
+    let mut cfg = SimConfig::new(50);
+    cfg.snapshot_tick = Some(Tick(TICKS_PER_DAY + 120));
+    let r = run(&w, AlibabaLike::default(), cfg).unwrap();
+    // Some hosts over-commit CPU by requests…
+    let overcommitted = r
+        .node_snapshot
+        .iter()
+        .filter(|n| n.requested.cpu > n.capacity.cpu)
+        .count();
+    assert!(overcommitted > 0, "no host over-committed");
+    // …while overall utilization stays low (< 50% mean).
+    assert!(r.mean_cpu_utilization() < 0.5);
+}
+
+#[test]
+fn implication_3_arrivals_are_heavy_tailed() {
+    let w = workload();
+    let mut per_min = std::collections::HashMap::new();
+    for p in &w.pods {
+        *per_min.entry(p.spec.arrival.minute()).or_insert(0u64) += 1;
+    }
+    let mut counts: Vec<u64> = per_min.values().copied().collect();
+    counts.sort();
+    let p50 = counts[counts.len() / 2];
+    let max = counts[counts.len() - 1];
+    assert!(
+        max >= p50 * 8,
+        "arrivals not heavy-tailed: p50 {p50}, max {max}"
+    );
+}
+
+#[test]
+fn implication_6_pods_within_app_are_consistent() {
+    // Mean CPU usage across pods of one LS app varies far less than
+    // across apps.
+    let w = workload();
+    let t = Tick(TICKS_PER_DAY / 2);
+    let mut within = Vec::new();
+    let mut app_means = Vec::new();
+    for app in w
+        .apps
+        .iter()
+        .filter(|a| matches!(a.kind, AppKind::Ls(_)))
+        .take(10)
+    {
+        let pods: Vec<_> = w
+            .pods
+            .iter()
+            .filter(|p| p.spec.app == app.id)
+            .take(8)
+            .collect();
+        if pods.len() < 4 {
+            continue;
+        }
+        let usages: Vec<f64> = pods.iter().map(|p| app.pod_cpu_usage(p, t)).collect();
+        if let Some(cov) = optum_platform::stats::coefficient_of_variation(&usages) {
+            within.push(cov);
+        }
+        app_means.push(mean(&usages));
+    }
+    let across = optum_platform::stats::coefficient_of_variation(&app_means).unwrap();
+    let within_mean = mean(&within);
+    assert!(
+        within_mean < across,
+        "within-app CoV {within_mean:.3} should undercut across-app {across:.3}"
+    );
+    assert!(
+        within_mean < 0.5,
+        "LS pods too inconsistent: {within_mean:.3}"
+    );
+}
+
+#[test]
+fn implication_7_psi_correlates_with_host_utilization() {
+    let w = workload();
+    let app = w
+        .apps
+        .iter()
+        .find(|a| matches!(a.kind, AppKind::Ls(_)))
+        .expect("workload has LS apps");
+    let pod = w
+        .pods
+        .iter()
+        .find(|p| p.spec.app == app.id)
+        .expect("app has pods");
+    let t = Tick(TICKS_PER_DAY / 3);
+    let utils: Vec<f64> = (0..40).map(|i| 0.3 + 0.017 * i as f64).collect();
+    let psis: Vec<f64> = utils
+        .iter()
+        .map(|&u| app.psi_instant(pod, 0.3, u, t))
+        .collect();
+    let corr = pearson(&utils, &psis).expect("variation present");
+    assert!(
+        corr > 0.6,
+        "PSI vs host util correlation too weak: {corr:.3}"
+    );
+}
+
+#[test]
+fn be_memory_nearly_fully_used_ls_underused() {
+    let w = workload();
+    let t = Tick(TICKS_PER_DAY / 2);
+    let mut be_ratios = Vec::new();
+    let mut ls_ratios = Vec::new();
+    for p in w.pods.iter().take(3000) {
+        let app = w.app_of(p);
+        let usage = app.pod_mem_usage(p, t);
+        let ratio = usage / p.spec.request.mem;
+        match p.spec.slo {
+            SloClass::Be => be_ratios.push(ratio),
+            SloClass::Ls => ls_ratios.push(ratio),
+            _ => {}
+        }
+    }
+    assert!(
+        mean(&be_ratios) > 0.85,
+        "BE mem ratio {:.2}",
+        mean(&be_ratios)
+    );
+    assert!(
+        mean(&ls_ratios) < 0.65,
+        "LS mem ratio {:.2}",
+        mean(&ls_ratios)
+    );
+}
+
+#[test]
+fn completion_time_inflates_with_host_contention() {
+    let w = workload();
+    let app = w
+        .apps
+        .iter()
+        .find(|a| matches!(a.kind, AppKind::Be(_)))
+        .expect("workload has BE apps");
+    let idle = app.be_progress_rate(0.1, 0.1);
+    let busy = app.be_progress_rate(0.95, 0.95);
+    assert!(
+        idle > busy,
+        "contention must slow progress: {idle} vs {busy}"
+    );
+    assert!(busy > 0.2, "progress never stalls completely");
+}

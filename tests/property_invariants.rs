@@ -1,0 +1,90 @@
+//! Property-based integration tests: invariants that must hold for
+//! any seed and any scale.
+
+use proptest::prelude::*;
+
+use optum_platform::optum::deployment::{DeploymentModule, ProposedPlacement};
+use optum_platform::sched::AlibabaLike;
+use optum_platform::sim::{run, SimConfig};
+use optum_platform::tracegen::{generate, WorkloadConfig};
+use optum_platform::types::{NodeId, PodId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The generator always produces a well-formed, sorted pod stream
+    /// whose ids index the vector, for any seed.
+    #[test]
+    fn workload_well_formed(seed in 0u64..1000) {
+        let w = generate(&WorkloadConfig::sized(20, 1, seed)).unwrap();
+        prop_assert!(!w.pods.is_empty());
+        for (i, p) in w.pods.iter().enumerate() {
+            prop_assert_eq!(p.spec.id.index(), i);
+            prop_assert!(p.spec.request.is_valid());
+            prop_assert!(p.spec.request.fits_within(&p.spec.limit));
+            prop_assert!(p.input_factor > 0.0);
+        }
+        prop_assert!(w.pods.windows(2).all(|x| x[0].spec.arrival <= x[1].spec.arrival));
+        // Every pod's app exists.
+        for p in &w.pods {
+            prop_assert!(p.spec.app.index() < w.apps.len());
+        }
+    }
+
+    /// Simulation bookkeeping stays consistent for any seed.
+    #[test]
+    fn simulation_bookkeeping(seed in 0u64..500) {
+        let w = generate(&WorkloadConfig::sized(20, 1, seed)).unwrap();
+        let r = run(&w, AlibabaLike::default(), SimConfig::new(20)).unwrap();
+        prop_assert_eq!(r.outcomes.len(), w.pods.len());
+        let v = &r.violations;
+        prop_assert!(v.cpu_node_ticks <= v.total_node_ticks);
+        prop_assert!(v.mem_node_ticks <= v.total_node_ticks);
+        prop_assert_eq!(
+            v.total_node_ticks,
+            20 * w.config.window_ticks()
+        );
+        for s in &r.cluster_series {
+            prop_assert!(s.mean_cpu_util <= s.max_cpu_util + 1e-9);
+            prop_assert!(s.max_cpu_util <= 1.0 + 1e-9);
+            prop_assert!(s.active_nodes <= 20);
+            prop_assert!(s.mean_cpu_util_active + 1e-9 >= s.mean_cpu_util * (20.0 / s.active_nodes.max(1) as f64) - 1e-9 || s.active_nodes == 0);
+        }
+    }
+
+    /// Conflict resolution never loses or duplicates a proposal and
+    /// never accepts two pods on one host.
+    #[test]
+    fn deployment_module_conserves_proposals(
+        raw in proptest::collection::vec((0u32..50, 0u32..10, 0.0f64..1.0), 0..60)
+    ) {
+        // Dedup pod ids (a pod proposes at most once per round).
+        let mut seen = std::collections::HashSet::new();
+        let proposals: Vec<ProposedPlacement> = raw
+            .into_iter()
+            .filter(|(pod, _, _)| seen.insert(*pod))
+            .map(|(pod, node, score)| ProposedPlacement {
+                pod: PodId(pod),
+                node: NodeId(node),
+                score,
+                scheduler: 0,
+            })
+            .collect();
+        let n = proposals.len();
+        let round = DeploymentModule.resolve(proposals);
+        prop_assert_eq!(round.accepted.len() + round.redispatched.len(), n);
+        let mut hosts = std::collections::HashSet::new();
+        for p in &round.accepted {
+            prop_assert!(hosts.insert(p.node), "host {:?} accepted twice", p.node);
+        }
+        // Every accepted proposal beats or ties every redispatched one
+        // on the same host.
+        for a in &round.accepted {
+            for rj in &round.redispatched {
+                if rj.node == a.node {
+                    prop_assert!(a.score >= rj.score);
+                }
+            }
+        }
+    }
+}
