@@ -1,16 +1,22 @@
 //! Regenerates the paper's figures from the synthetic testbed.
 //!
 //! ```text
-//! repro <figure-id>... [--fast] [--hosts N] [--days D] [--seed S]
+//! repro <figure-id>... [--fast] [--hosts N] [--days D] [--seed S] [--threads T]
 //! repro all [--fast]
 //! ```
+//!
+//! `--threads` (or the `OPTUM_THREADS` environment variable) sets the
+//! worker count for the parallel fan-out of independent simulations
+//! and model fits; results are bit-identical for every thread count.
 
 use optum_experiments::{run_figure_with, ExpConfig, Runner, ALL_FIGURES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S]");
+        eprintln!(
+            "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T]"
+        );
         eprintln!("figures: {ALL_FIGURES:?} + fig22");
         std::process::exit(2);
     }
@@ -37,6 +43,13 @@ fn main() {
                 i += 1;
                 config.seed = args[i].parse().expect("--seed takes a number");
             }
+            "--threads" => {
+                i += 1;
+                let t: usize = args[i].parse().expect("--threads takes a number");
+                // Export so every layer (experiment fan-out, profiler
+                // training) resolves the same worker count.
+                std::env::set_var(optum_parallel::THREADS_ENV, t.to_string());
+            }
             "all" => figures.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
             other => figures.push(other.to_string()),
         }
@@ -46,8 +59,11 @@ fn main() {
         figures = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
     }
     eprintln!(
-        "# scale: {} hosts, {} days, seed {}",
-        config.hosts, config.days, config.seed
+        "# scale: {} hosts, {} days, seed {}, {} worker threads",
+        config.hosts,
+        config.days,
+        config.seed,
+        optum_parallel::default_threads()
     );
     let mut runner = Runner::new(config.clone()).expect("workload generation");
     for id in &figures {

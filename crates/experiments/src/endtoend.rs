@@ -27,14 +27,17 @@ pub fn run_roster(runner: &mut Runner) -> Result<()> {
         return Ok(());
     }
     let optum = trained_optum(runner, OptumConfig::default())?;
-    let results = vec![
-        runner.run_eval(optum)?,
-        runner.run_eval(RcLike::default())?,
-        runner.run_eval(NSigmaSched::default())?,
-        runner.run_eval(BorgLike::default())?,
-        runner.run_eval(Medea::default())?,
+    // Every contender replays the same immutable workload, so the
+    // five runs fan out across the runner's worker threads; results
+    // stay in roster order.
+    let roster: Vec<Box<dyn optum_sim::Scheduler + Send>> = vec![
+        Box::new(optum),
+        Box::new(RcLike::default()),
+        Box::new(NSigmaSched::default()),
+        Box::new(BorgLike::default()),
+        Box::new(Medea::default()),
     ];
-    runner.roster_cache = results;
+    runner.roster_cache = runner.run_evals(roster)?;
     Ok(())
 }
 

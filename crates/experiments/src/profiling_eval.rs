@@ -9,36 +9,44 @@ use optum_types::{AppId, Result};
 use crate::output::{Figure, Panel};
 use crate::runner::Runner;
 
-/// Per-app MAPE of one model family on grouped samples.
-fn mapes_for(groups: &HashMap<AppId, (Vec<Vec<f64>>, Vec<f64>)>, kind: ModelKind) -> Vec<f64> {
+/// One application's raw samples: feature rows + targets.
+type AppSamples = (Vec<Vec<f64>>, Vec<f64>);
+
+/// Per-app MAPE of one model family on grouped samples, with the
+/// independent per-app fits fanned out across `threads` workers (in
+/// sorted app order, so the output is deterministic — `HashMap`
+/// iteration order is not).
+fn mapes_for(groups: &HashMap<AppId, AppSamples>, kind: ModelKind, threads: usize) -> Vec<f64> {
     let config = ProfilerConfig {
         model: kind,
         max_samples_per_app: 800,
         ..ProfilerConfig::default()
     };
-    groups
-        .values()
-        .filter_map(|(f, t)| {
-            let n = f.len().min(config.max_samples_per_app);
-            let step = (f.len() / n).max(1);
-            let fs: Vec<Vec<f64>> = f.iter().step_by(step).cloned().collect();
-            let ts: Vec<f64> = t.iter().step_by(step).copied().collect();
-            fit_and_score(&fs, &ts, &config).ok().map(|(_, mape)| mape)
-        })
-        .collect()
+    let mut items: Vec<(&AppId, &AppSamples)> = groups.iter().collect();
+    items.sort_by_key(|(app, _)| app.0);
+    optum_parallel::parallel_map_threads(threads, &items, |_, (_, (f, t))| {
+        let n = f.len().min(config.max_samples_per_app);
+        let step = (f.len() / n).max(1);
+        let fs: Vec<Vec<f64>> = f.iter().step_by(step).cloned().collect();
+        let ts: Vec<f64> = t.iter().step_by(step).copied().collect();
+        fit_and_score(&fs, &ts, &config).ok().map(|(_, mape)| mape)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Fig. 18: MAPE CDFs for RF / LR / Ridge / SVR / MLP on the LS PSI
 /// profiling task (a) and the BE completion-time task (b).
 pub fn fig18(runner: &mut Runner) -> Result<Figure> {
     let training = runner.training()?.clone();
-    let mut ls_groups: HashMap<AppId, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
+    let mut ls_groups: HashMap<AppId, AppSamples> = HashMap::new();
     for s in &training.psi {
         let e = ls_groups.entry(s.app).or_default();
         e.0.push(s.features());
         e.1.push(s.psi);
     }
-    let mut be_groups: HashMap<AppId, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
+    let mut be_groups: HashMap<AppId, AppSamples> = HashMap::new();
     for s in &training.ct {
         let e = be_groups.entry(s.app).or_default();
         e.0.push(s.features());
@@ -56,7 +64,7 @@ pub fn fig18(runner: &mut Runner) -> Result<Figure> {
             &["model", "median_mape", "p90_mape", "apps"],
         );
         for kind in ModelKind::EXTENDED {
-            let mapes = mapes_for(groups, kind);
+            let mapes = mapes_for(groups, kind, runner.threads());
             if let Some(cdf) = Ecdf::new(mapes.clone()) {
                 for (x, f) in cdf.curve_sampled(40) {
                     panel.row(vec![

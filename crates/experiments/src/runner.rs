@@ -56,6 +56,10 @@ pub struct Runner {
     reference: Option<SimResult>,
     /// Cached contender results (Figs. 19–20 share the same roster).
     pub roster_cache: Vec<SimResult>,
+    /// Worker threads for [`Runner::run_evals`]: `0` (the default)
+    /// resolves via `OPTUM_THREADS` / available parallelism, `1` is
+    /// serial, anything else is literal.
+    threads: usize,
 }
 
 impl Runner {
@@ -67,7 +71,20 @@ impl Runner {
             workload,
             reference: None,
             roster_cache: Vec::new(),
+            threads: 0,
         })
+    }
+
+    /// Sets the fan-out worker count (`0` = auto; see
+    /// [`optum_parallel::resolve_threads`]). Results are bit-identical
+    /// for every thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Configured fan-out worker count (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Base simulation configuration at this scale.
@@ -126,5 +143,22 @@ impl Runner {
         cfg.pods_per_app_sampled = 0;
         cfg.series_stride = 10;
         run(&self.workload, scheduler, cfg)
+    }
+
+    /// Runs one evaluation simulation per scheduler, fanned out across
+    /// the configured worker threads over the shared immutable
+    /// workload. Results come back in scheduler order and are
+    /// bit-identical to running [`Runner::run_eval`] serially: each
+    /// simulation is fully self-contained (own `SimConfig`, own
+    /// scheduler state), so the pool only changes *where* it runs.
+    pub fn run_evals<S>(&self, schedulers: Vec<S>) -> Result<Vec<SimResult>>
+    where
+        S: optum_sim::Scheduler + Send,
+    {
+        optum_parallel::parallel_map_owned_threads(self.threads, schedulers, |_, scheduler| {
+            self.run_eval(scheduler)
+        })
+        .into_iter()
+        .collect()
     }
 }

@@ -49,14 +49,22 @@ pub fn fig21(runner: &mut Runner) -> Result<Figure> {
             )?),
         )
     };
+    // Build the full 5×5 grid of schedulers up front, then fan the 25
+    // independent simulations out across the runner's worker threads.
+    // The sweep isolates the objective weights: the hard PSI and CPU
+    // guards are relaxed so ω alone governs the utilization /
+    // performance trade-off (the paper's default deployment keeps the
+    // guards; Fig. 21 studies Eq. 6's weights).
+    let mut grid: Vec<(f64, f64)> = Vec::with_capacity(OMEGAS.len() * OMEGAS.len());
     for &omega_o in &OMEGAS {
         for &omega_b in &OMEGAS {
-            // The sweep isolates the objective weights: the hard PSI
-            // and CPU guards are relaxed so ω alone governs the
-            // utilization/performance trade-off (the paper's default
-            // deployment keeps the guards; Fig. 21 studies Eq. 6's
-            // weights).
-            let sched = OptumScheduler::with_shared(
+            grid.push((omega_o, omega_b));
+        }
+    }
+    let schedulers: Vec<OptumScheduler> = grid
+        .iter()
+        .map(|&(omega_o, omega_b)| {
+            OptumScheduler::with_shared(
                 OptumConfig {
                     omega_o,
                     omega_b,
@@ -66,44 +74,49 @@ pub fn fig21(runner: &mut Runner) -> Result<Figure> {
                 },
                 usage.clone(),
                 interference.clone(),
-            );
-            let result = runner.run_eval(sched)?;
-            let util = result
-                .cluster_series
-                .iter()
-                .map(|s| s.mean_cpu_util_active)
-                .sum::<f64>()
-                / result.cluster_series.len().max(1) as f64;
+            )
+        })
+        .collect();
+    let results = runner.run_evals(schedulers)?;
 
-            let reference = runner.reference_cached();
-            // LS violation: fraction of LS pods with degraded PSI.
-            let mut ls_total = 0usize;
-            let mut ls_viol = 0usize;
-            let mut be_total = 0usize;
-            let mut be_viol = 0usize;
-            for (n, b) in result.outcomes.iter().zip(&reference.outcomes) {
-                if n.slo.is_latency_sensitive() && n.scheduled() && b.scheduled() {
-                    ls_total += 1;
-                    if n.worst_psi > b.worst_psi + 0.01 {
-                        ls_viol += 1;
-                    }
-                } else if n.slo == SloClass::Be {
-                    if let (Some(an), Some(ab)) = (n.actual_duration, b.actual_duration) {
-                        be_total += 1;
-                        if an > ab + 1 {
-                            be_viol += 1;
-                        }
+    // Score the grid serially, in ω order; the reference lookup is
+    // loop-invariant, so hoist it out of the scoring loop.
+    let reference = runner.reference_cached();
+    for (&(omega_o, omega_b), result) in grid.iter().zip(&results) {
+        let util = result
+            .cluster_series
+            .iter()
+            .map(|s| s.mean_cpu_util_active)
+            .sum::<f64>()
+            / result.cluster_series.len().max(1) as f64;
+
+        // LS violation: fraction of LS pods with degraded PSI.
+        let mut ls_total = 0usize;
+        let mut ls_viol = 0usize;
+        let mut be_total = 0usize;
+        let mut be_viol = 0usize;
+        for (n, b) in result.outcomes.iter().zip(&reference.outcomes) {
+            if n.slo.is_latency_sensitive() && n.scheduled() && b.scheduled() {
+                ls_total += 1;
+                if n.worst_psi > b.worst_psi + 0.01 {
+                    ls_viol += 1;
+                }
+            } else if n.slo == SloClass::Be {
+                if let (Some(an), Some(ab)) = (n.actual_duration, b.actual_duration) {
+                    be_total += 1;
+                    if an > ab + 1 {
+                        be_viol += 1;
                     }
                 }
             }
-            panel.row(vec![
-                format!("{omega_o:.1}"),
-                format!("{omega_b:.1}"),
-                format!("{:.3}", (util - base_util) * 100.0),
-                format!("{:.5}", be_viol as f64 / be_total.max(1) as f64),
-                format!("{:.5}", ls_viol as f64 / ls_total.max(1) as f64),
-            ]);
         }
+        panel.row(vec![
+            format!("{omega_o:.1}"),
+            format!("{omega_b:.1}"),
+            format!("{:.3}", (util - base_util) * 100.0),
+            format!("{:.5}", be_viol as f64 / be_total.max(1) as f64),
+            format!("{:.5}", ls_viol as f64 / ls_total.max(1) as f64),
+        ]);
     }
     fig.push(panel);
     Ok(fig)

@@ -51,15 +51,30 @@ impl Default for ForestParams {
 /// assert!(rf.predict_row(&[3.0]) < 0.3);
 /// assert!(rf.predict_row(&[25.0]) > 0.7);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RandomForest {
     params: ForestParams,
     seed: u64,
+    threads: usize,
+    inv_tree_count: f64,
     trees: Vec<DecisionTree>,
 }
 
+/// Model equality: parameters, seed, and fitted trees. The execution
+/// config (`threads`) is deliberately excluded — the same model fitted
+/// with different worker counts is the same model.
+impl PartialEq for RandomForest {
+    fn eq(&self, other: &RandomForest) -> bool {
+        self.params == other.params
+            && self.seed == other.seed
+            && self.inv_tree_count == other.inv_tree_count
+            && self.trees == other.trees
+    }
+}
+
 impl RandomForest {
-    /// Creates an unfitted forest.
+    /// Creates an unfitted forest. Training and batch prediction run
+    /// serially by default; see [`RandomForest::set_threads`].
     pub fn new(params: ForestParams, seed: u64) -> Result<RandomForest> {
         if params.n_trees == 0 {
             return Err(Error::InvalidConfig("n_trees must be > 0".into()));
@@ -69,6 +84,8 @@ impl RandomForest {
         Ok(RandomForest {
             params,
             seed,
+            threads: 1,
+            inv_tree_count: 0.0,
             trees: Vec::new(),
         })
     }
@@ -78,9 +95,42 @@ impl RandomForest {
         RandomForest::new(ForestParams::default(), seed).expect("defaults are valid")
     }
 
+    /// Sets the worker-thread count for [`Regressor::fit`] and
+    /// [`RandomForest::predict_matrix`]: `1` is serial (the default),
+    /// `0` resolves to `OPTUM_THREADS` / the machine's parallelism,
+    /// any other value is taken literally. The fitted model and its
+    /// predictions are bit-identical for every thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Builder-style [`RandomForest::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> RandomForest {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Configured worker-thread count (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Number of fitted trees.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Predicts every row of `x`, with the fitted check hoisted out of
+    /// the per-row loop and rows fanned out across the configured
+    /// worker threads. Output order always matches row order.
+    pub fn predict_matrix(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "fit before predict");
+        let inv = self.inv_tree_count;
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        optum_parallel::parallel_map_threads(self.threads, &rows, |_, &r| {
+            let row = x.row(r);
+            self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() * inv
+        })
     }
 }
 
@@ -90,29 +140,41 @@ impl Regressor for RandomForest {
             return Err(Error::InvalidData("feature/target length mismatch".into()));
         }
         let n = x.rows();
+        if n == 0 {
+            return Err(Error::InvalidData("empty training set".into()));
+        }
         let d = x.cols();
         let mut tree_params = self.params.tree;
         if tree_params.max_features.is_none() {
             tree_params.max_features = Some((d / 3).max(1));
         }
+        // Draw every bootstrap sample from the master RNG in tree
+        // order before fanning out, so the stream consumed is exactly
+        // the serial loop's and the fitted forest is bit-identical for
+        // any thread count. Trees then fit on index views of `x`
+        // instead of copied bootstrap matrices.
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.trees.clear();
-        for t in 0..self.params.n_trees {
-            // Bootstrap resample.
-            let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-            let rows: Vec<Vec<f64>> = indices.iter().map(|&i| x.row(i).to_vec()).collect();
-            let targets: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
-            let bx = Matrix::from_rows(&rows)?;
-            let mut tree = DecisionTree::new(tree_params, self.seed.wrapping_add(t as u64 + 1))?;
-            tree.fit(&bx, &targets)?;
-            self.trees.push(tree);
-        }
+        let samples: Vec<Vec<usize>> = (0..self.params.n_trees)
+            .map(|_| (0..n).map(|_| rng.gen_range(0..n)).collect())
+            .collect();
+        let seed = self.seed;
+        let fitted = optum_parallel::parallel_map_threads(self.threads, &samples, |t, indices| {
+            let mut tree = DecisionTree::new(tree_params, seed.wrapping_add(t as u64 + 1))?;
+            tree.fit_sample(x, y, indices)?;
+            Ok(tree)
+        });
+        self.trees = fitted.into_iter().collect::<Result<Vec<DecisionTree>>>()?;
+        self.inv_tree_count = 1.0 / self.trees.len() as f64;
         Ok(())
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         assert!(!self.trees.is_empty(), "fit before predict");
-        self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+        self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() * self.inv_tree_count
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_matrix(x)
     }
 }
 
@@ -166,6 +228,41 @@ mod tests {
         let preds: Vec<f64> = rows[split..].iter().map(|r| rf.predict_row(r)).collect();
         let r2 = r2_score(&preds, &y[split..]).unwrap();
         assert!(r2 > 0.6, "forest R2 {r2}");
+    }
+
+    #[test]
+    fn parallel_fit_matches_serial_bitwise() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, (i % 7) as f64, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = (0..60).map(|i| ((i % 7) * (i % 3)) as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut serial = RandomForest::default_params(11);
+        serial.fit(&x, &y).unwrap();
+        for threads in [2, 4, 8] {
+            let mut par = RandomForest::default_params(11).with_threads(threads);
+            par.fit(&x, &y).unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+            for r in rows.iter() {
+                assert_eq!(
+                    serial.predict_row(r).to_bits(),
+                    par.predict_row(r).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_matrix_matches_per_row() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i % 5) as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut rf = RandomForest::default_params(2).with_threads(4);
+        rf.fit(&x, &y).unwrap();
+        let batch = rf.predict_matrix(&x);
+        let single: Vec<f64> = (0..x.rows()).map(|i| rf.predict_row(x.row(i))).collect();
+        assert_eq!(batch, single);
+        assert_eq!(Regressor::predict(&rf, &x), batch);
     }
 
     #[test]

@@ -184,16 +184,36 @@ impl DecisionTree {
     }
 }
 
-impl Regressor for DecisionTree {
-    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+impl DecisionTree {
+    /// Fits on a sample view: conceptual training row `j` is
+    /// `x.row(indices[j])` with target `y[indices[j]]`. Duplicate
+    /// indices are allowed (bootstrap resampling). Produces a tree
+    /// bit-identical to copying the sampled rows into a fresh matrix
+    /// and calling [`Regressor::fit`], without materializing the copy:
+    /// split scoring walks the sample in `indices` order, so every
+    /// floating-point accumulation sees the same values in the same
+    /// order.
+    pub fn fit_sample(&mut self, x: &Matrix, y: &[f64], indices: &[usize]) -> Result<()> {
         if x.rows() != y.len() {
             return Err(Error::InvalidData("feature/target length mismatch".into()));
         }
-        let indices: Vec<usize> = (0..x.rows()).collect();
+        if indices.is_empty() {
+            return Err(Error::InvalidData("empty sample in fit_sample".into()));
+        }
+        if indices.iter().any(|&i| i >= x.rows()) {
+            return Err(Error::InvalidData("sample index out of bounds".into()));
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.n_features = x.cols();
-        self.root = Some(Self::build(x, y, &indices, 0, &self.params, &mut rng));
+        self.root = Some(Self::build(x, y, indices, 0, &self.params, &mut rng));
         Ok(())
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        self.fit_sample(x, y, &indices)
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
@@ -299,6 +319,39 @@ mod tests {
         t.fit(&x, &y).unwrap();
         assert_eq!(t.predict_row(&[3.0, 0.0]), 0.0);
         assert_eq!(t.predict_row(&[3.0, 1.0]), 10.0);
+    }
+
+    #[test]
+    fn fit_sample_matches_copied_bootstrap() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 4) as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| (i % 4) as f64 * 2.5).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        // Bootstrap-style sample with duplicates, arbitrary order.
+        let indices: Vec<usize> = (0..40)
+            .map(|i| (i * 17 + 5) % 40)
+            .chain([3, 3, 7])
+            .collect();
+        let copied_rows: Vec<Vec<f64>> = indices.iter().map(|&i| rows[i].clone()).collect();
+        let copied_y: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
+        let bx = Matrix::from_rows(&copied_rows).unwrap();
+        let params = TreeParams {
+            max_features: Some(1),
+            ..TreeParams::default()
+        };
+        let mut view = DecisionTree::new(params, 9).unwrap();
+        view.fit_sample(&x, &y, &indices).unwrap();
+        let mut copied = DecisionTree::new(params, 9).unwrap();
+        copied.fit(&bx, &copied_y).unwrap();
+        assert_eq!(view, copied);
+    }
+
+    #[test]
+    fn fit_sample_rejects_bad_input() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let y = [1.0, 2.0];
+        let mut t = DecisionTree::default_params(0);
+        assert!(t.fit_sample(&x, &y, &[]).is_err());
+        assert!(t.fit_sample(&x, &y, &[2]).is_err());
     }
 
     proptest! {

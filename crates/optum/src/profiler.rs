@@ -110,6 +110,13 @@ pub struct ProfilerConfig {
     pub model: ModelKind,
     /// RNG seed for model fitting and splits.
     pub seed: u64,
+    /// Worker threads for fanning the independent per-application fits
+    /// out during [`InterferenceProfiler::train`]: `0` (the default)
+    /// resolves via `OPTUM_THREADS` / available parallelism, `1` is
+    /// serial. Each app's fit is seeded independently, so the trained
+    /// profiler is bit-identical for every thread count. The forests
+    /// themselves stay serial — parallelism lives at the app level.
+    pub threads: usize,
 }
 
 impl Default for ProfilerConfig {
@@ -122,6 +129,7 @@ impl Default for ProfilerConfig {
             be_mape_threshold: 0.2,
             model: ModelKind::RandomForest,
             seed: 7,
+            threads: 0,
         }
     }
 }
@@ -177,6 +185,33 @@ pub fn fit_and_score(
     Ok((model, mape))
 }
 
+/// One application's raw training samples: feature rows + targets.
+type AppSamples = (Vec<Vec<f64>>, Vec<f64>);
+
+/// Fits one model per application group, fanning the independent fits
+/// out across `config.threads` workers. Groups are visited in sorted
+/// app order (`HashMap` iteration order is not deterministic); every
+/// fit draws only from its own seeded RNG, so the result is identical
+/// for any thread count. Apps whose fit fails are skipped.
+fn fit_groups(
+    by_app: HashMap<AppId, AppSamples>,
+    config: &ProfilerConfig,
+) -> HashMap<AppId, AppModel> {
+    let mut groups: Vec<(AppId, AppSamples)> = by_app.into_iter().collect();
+    groups.sort_by_key(|(app, _)| app.0);
+    optum_parallel::parallel_map_threads(config.threads, &groups, |_, (app, (feats, targets))| {
+        let idx = subsample_indices(feats.len(), config.max_samples_per_app);
+        let f: Vec<Vec<f64>> = idx.iter().map(|&i| feats[i].clone()).collect();
+        let t: Vec<f64> = idx.iter().map(|&i| targets[i]).collect();
+        fit_and_score(&f, &t, config)
+            .ok()
+            .map(|(model, mape)| (*app, AppModel { model, mape }))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// The Interference Profiler (❷): builds one performance model per
 /// application — PSI for latency-sensitive services (Eq. 1),
 /// normalized completion time for best-effort applications (Eq. 2).
@@ -209,25 +244,8 @@ impl InterferenceProfiler {
             entry.1.push(s.ct_norm);
         }
 
-        let fit_group = |feats: &mut Vec<Vec<f64>>, targets: &mut Vec<f64>| {
-            let idx = subsample_indices(feats.len(), config.max_samples_per_app);
-            let f: Vec<Vec<f64>> = idx.iter().map(|&i| feats[i].clone()).collect();
-            let t: Vec<f64> = idx.iter().map(|&i| targets[i]).collect();
-            fit_and_score(&f, &t, &config).ok()
-        };
-
-        let mut ls_models = HashMap::new();
-        for (app, (mut f, mut t)) in by_app_ls {
-            if let Some((model, mape)) = fit_group(&mut f, &mut t) {
-                ls_models.insert(app, AppModel { model, mape });
-            }
-        }
-        let mut be_models = HashMap::new();
-        for (app, (mut f, mut t)) in by_app_be {
-            if let Some((model, mape)) = fit_group(&mut f, &mut t) {
-                be_models.insert(app, AppModel { model, mape });
-            }
-        }
+        let ls_models = fit_groups(by_app_ls, &config);
+        let be_models = fit_groups(by_app_be, &config);
         Ok(InterferenceProfiler {
             config,
             discretizer,

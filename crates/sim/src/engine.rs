@@ -52,6 +52,13 @@ struct EvalPoint {
 }
 
 /// The discrete-event simulator (see crate docs for the tick loop).
+///
+/// A simulator borrows its [`Workload`] immutably, so any number of
+/// concurrent simulations (the experiment fan-out) share one workload
+/// with zero copies; all mutable state lives inside the simulator.
+/// Per-tick buffers are owned scratch fields reused across ticks, so
+/// the steady-state tick loop is allocation-free apart from recorded
+/// series/training output.
 pub struct Simulator<'w, S: Scheduler> {
     workload: &'w Workload,
     scheduler: S,
@@ -65,6 +72,9 @@ pub struct Simulator<'w, S: Scheduler> {
     outcomes: Vec<PodOutcome>,
     next_arrival: usize,
     sampled: Vec<bool>,
+    /// Per-pod index into `pod_series` (`usize::MAX` = not sampled),
+    /// so the hot loop records points without a linear scan.
+    series_slot: Vec<usize>,
     pod_series: Vec<(PodId, Vec<PodPoint>)>,
     cluster_series: Vec<ClusterTickStats>,
     violations: ViolationStats,
@@ -79,9 +89,21 @@ pub struct Simulator<'w, S: Scheduler> {
     // Scratch buffers reused across ticks.
     usage_scratch: Vec<(PodId, Resources, f64)>,
     app_group_scratch: Vec<(u32, f64, f64)>,
+    completion_scratch: Vec<(PodId, usize)>,
+    pending_scratch: Vec<PodId>,
     affinity_fractions: Vec<f64>,
     end_tick: Tick,
 }
+
+// The experiment layer fans independent simulations out across worker
+// threads over one shared `&Workload`; this pins down at compile time
+// that such sharing is sound.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    fn assert_send<T: Send>() {}
+    assert_sync::<Workload>();
+    assert_send::<SimResult>();
+};
 
 impl<'w, S: Scheduler> Simulator<'w, S> {
     /// Builds a simulator over a workload.
@@ -152,12 +174,16 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                     .collect()
             })
             .unwrap_or_default();
-        let pod_series = sampled
+        let pod_series: Vec<(PodId, Vec<PodPoint>)> = sampled
             .iter()
             .enumerate()
             .filter(|(_, &s)| s)
             .map(|(i, _)| (PodId(i as u32), Vec::new()))
             .collect();
+        let mut series_slot = vec![usize::MAX; n_pods];
+        for (slot, (pid, _)) in pod_series.iter().enumerate() {
+            series_slot[pid.index()] = slot;
+        }
         Ok(Simulator {
             workload,
             scheduler,
@@ -170,6 +196,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             outcomes,
             next_arrival: 0,
             sampled,
+            series_slot,
             pod_series,
             cluster_series: Vec::new(),
             violations: ViolationStats::default(),
@@ -181,6 +208,8 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             node_snapshot: Vec::new(),
             usage_scratch: Vec::new(),
             app_group_scratch: Vec::new(),
+            completion_scratch: Vec::new(),
+            pending_scratch: Vec::new(),
             affinity_fractions: workload.apps.iter().map(|a| a.affinity_fraction).collect(),
             end_tick,
         })
@@ -304,8 +333,12 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             (std::cmp::Reverse(spec.slo.priority()), spec.arrival, id)
         });
         let mut budget = self.config.schedule_budget_per_tick;
-        let pending = std::mem::take(&mut self.pending);
-        for pid in pending {
+        // Swap the queue with a persistent scratch buffer instead of
+        // `mem::take`, so the capacity of both vectors survives the
+        // tick and steady-state rounds allocate nothing.
+        std::mem::swap(&mut self.pending, &mut self.pending_scratch);
+        for k in 0..self.pending_scratch.len() {
+            let pid = self.pending_scratch[k];
             if budget == 0 {
                 self.pending.push(pid);
                 continue;
@@ -343,6 +376,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 }
             }
         }
+        self.pending_scratch.clear();
     }
 
     /// Preempts BE pods to make room for an LSR pod (§3.1.3: LSR pods
@@ -516,7 +550,10 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         let mut ls_count = 0usize;
         let mut ls_qps_sum = 0.0;
         let mut running_count = 0usize;
-        let mut completions: Vec<(PodId, usize)> = Vec::new();
+        // Reuse the completion buffer across ticks (borrowed out of
+        // `self` so pushes can happen while `self.running` is borrowed).
+        let mut completions = std::mem::take(&mut self.completion_scratch);
+        debug_assert!(completions.is_empty());
 
         for node_idx in 0..self.nodes.len() {
             // Pass 1: raw usage per resident pod.
@@ -660,21 +697,20 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                     } else {
                         (qps * 0.01 * (0.9 + 0.2 * noise), qps * 0.004)
                     };
-                    if let Some((_, series)) = self.pod_series.iter_mut().find(|(id, _)| *id == pid)
-                    {
-                        series.push(PodPoint {
-                            tick: t,
-                            usage,
-                            cpu_psi: state.cpu_psi,
-                            mem_psi: state.mem_psi,
-                            qps,
-                            response_time: rt,
-                            host_cpu_util: host_util.cpu,
-                            host_mem_util: host_util.mem,
-                            rx,
-                            tx,
-                        });
-                    }
+                    let slot = self.series_slot[pid.index()];
+                    debug_assert!(slot != usize::MAX, "sampled pod must have a series slot");
+                    self.pod_series[slot].1.push(PodPoint {
+                        tick: t,
+                        usage,
+                        cpu_psi: state.cpu_psi,
+                        mem_psi: state.mem_psi,
+                        qps,
+                        response_time: rt,
+                        host_cpu_util: host_util.cpu,
+                        host_mem_util: host_util.mem,
+                        rx,
+                        tx,
+                    });
                 }
 
                 // Progress and completion.
@@ -723,9 +759,11 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             }
         }
 
-        for (pid, node_idx) in completions {
+        for &(pid, node_idx) in &completions {
             self.complete(pid, node_idx, t);
         }
+        completions.clear();
+        self.completion_scratch = completions;
 
         if record_series {
             let n = self.nodes.len() as f64;

@@ -49,3 +49,19 @@ impl Scheduler for Box<dyn Scheduler> {
         self.as_mut().on_tick(view)
     }
 }
+
+/// Same for `Send` boxed schedulers, so rosters of heterogeneous
+/// schedulers can move onto experiment worker threads.
+impl Scheduler for Box<dyn Scheduler + Send> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+        self.as_mut().select_node(pod, view)
+    }
+
+    fn on_tick(&mut self, view: &ClusterView<'_>) {
+        self.as_mut().on_tick(view)
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset this workspace's benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros. Instead of criterion's statistical machinery it runs each
+//! routine for a short, fixed budget and prints the mean wall-clock
+//! time per iteration — enough to compare orders of magnitude, not a
+//! substitute for real criterion runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _parent: self,
+        }
+    }
+}
+
+/// A named benchmark identifier, optionally parameterized.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (offline: scales the budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark routine.
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Runs one benchmark routine with an explicit input.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times repeated calls of `routine` within a small fixed budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, untimed.
+        black_box(routine());
+        let budget = Duration::from_millis(200);
+        let max_iters = self.sample_size as u64;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < max_iters && (iters < 3 || start.elapsed() < budget) {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label}: no iterations recorded");
+        } else {
+            let per = self.elapsed / self.iters as u32;
+            println!("{label}: {per:?}/iter over {} iters (offline stub)", self.iters);
+        }
+    }
+}
+
+/// Opaque value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

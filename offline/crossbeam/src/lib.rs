@@ -1,0 +1,66 @@
+//! Offline stand-in for `crossbeam`: scoped threads over
+//! `std::thread::scope`, covering the `crossbeam::scope` API this
+//! workspace uses. Panics in spawned threads surface through
+//! `ScopedJoinHandle::join` exactly like the real crate.
+
+use std::any::Any;
+
+/// A scope for spawning borrowing threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope (so it
+    /// can spawn siblings), mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread, returning its result (`Err` on panic).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before
+/// this returns. Unjoined panicked children propagate their panic (the
+/// real crate reports them through the outer `Result` instead, which
+/// callers here immediately `expect`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|part| s.spawn(move |_| part.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

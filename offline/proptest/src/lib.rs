@@ -1,0 +1,211 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro
+//! over `arg in strategy` parameters, range strategies, tuple
+//! strategies, `collection::vec`, `any::<T>()`, and
+//! `prop_assert!`/`prop_assert_eq!`. Cases are generated from a
+//! deterministic per-test seed; there is no shrinking — a failing case
+//! panics with the plain assertion message.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cases generated per property test.
+pub const CASES: usize = 64;
+
+/// Deterministic RNG for one named property test.
+pub fn test_rng(name: &str) -> StdRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident : $i:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// `any::<T>()` strategy: the full range of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Draws from `T`'s full value range.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::Strategy;
+    use std::ops::Range;
+
+    /// A length specification: fixed or ranged.
+    pub trait IntoLen {
+        fn pick(&self, rng: &mut rand::rngs::StdRng) -> usize;
+    }
+
+    impl IntoLen for usize {
+        fn pick(&self, _rng: &mut rand::rngs::StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLen for Range<usize> {
+        fn pick(&self, rng: &mut rand::rngs::StdRng) -> usize {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Vector strategy.
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `elem`-generated values with a fixed or ranged length.
+    pub fn vec<S: Strategy, L: IntoLen>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+}
+
+/// Per-block test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config overriding only the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: CASES as u32,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Property-test harness macro (no shrinking offline).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let cases = $crate::ProptestConfig::from($cfg).cases;
+            let mut rng = $crate::test_rng(stringify!($name));
+            for _ in 0..cases {
+                $(let $arg = ($strat).generate(&mut rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+/// Assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            xs in crate::collection::vec(-1e3f64..1e3, 0..50),
+            pair in (0u64..10, -2f64..3.0),
+            n in any::<u64>(),
+        ) {
+            prop_assert!(xs.len() < 50);
+            prop_assert!(xs.iter().all(|x| (-1e3..1e3).contains(x)));
+            prop_assert!(pair.0 < 10);
+            prop_assert_eq!(n, n);
+        }
+    }
+}

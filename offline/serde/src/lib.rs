@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde`: re-exports no-op `Serialize` /
+//! `Deserialize` derive macros so `#[derive(...)]` positions compile.
+//! No serialization actually happens offline (see offline/README.md).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

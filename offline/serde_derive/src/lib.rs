@@ -1,0 +1,19 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize, Deserialize)]` expands to nothing: the
+//! workspace only uses serde derives for optional workload archiving,
+//! and the offline `serde_json` stand-in is unbounded-generic, so no
+//! trait impls are required to compile. JSON round-trip tests fail
+//! under the offline patch by design (see offline/README.md).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

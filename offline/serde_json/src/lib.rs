@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde_json`. Serialization is stubbed: every
+//! call returns an error explaining the offline build. The functions
+//! are unbounded generics so no `Serialize`/`Deserialize` impls are
+//! needed anywhere in the workspace. Workload-archiving round-trip
+//! tests fail under the offline patch by design (see
+//! offline/README.md).
+
+use std::fmt;
+
+/// The error every stubbed call returns.
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+const STUBBED: Error =
+    Error("serde_json is stubbed in the offline build; JSON archiving is unavailable");
+
+/// Always fails offline.
+pub fn to_string<T: ?Sized>(_value: &T) -> Result<String, Error> {
+    Err(STUBBED)
+}
+
+/// Always fails offline.
+pub fn to_writer<W: std::io::Write, T: ?Sized>(_writer: W, _value: &T) -> Result<(), Error> {
+    Err(STUBBED)
+}
+
+/// Always fails offline.
+pub fn from_str<T>(_s: &str) -> Result<T, Error> {
+    Err(STUBBED)
+}
+
+/// Always fails offline.
+pub fn from_reader<R: std::io::Read, T>(_reader: R) -> Result<T, Error> {
+    Err(STUBBED)
+}

@@ -13,6 +13,7 @@
 pub use optum_core as optum;
 pub use optum_experiments as experiments;
 pub use optum_ml as ml;
+pub use optum_parallel as parallel;
 pub use optum_predictors as predictors;
 pub use optum_sched as sched;
 pub use optum_sim as sim;
