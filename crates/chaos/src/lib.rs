@@ -1,0 +1,388 @@
+//! Deterministic, seed-driven fault-plan generation.
+//!
+//! The paper evaluates Optum on a healthy cluster; real unified
+//! platforms run under constant churn. This crate generates the churn:
+//! given a [`ChaosConfig`], [`generate_plan`] produces a canonical,
+//! time-sorted sequence of [`FaultEvent`]s — node crashes with
+//! exponential inter-failure times and exponential repair times,
+//! periodic-ish maintenance drains, transient capacity degradation,
+//! and cluster-wide straggler pod kills — that `optum-sim` injects
+//! into its tick loop.
+//!
+//! Determinism contract: the plan is a pure function of the config.
+//! Every fault channel draws from its own counter-derived stream
+//! (SplitMix64), so changing one channel's parameters never perturbs
+//! another channel's events, and the final [`sort_fault_plan`] pass
+//! makes the order independent of generation order.
+
+use optum_types::{sort_fault_plan, FaultEvent, FaultKind, NodeId, Tick, TICKS_PER_DAY};
+
+/// A small, fast, well-mixed deterministic generator (SplitMix64).
+///
+/// Used instead of `rand`'s `StdRng` so fault plans are reproducible
+/// from the seed alone, independent of any external crate's stream
+/// definition.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponential draw with the given mean (inverse CDF). Returns
+    /// infinity when the mean is infinite (a disabled channel).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        if !mean.is_finite() {
+            return f64::INFINITY;
+        }
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+}
+
+/// Derives an independent stream for `(seed, node, channel)`.
+fn stream(seed: u64, node: u64, channel: u64) -> SplitMix64 {
+    // One warm-up scramble so nearby (node, channel) pairs decorrelate.
+    let mut mixer = SplitMix64::new(
+        seed ^ node.wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ channel.wrapping_mul(0xE703_7ED1_A0B4_28DB),
+    );
+    let s = mixer.next_u64();
+    SplitMix64::new(s)
+}
+
+/// Parameters of a fault plan. All intervals are *means* of
+/// exponential inter-event times, in ticks; `f64::INFINITY` disables a
+/// channel entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of every stream.
+    pub seed: u64,
+    /// Hosts in the cluster (events target nodes `0..nodes`).
+    pub nodes: u32,
+    /// Plan horizon: no event fires at or after this tick.
+    pub window_ticks: u64,
+    /// Per-node mean time between crashes (MTBF).
+    pub crash_mtbf_ticks: f64,
+    /// Mean repair time after a crash (MTTR).
+    pub crash_mttr_ticks: f64,
+    /// Per-node mean time between maintenance drains.
+    pub drain_interval_ticks: f64,
+    /// Fixed drain duration.
+    pub drain_duration_ticks: u64,
+    /// Per-node mean time between degradation episodes.
+    pub degrade_interval_ticks: f64,
+    /// Fixed degradation duration.
+    pub degrade_duration_ticks: u64,
+    /// Effective-capacity multiplier while degraded.
+    pub degrade_factor: f64,
+    /// Cluster-wide mean time between straggler pod kills.
+    pub pod_kill_interval_ticks: f64,
+}
+
+impl ChaosConfig {
+    /// A fully quiet configuration: no channel enabled, empty plan.
+    pub fn quiet(nodes: u32, window_ticks: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            nodes,
+            window_ticks,
+            crash_mtbf_ticks: f64::INFINITY,
+            crash_mttr_ticks: 120.0,
+            drain_interval_ticks: f64::INFINITY,
+            drain_duration_ticks: 240,
+            degrade_interval_ticks: f64::INFINITY,
+            degrade_duration_ticks: 120,
+            degrade_factor: 0.6,
+            pod_kill_interval_ticks: f64::INFINITY,
+        }
+    }
+
+    /// The churn experiment's single-knob configuration: every channel
+    /// scales off one per-node crash MTBF given in days. Crashes repair
+    /// in a mean of one hour; drains come six crash-lifetimes apart and
+    /// last two hours; degradations (to 60% capacity, one hour) come
+    /// three crash-lifetimes apart; straggler kills hit the cluster at
+    /// the same aggregate rate as crashes. An infinite MTBF yields an
+    /// empty plan.
+    pub fn from_mtbf_days(nodes: u32, window_ticks: u64, seed: u64, mtbf_days: f64) -> ChaosConfig {
+        if !mtbf_days.is_finite() {
+            return ChaosConfig {
+                seed,
+                ..ChaosConfig::quiet(nodes, window_ticks)
+            };
+        }
+        let mtbf = mtbf_days * TICKS_PER_DAY as f64;
+        ChaosConfig {
+            seed,
+            nodes,
+            window_ticks,
+            crash_mtbf_ticks: mtbf,
+            crash_mttr_ticks: 120.0,
+            drain_interval_ticks: 6.0 * mtbf,
+            drain_duration_ticks: 240,
+            degrade_interval_ticks: 3.0 * mtbf,
+            degrade_duration_ticks: 120,
+            degrade_factor: 0.6,
+            pod_kill_interval_ticks: mtbf / nodes.max(1) as f64,
+        }
+    }
+}
+
+/// Seed-channel salts (one per fault channel).
+const CH_CRASH: u64 = 1;
+const CH_DRAIN: u64 = 2;
+const CH_DEGRADE: u64 = 3;
+const CH_KILL: u64 = 4;
+
+/// Generates the canonical fault plan for a configuration.
+///
+/// The result is sorted by [`FaultEvent::order_key`] and contains only
+/// events strictly inside the window. Paired end events (recover,
+/// drain end, degrade end) are emitted even when they land past the
+/// window start of their begin event — a crash near the window end
+/// whose recovery falls outside simply leaves the node down.
+pub fn generate_plan(cfg: &ChaosConfig) -> Vec<FaultEvent> {
+    let mut events: Vec<FaultEvent> = Vec::new();
+    let horizon = cfg.window_ticks;
+
+    // Per-node alternating crash/recover walk.
+    if cfg.crash_mtbf_ticks.is_finite() {
+        for node in 0..cfg.nodes {
+            let mut rng = stream(cfg.seed, node as u64, CH_CRASH);
+            let mut t = 0u64;
+            loop {
+                let gap = tick_gap(rng.exp(cfg.crash_mtbf_ticks));
+                let Some(crash_at) = t.checked_add(gap).filter(|&x| x < horizon) else {
+                    break;
+                };
+                events.push(FaultEvent {
+                    at: Tick(crash_at),
+                    node: NodeId(node),
+                    kind: FaultKind::Crash,
+                });
+                let repair = tick_gap(rng.exp(cfg.crash_mttr_ticks));
+                let recover_at = crash_at.saturating_add(repair);
+                if recover_at >= horizon {
+                    break; // down to the end of the window
+                }
+                events.push(FaultEvent {
+                    at: Tick(recover_at),
+                    node: NodeId(node),
+                    kind: FaultKind::Recover,
+                });
+                t = recover_at;
+            }
+        }
+    }
+
+    // Per-node maintenance drains of fixed duration.
+    if cfg.drain_interval_ticks.is_finite() {
+        for node in 0..cfg.nodes {
+            let mut rng = stream(cfg.seed, node as u64, CH_DRAIN);
+            let mut t = 0u64;
+            loop {
+                let gap = tick_gap(rng.exp(cfg.drain_interval_ticks));
+                let Some(start) = t.checked_add(gap).filter(|&x| x < horizon) else {
+                    break;
+                };
+                events.push(FaultEvent {
+                    at: Tick(start),
+                    node: NodeId(node),
+                    kind: FaultKind::DrainStart,
+                });
+                let end = start.saturating_add(cfg.drain_duration_ticks.max(1));
+                if end >= horizon {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: Tick(end),
+                    node: NodeId(node),
+                    kind: FaultKind::DrainEnd,
+                });
+                t = end;
+            }
+        }
+    }
+
+    // Per-node transient degradation episodes.
+    if cfg.degrade_interval_ticks.is_finite() {
+        for node in 0..cfg.nodes {
+            let mut rng = stream(cfg.seed, node as u64, CH_DEGRADE);
+            let mut t = 0u64;
+            loop {
+                let gap = tick_gap(rng.exp(cfg.degrade_interval_ticks));
+                let Some(start) = t.checked_add(gap).filter(|&x| x < horizon) else {
+                    break;
+                };
+                events.push(FaultEvent {
+                    at: Tick(start),
+                    node: NodeId(node),
+                    kind: FaultKind::Degrade {
+                        factor: cfg.degrade_factor.clamp(0.05, 1.0),
+                    },
+                });
+                let end = start.saturating_add(cfg.degrade_duration_ticks.max(1));
+                if end >= horizon {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: Tick(end),
+                    node: NodeId(node),
+                    kind: FaultKind::DegradeEnd,
+                });
+                t = end;
+            }
+        }
+    }
+
+    // Cluster-wide straggler kills.
+    if cfg.pod_kill_interval_ticks.is_finite() && cfg.nodes > 0 {
+        let mut rng = stream(cfg.seed, u64::MAX, CH_KILL);
+        let mut t = 0u64;
+        loop {
+            let gap = tick_gap(rng.exp(cfg.pod_kill_interval_ticks));
+            let Some(at) = t.checked_add(gap).filter(|&x| x < horizon) else {
+                break;
+            };
+            let node = (rng.next_u64() % cfg.nodes as u64) as u32;
+            let selector = rng.next_u64();
+            events.push(FaultEvent {
+                at: Tick(at),
+                node: NodeId(node),
+                kind: FaultKind::PodKill { selector },
+            });
+            t = at;
+        }
+    }
+
+    sort_fault_plan(&mut events);
+    events
+}
+
+/// Rounds an exponential draw up to a whole positive tick gap.
+fn tick_gap(draw: f64) -> u64 {
+    if !draw.is_finite() {
+        return u64::MAX;
+    }
+    (draw.ceil() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy() -> ChaosConfig {
+        ChaosConfig::from_mtbf_days(24, 2880 * 2, 7, 0.5)
+    }
+
+    #[test]
+    fn quiet_plan_is_empty() {
+        assert!(generate_plan(&ChaosConfig::quiet(100, 23_040)).is_empty());
+        assert!(
+            generate_plan(&ChaosConfig::from_mtbf_days(100, 23_040, 42, f64::INFINITY)).is_empty()
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_sorted() {
+        let a = generate_plan(&busy());
+        let b = generate_plan(&busy());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].order_key() <= w[1].order_key(), "plan not sorted");
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_plan() {
+        let a = generate_plan(&busy());
+        let b = generate_plan(&ChaosConfig { seed: 8, ..busy() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn events_stay_inside_window_and_cluster() {
+        let cfg = busy();
+        let plan = generate_plan(&cfg);
+        for e in &plan {
+            assert!(e.at.0 < cfg.window_ticks);
+            assert!(e.node.0 < cfg.nodes);
+        }
+    }
+
+    #[test]
+    fn crash_recover_alternate_per_node() {
+        let cfg = busy();
+        let plan = generate_plan(&cfg);
+        for node in 0..cfg.nodes {
+            let mut down = false;
+            for e in plan.iter().filter(|e| e.node.0 == node) {
+                match e.kind {
+                    FaultKind::Crash => {
+                        assert!(!down, "double crash on node {node}");
+                        down = true;
+                    }
+                    FaultKind::Recover => {
+                        assert!(down, "recover while up on node {node}");
+                        down = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mtbf_controls_crash_count() {
+        let window = 2880 * 8;
+        let count = |days: f64| {
+            generate_plan(&ChaosConfig::from_mtbf_days(50, window, 42, days))
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::Crash))
+                .count()
+        };
+        assert!(count(0.5) > count(4.0), "shorter MTBF must crash more");
+    }
+
+    #[test]
+    fn splitmix_is_reproducible_and_in_range() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix64::new(3);
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 2000.0 - 0.5).abs() < 0.05, "uniform mean off");
+        // Exponential mean roughly matches.
+        let mut s = 0.0;
+        for _ in 0..2000 {
+            s += r.exp(40.0);
+        }
+        assert!((s / 2000.0 - 40.0).abs() < 5.0, "exp mean {}", s / 2000.0);
+    }
+}

@@ -17,7 +17,7 @@ fn main() {
         eprintln!(
             "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T]"
         );
-        eprintln!("figures: {ALL_FIGURES:?} + fig22");
+        eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn");
         std::process::exit(2);
     }
     let mut config = ExpConfig::standard();

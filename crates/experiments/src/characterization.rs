@@ -312,7 +312,7 @@ pub fn fig9(runner: &mut Runner) -> Result<Figure> {
 
     let mut pb = Panel::new(
         "(b) source of delay",
-        &["class", "CPU & Mem", "Mem", "CPU", "Other"],
+        &["class", "CPU & Mem", "Mem", "CPU", "Eviction", "Other"],
     );
     for slo in [SloClass::Be, SloClass::Ls, SloClass::Lsr] {
         let delayed: Vec<&optum_sim::PodOutcome> = reference
@@ -327,6 +327,7 @@ pub fn fig9(runner: &mut Runner) -> Result<Figure> {
             format!("{:.3}", frac(DelayCause::CpuAndMemory)),
             format!("{:.3}", frac(DelayCause::Memory)),
             format!("{:.3}", frac(DelayCause::Cpu)),
+            format!("{:.3}", frac(DelayCause::Eviction)),
             format!("{:.3}", frac(DelayCause::Other)),
         ]);
     }

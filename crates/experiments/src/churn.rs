@@ -1,0 +1,268 @@
+//! Resilience under cluster churn: the `churn` experiment.
+//!
+//! Sweeps a node-failure MTBF grid (including the healthy `inf` arm)
+//! across the full scheduler roster. Each arm injects the same
+//! seed-derived fault plan — node crashes with exponential
+//! inter-failure times, maintenance drains, transient capacity
+//! degradation and straggler pod kills — into every scheduler's run,
+//! so differences within an arm are purely scheduler behavior.
+//!
+//! The healthy arm is byte-identical to the fig19/fig20 evaluation
+//! pipeline (an empty fault plan leaves the engine's hot paths
+//! untouched), which pins down that the chaos subsystem costs nothing
+//! when disabled. Expected shape: every scheduler degrades as MTBF
+//! shrinks, and Optum degrades most gracefully — its usage-based
+//! scoring re-packs evicted pods onto genuinely free capacity, while
+//! request-based contenders reject or misplace the reschedule burst.
+
+use std::sync::Arc;
+
+use optum_chaos::{generate_plan, ChaosConfig};
+use optum_core::{
+    InterferenceProfiler, OptumConfig, OptumScheduler, ProfilerConfig, ResourceUsageProfiler,
+};
+use optum_sched::{AlibabaLike, BorgLike, Medea, NSigmaSched, RcLike};
+use optum_sim::SimResult;
+use optum_types::{FaultEvent, Result, SloClass};
+
+use crate::output::{Figure, Panel};
+use crate::runner::Runner;
+
+/// The default MTBF grid, in days per node (`inf` = healthy cluster).
+pub const MTBF_GRID: [f64; 4] = [f64::INFINITY, 8.0, 2.0, 0.5];
+
+/// Schedulers per arm, in roster order.
+const ROSTER: [&str; 6] = [
+    "AlibabaLike",
+    "RC-like",
+    "N-sigma",
+    "Borg-like",
+    "Medea",
+    "Optum",
+];
+
+fn mtbf_label(days: f64) -> String {
+    if days.is_finite() {
+        format!("{days:.2}")
+    } else {
+        "inf".into()
+    }
+}
+
+/// The `churn` experiment over the default MTBF grid.
+pub fn churn(runner: &mut Runner) -> Result<Figure> {
+    churn_grid(runner, &MTBF_GRID)
+}
+
+/// The `churn` experiment over an explicit MTBF grid (tests use a
+/// reduced grid).
+pub fn churn_grid(runner: &mut Runner, grid: &[f64]) -> Result<Figure> {
+    // Train Optum's profilers once; every arm shares them.
+    let (usage, interference) = {
+        let training = runner.training()?;
+        (
+            Arc::new(ResourceUsageProfiler::from_training(training)),
+            Arc::new(InterferenceProfiler::train(
+                training,
+                ProfilerConfig::default(),
+            )?),
+        )
+    };
+    let window_ticks = runner.config.workload_config().window_ticks();
+    let hosts = runner.config.hosts as u32;
+    let seed = runner.config.seed;
+
+    // One fault plan per arm, shared by every scheduler in the arm so
+    // within-arm differences are purely scheduler behavior.
+    let plans: Vec<Vec<FaultEvent>> = grid
+        .iter()
+        .map(|&mtbf| {
+            generate_plan(&ChaosConfig::from_mtbf_days(
+                hosts,
+                window_ticks,
+                seed,
+                mtbf,
+            ))
+        })
+        .collect();
+
+    // Flatten every (arm × scheduler) run into one fan-out.
+    let mut jobs: Vec<(usize, Box<dyn optum_sim::Scheduler + Send>, Vec<FaultEvent>)> = Vec::new();
+    for (ai, plan) in plans.iter().enumerate() {
+        let roster: Vec<Box<dyn optum_sim::Scheduler + Send>> = vec![
+            Box::new(AlibabaLike::default()),
+            Box::new(RcLike::default()),
+            Box::new(NSigmaSched::default()),
+            Box::new(BorgLike::default()),
+            Box::new(Medea::default()),
+            Box::new(OptumScheduler::with_shared(
+                OptumConfig::default(),
+                usage.clone(),
+                interference.clone(),
+            )),
+        ];
+        for scheduler in roster {
+            jobs.push((ai, scheduler, plan.clone()));
+        }
+    }
+    let results: Vec<SimResult> = optum_parallel::parallel_map_owned_threads(
+        runner.threads(),
+        jobs,
+        |_, (_, scheduler, plan)| runner.run_eval_chaos(scheduler, plan),
+    )
+    .into_iter()
+    .collect::<Result<_>>()?;
+
+    let per_arm = ROSTER.len();
+    let arm_result = |ai: usize, si: usize| &results[ai * per_arm + si];
+
+    let mut fig = Figure::new(
+        "churn",
+        "Scheduler resilience under node failures and cluster churn",
+    );
+
+    // (a) Cluster-level health per (MTBF, scheduler).
+    let mut pa = Panel::new(
+        "(a) cluster health per arm",
+        &[
+            "mtbf_days",
+            "scheduler",
+            "placement_rate",
+            "mean_active_cpu_util",
+            "violation_rate",
+            "evictions",
+            "stale_rejections",
+            "crashes",
+            "down_node_ticks",
+        ],
+    );
+    for (ai, &mtbf) in grid.iter().enumerate() {
+        for si in 0..per_arm {
+            let r = arm_result(ai, si);
+            pa.row(vec![
+                mtbf_label(mtbf),
+                r.scheduler.clone(),
+                format!("{:.4}", r.placement_rate()),
+                format!("{:.4}", mean_active(r)),
+                format!("{:.6}", r.violations.rate()),
+                r.churn.total_evictions().to_string(),
+                r.churn.stale_rejections.to_string(),
+                r.churn.crashes.to_string(),
+                r.churn.down_node_ticks.to_string(),
+            ]);
+        }
+    }
+    fig.push(pa);
+
+    // (b) Per-class recovery: time-to-reschedule and failure counts.
+    let mut pb = Panel::new(
+        "(b) per-class recovery",
+        &[
+            "mtbf_days",
+            "scheduler",
+            "class",
+            "evictions",
+            "rescheduled",
+            "mean_ttr_ticks",
+            "failed",
+        ],
+    );
+    for (ai, &mtbf) in grid.iter().enumerate() {
+        for si in 0..per_arm {
+            let r = arm_result(ai, si);
+            for &slo in &SloClass::ALL {
+                let c = r.churn.class(slo);
+                if c.evictions == 0 {
+                    continue;
+                }
+                pb.row(vec![
+                    mtbf_label(mtbf),
+                    r.scheduler.clone(),
+                    slo.to_string(),
+                    c.evictions.to_string(),
+                    c.rescheduled.to_string(),
+                    format!("{:.2}", c.mean_ttr_ticks()),
+                    c.failed.to_string(),
+                ]);
+            }
+        }
+    }
+    fig.push(pb);
+
+    // (c) SLO degradation of each churn arm vs the same scheduler's
+    // healthy (inf) arm: how much performance the churn itself costs.
+    let mut pc = Panel::new(
+        "(c) SLO delta vs healthy arm",
+        &[
+            "mtbf_days",
+            "scheduler",
+            "ls_psi_degraded_frac",
+            "be_completion_violation",
+            "placement_drop_pp",
+        ],
+    );
+    let healthy_arm = grid.iter().position(|m| !m.is_finite());
+    if let Some(hi) = healthy_arm {
+        for (ai, &mtbf) in grid.iter().enumerate() {
+            if ai == hi {
+                continue;
+            }
+            for si in 0..per_arm {
+                let r = arm_result(ai, si);
+                let base = arm_result(hi, si);
+                let (ls_frac, be_frac) = slo_delta(r, base);
+                pc.row(vec![
+                    mtbf_label(mtbf),
+                    r.scheduler.clone(),
+                    format!("{ls_frac:.4}"),
+                    format!("{be_frac:.5}"),
+                    format!(
+                        "{:.3}",
+                        (base.placement_rate() - r.placement_rate()) * 100.0
+                    ),
+                ]);
+            }
+        }
+    }
+    fig.push(pc);
+    Ok(fig)
+}
+
+fn mean_active(r: &SimResult) -> f64 {
+    if r.cluster_series.is_empty() {
+        return 0.0;
+    }
+    r.cluster_series
+        .iter()
+        .map(|s| s.mean_cpu_util_active)
+        .sum::<f64>()
+        / r.cluster_series.len() as f64
+}
+
+/// (LS fraction with degraded PSI, BE completion-violation fraction)
+/// of a churn run against the same scheduler's healthy run.
+fn slo_delta(new: &SimResult, base: &SimResult) -> (f64, f64) {
+    let mut ls_total = 0usize;
+    let mut ls_viol = 0usize;
+    let mut be_total = 0usize;
+    let mut be_viol = 0usize;
+    for (n, b) in new.outcomes.iter().zip(&base.outcomes) {
+        if n.slo.is_latency_sensitive() && n.scheduled() && b.scheduled() {
+            ls_total += 1;
+            if n.worst_psi > b.worst_psi + 0.01 {
+                ls_viol += 1;
+            }
+        } else if n.slo == SloClass::Be {
+            if let (Some(an), Some(ab)) = (n.actual_duration, b.actual_duration) {
+                be_total += 1;
+                if an > ab + 1 {
+                    be_viol += 1;
+                }
+            }
+        }
+    }
+    (
+        ls_viol as f64 / ls_total.max(1) as f64,
+        be_viol as f64 / be_total.max(1) as f64,
+    )
+}

@@ -16,6 +16,7 @@
 
 pub mod characterization;
 pub mod check;
+pub mod churn;
 pub mod correlation;
 pub mod endtoend;
 pub mod output;
@@ -68,9 +69,10 @@ pub fn run_figure_with(
         "fig20" => endtoend::fig20(runner),
         "fig21" => sweep::fig21(runner),
         "check" => check::check(runner),
+        "churn" => churn::churn(runner),
         "fig22" => overhead::fig22(config),
         other => Err(optum_types::Error::InvalidConfig(format!(
-            "unknown figure id '{other}'; known: {:?} + fig22",
+            "unknown figure id '{other}'; known: {:?} + fig22 + churn",
             ALL_FIGURES
         ))),
     }

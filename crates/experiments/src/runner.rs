@@ -7,7 +7,7 @@
 use optum_sched::AlibabaLike;
 use optum_sim::{run, SimConfig, SimResult, TrainingData};
 use optum_trace::{generate, Workload, WorkloadConfig};
-use optum_types::Result;
+use optum_types::{FaultEvent, Result};
 
 /// Experiment scale configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +142,21 @@ impl Runner {
         let mut cfg = self.sim_config();
         cfg.pods_per_app_sampled = 0;
         cfg.series_stride = 10;
+        run(&self.workload, scheduler, cfg)
+    }
+
+    /// Runs an evaluation simulation under a scheduler with a
+    /// fault-injection plan. With an empty plan this is byte-identical
+    /// to [`Runner::run_eval`].
+    pub fn run_eval_chaos<S: optum_sim::Scheduler>(
+        &self,
+        scheduler: S,
+        faults: Vec<FaultEvent>,
+    ) -> Result<SimResult> {
+        let mut cfg = self.sim_config();
+        cfg.pods_per_app_sampled = 0;
+        cfg.series_stride = 10;
+        cfg.fault_events = faults;
         run(&self.workload, scheduler, cfg)
     }
 

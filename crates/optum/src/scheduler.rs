@@ -405,7 +405,9 @@ impl Scheduler for OptumScheduler {
         let candidates: Vec<usize> = chosen
             .iter()
             .copied()
-            .filter(|&i| view.allows(pod.app, view.nodes[i].spec.id))
+            .filter(|&i| {
+                view.nodes[i].is_schedulable() && view.allows(pod.app, view.nodes[i].spec.id)
+            })
             .collect();
         if candidates.is_empty() {
             return Decision::Unplaceable(optum_types::DelayCause::Other);

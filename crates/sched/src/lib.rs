@@ -92,6 +92,11 @@ pub fn best_node(
     let mut tracker = CauseTracker::default();
     let mut best: Option<(usize, f64)> = None;
     for (i, node) in nodes.iter().enumerate() {
+        // Crashed or draining nodes are not candidates, like nodes
+        // outside the pod's affinity.
+        if !node.is_schedulable() {
+            continue;
+        }
         let Some((cpu_ok, mem_ok)) = feasibility(node) else {
             continue;
         };

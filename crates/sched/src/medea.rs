@@ -157,6 +157,7 @@ impl Scheduler for Medea {
         let mut hosts: Vec<(NodeId, Resources)> = view
             .nodes
             .iter()
+            .filter(|n| n.is_schedulable())
             .map(|n| {
                 let budget = n.spec.capacity * self.overcommit;
                 (n.spec.id, budget.saturating_sub(&n.requested))
@@ -208,7 +209,7 @@ impl Scheduler for Medea {
                 // Validate against drift since the solve.
                 let n = &view.nodes[node.index()];
                 let budget = n.spec.capacity * self.overcommit;
-                if (n.requested + pod.request).fits_within(&budget) {
+                if n.is_schedulable() && (n.requested + pod.request).fits_within(&budget) {
                     return Decision::Place(node);
                 }
             }

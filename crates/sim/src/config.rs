@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use optum_predictors::UsagePredictor;
-use optum_types::{ClusterConfig, Tick};
+use optum_types::{ClusterConfig, FaultEvent, Tick};
 
 /// Configuration of an online predictor-accuracy evaluation
 /// (drives Fig. 11).
@@ -60,6 +60,17 @@ pub struct SimConfig {
     /// against raw capacity would never free room on an over-committed
     /// host).
     pub preempt_request_cap: f64,
+    /// Fault-injection plan (node crashes, drains, degradation,
+    /// straggler kills), sorted by [`FaultEvent::order_key`]. Empty
+    /// means a healthy cluster — the default, and bit-identical to the
+    /// pre-chaos engine.
+    pub fault_events: Vec<FaultEvent>,
+    /// Restart backoff after a fault-driven eviction: the first retry
+    /// waits this many ticks, doubling per subsequent eviction of the
+    /// same pod (scheduler preemption carries no backoff).
+    pub evict_backoff_base: u64,
+    /// Upper bound of the eviction restart backoff, in ticks.
+    pub evict_backoff_cap: u64,
 }
 
 impl SimConfig {
@@ -79,6 +90,9 @@ impl SimConfig {
             predictor_eval: None,
             snapshot_tick: None,
             preempt_request_cap: 3.0,
+            fault_events: Vec::new(),
+            evict_backoff_base: 2,
+            evict_backoff_cap: 120,
         }
     }
 }
@@ -93,5 +107,7 @@ mod tests {
         assert_eq!(c.cluster.node_count, 50);
         assert_eq!(c.history_window, 2880);
         assert!(c.predictor_eval.is_none());
+        assert!(c.fault_events.is_empty());
+        assert!(c.evict_backoff_base <= c.evict_backoff_cap);
     }
 }

@@ -1,14 +1,19 @@
 //! The simulation engine.
 
 use optum_predictors::PredictionErrors;
-use optum_types::{Error, NodeId, PodId, PsiWindow, Resources, Result, SloClass, Tick};
+use optum_types::{
+    DelayCause, Error, FaultEvent, FaultKind, NodeId, NodeLifecycle, PodId, PsiWindow, Resources,
+    Result, SloClass, Tick,
+};
 
 use optum_trace::{hash_noise, Workload};
 
 use crate::appstats::AppStatsStore;
 use crate::config::SimConfig;
 use crate::node::{NodeRuntime, ResidentPod};
-use crate::result::{ClusterTickStats, PodOutcome, PodPoint, SimResult, ViolationStats};
+use crate::result::{
+    ChurnStats, ClusterTickStats, PodOutcome, PodPoint, SimResult, ViolationStats,
+};
 use crate::scheduler::{Decision, Scheduler};
 use crate::training::{
     normalize_ct, AppUsageProfile, CtSample, PsiSample, TrainingData, TripleEroTable,
@@ -42,6 +47,33 @@ struct RunningState {
     util_ticks: u64,
 }
 
+/// Why a running pod is being removed from its node before
+/// completion. The kind decides whether progress survives and whether
+/// the restart carries a backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EvictKind {
+    /// Scheduler-initiated preemption (LSR displacing BE): progress
+    /// kept, immediate requeue.
+    Preempt,
+    /// Graceful eviction for maintenance: progress kept, restart
+    /// backoff applies.
+    Drain,
+    /// Node crash: progress lost, restart backoff applies.
+    Crash,
+    /// Straggler kill: progress lost, restart backoff applies.
+    Kill,
+}
+
+impl EvictKind {
+    fn keeps_progress(&self) -> bool {
+        matches!(self, EvictKind::Preempt | EvictKind::Drain)
+    }
+
+    fn is_fault(&self) -> bool {
+        !matches!(self, EvictKind::Preempt)
+    }
+}
+
 /// An outstanding predictor-evaluation point: predictions made at one
 /// tick, scored against the peak usage seen until `matures`.
 struct EvalPoint {
@@ -71,6 +103,19 @@ pub struct Simulator<'w, S: Scheduler> {
     suspended_work: Vec<Option<f64>>,
     outcomes: Vec<PodOutcome>,
     next_arrival: usize,
+    // Fault injection (all quiescent when the plan is empty).
+    faults: Vec<FaultEvent>,
+    next_fault: usize,
+    /// Per-pod tick of the last eviction (any kind), cleared on
+    /// re-placement; restarts waiting-time accounting.
+    evicted_at: Vec<Option<Tick>>,
+    /// Per-pod flag: the last eviction was fault-driven (drives the
+    /// per-class recovery accounting).
+    fault_evicted: Vec<bool>,
+    /// Per-pod earliest retry tick (capped exponential restart
+    /// backoff after fault-driven evictions).
+    not_before: Vec<Tick>,
+    churn: ChurnStats,
     sampled: Vec<bool>,
     /// Per-pod index into `pod_series` (`usize::MAX` = not sampled),
     /// so the hot loop records points without a linear scan.
@@ -107,7 +152,7 @@ const _: fn() = || {
 
 impl<'w, S: Scheduler> Simulator<'w, S> {
     /// Builds a simulator over a workload.
-    pub fn new(workload: &'w Workload, scheduler: S, config: SimConfig) -> Result<Self> {
+    pub fn new(workload: &'w Workload, scheduler: S, mut config: SimConfig) -> Result<Self> {
         if config.cluster.node_count == 0 {
             return Err(Error::InvalidConfig(
                 "cluster needs at least one node".into(),
@@ -160,10 +205,18 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 mean_pod_cpu_util: 0.0,
                 mean_pod_mem_util: 0.0,
                 preemptions: 0,
+                evictions: 0,
                 rank_by_usage: None,
                 rank_by_request: None,
             })
             .collect();
+        let faults = std::mem::take(&mut config.fault_events);
+        debug_assert!(
+            faults
+                .windows(2)
+                .all(|w| w[0].order_key() <= w[1].order_key()),
+            "fault plan must be sorted by order_key (use optum_types::sort_fault_plan)"
+        );
         let eval_errors = config
             .predictor_eval
             .as_ref()
@@ -195,6 +248,12 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             suspended_work: vec![None; n_pods],
             outcomes,
             next_arrival: 0,
+            faults,
+            next_fault: 0,
+            evicted_at: vec![None; n_pods],
+            fault_evicted: vec![false; n_pods],
+            not_before: vec![Tick::ZERO; n_pods],
+            churn: ChurnStats::default(),
             sampled,
             series_slot,
             pod_series,
@@ -223,6 +282,11 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             if t.0.is_multiple_of(REFRESH_STRIDE) {
                 self.apps.refresh_all();
             }
+            // Faults apply before the scheduler sees the tick, so
+            // every view already reflects crashed/draining nodes;
+            // stale decisions only arise from pre-fault state a
+            // scheduler cached itself.
+            self.apply_faults(t);
             self.tick_hook(t);
             self.schedule_round(t);
             self.physics_pass(t, sub_be, sub_ls);
@@ -254,6 +318,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             cluster_series: self.cluster_series,
             pod_series: self.pod_series,
             violations: self.violations,
+            churn: self.churn,
             predictor_errors: self.eval_errors,
             training,
             node_snapshot: self.node_snapshot,
@@ -322,6 +387,73 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         self.scheduler.on_tick(&view);
     }
 
+    /// Applies every fault event due at or before `t` (the plan is
+    /// sorted, so a cursor walk suffices). Events are idempotent
+    /// against the node's current lifecycle: a crash on a crashed node
+    /// or a drain on a non-Up node is a no-op, so overlapping channels
+    /// in a generated plan resolve deterministically (Down dominates
+    /// Draining; an early recover cancels a pending drain's effect).
+    fn apply_faults(&mut self, t: Tick) {
+        while self.next_fault < self.faults.len() && self.faults[self.next_fault].at <= t {
+            let ev = self.faults[self.next_fault];
+            self.next_fault += 1;
+            let ni = ev.node.index();
+            if ni >= self.nodes.len() {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::Crash => {
+                    if self.nodes[ni].lifecycle != NodeLifecycle::Down {
+                        self.churn.crashes += 1;
+                        self.nodes[ni].lifecycle = NodeLifecycle::Down;
+                        self.evict_all(ni, t, EvictKind::Crash);
+                    }
+                }
+                FaultKind::Recover => {
+                    if self.nodes[ni].lifecycle == NodeLifecycle::Down {
+                        self.nodes[ni].lifecycle = NodeLifecycle::Up;
+                    }
+                }
+                FaultKind::DrainStart => {
+                    if self.nodes[ni].lifecycle == NodeLifecycle::Up {
+                        self.churn.drains += 1;
+                        self.nodes[ni].lifecycle = NodeLifecycle::Draining;
+                        self.evict_all(ni, t, EvictKind::Drain);
+                    }
+                }
+                FaultKind::DrainEnd => {
+                    if self.nodes[ni].lifecycle == NodeLifecycle::Draining {
+                        self.nodes[ni].lifecycle = NodeLifecycle::Up;
+                    }
+                }
+                FaultKind::Degrade { factor } => {
+                    self.churn.degradations += 1;
+                    self.nodes[ni].degrade = factor.clamp(0.05, 1.0);
+                }
+                FaultKind::DegradeEnd => {
+                    self.nodes[ni].degrade = 1.0;
+                }
+                FaultKind::PodKill { selector } => {
+                    let node = &self.nodes[ni];
+                    if !node.pods.is_empty() {
+                        let idx = (selector % node.pods.len() as u64) as usize;
+                        let victim = node.pods[idx].id;
+                        self.churn.pod_kills += 1;
+                        self.evict(victim, t, EvictKind::Kill);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evicts every resident pod of a node (crash or drain).
+    fn evict_all(&mut self, node_idx: usize, t: Tick, kind: EvictKind) {
+        while let Some(rp) = self.nodes[node_idx].pods.last() {
+            let pid = rp.id;
+            self.evict(pid, t, kind);
+        }
+    }
+
     fn schedule_round(&mut self, t: Tick) {
         if self.pending.is_empty() {
             return;
@@ -339,6 +471,12 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         std::mem::swap(&mut self.pending, &mut self.pending_scratch);
         for k in 0..self.pending_scratch.len() {
             let pid = self.pending_scratch[k];
+            // Restart backoff after a fault eviction: not offered to
+            // the scheduler yet, and costs no budget.
+            if self.not_before[pid.index()] > t {
+                self.pending.push(pid);
+                continue;
+            }
             if budget == 0 {
                 self.pending.push(pid);
                 continue;
@@ -356,7 +494,17 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             let decision = self.scheduler.select_node(spec, &view);
             match decision {
                 Decision::Place(node) if node.index() < self.nodes.len() => {
-                    self.place(pid, node, t);
+                    if self.nodes[node.index()].is_schedulable() {
+                        self.place(pid, node, t);
+                    } else {
+                        // Stale view: the target crashed or started
+                        // draining after the scheduler last observed
+                        // it. The decision is rejected and the pod
+                        // goes through another scheduling round.
+                        self.churn.stale_rejections += 1;
+                        self.outcomes[pid.index()].delay_cause = Some(DelayCause::Other);
+                        self.pending.push(pid);
+                    }
                 }
                 Decision::Place(_) => {
                     // A scheduler bug: out-of-range node. Treat as
@@ -403,6 +551,9 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         // maximal (budget-free + BE-requested), within affinity.
         let mut best: Option<(usize, f64)> = None;
         for (i, node) in self.nodes.iter().enumerate() {
+            if !node.is_schedulable() {
+                continue;
+            }
             if !optum_trace::affinity_allows(spec.app.0, node.spec.id.0, frac) {
                 continue;
             }
@@ -432,20 +583,48 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 .rev()
                 .find(|p| p.slo == SloClass::Be)
                 .map(|p| p.id)?;
-            self.evict(victim, t);
+            self.evict(victim, t, EvictKind::Preempt);
         }
     }
 
-    /// Removes a running pod and requeues it (keeping its remaining
-    /// work).
-    fn evict(&mut self, pid: PodId, _t: Tick) {
+    /// Removes a running pod from its node and requeues it. Progress
+    /// survives according to the eviction kind: preemption and drains
+    /// keep it (BE pods resume remaining work, long-running pods keep
+    /// served wall-clock), crashes and kills restart from scratch.
+    /// The eviction tick is recorded so waiting-time accounting
+    /// restarts (re-placement and finalize charge the gap since `t`),
+    /// and fault-driven kinds additionally arm a capped exponential
+    /// restart backoff and feed the per-class recovery stats.
+    fn evict(&mut self, pid: PodId, t: Tick, kind: EvictKind) {
         let Some(state) = self.running[pid.index()].take() else {
             return;
         };
         self.nodes[state.node.index()].remove_pod(pid);
-        self.suspended_work[pid.index()] = Some(state.work_left);
+        let slo = self.workload.pods[pid.index()].spec.slo;
+        self.suspended_work[pid.index()] = if !kind.keeps_progress() {
+            None
+        } else if slo == SloClass::Be {
+            Some(state.work_left)
+        } else {
+            // Long-running pods resume their remaining wall-clock
+            // ticks (indefinite pods carry nothing).
+            state.end_tick.and_then(|end| {
+                if end.0 == u64::MAX {
+                    None
+                } else {
+                    Some(end.saturating_since(t) as f64)
+                }
+            })
+        };
         let outcome = &mut self.outcomes[pid.index()];
-        outcome.preemptions += 1;
+        let mut fault_count = 0u32;
+        if kind.is_fault() {
+            outcome.evictions += 1;
+            outcome.delay_cause = Some(DelayCause::Eviction);
+            fault_count = outcome.evictions;
+        } else {
+            outcome.preemptions += 1;
+        }
         outcome.node = None;
         // Carry performance peaks across the eviction.
         outcome.worst_psi = outcome.worst_psi.max(state.worst_psi);
@@ -453,12 +632,27 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         outcome.max_pod_mem_util = outcome.max_pod_mem_util.max(state.max_pod_mem_util);
         outcome.max_host_cpu_util = outcome.max_host_cpu_util.max(state.max_host_cpu_util);
         outcome.max_host_mem_util = outcome.max_host_mem_util.max(state.max_host_mem_util);
+        self.evicted_at[pid.index()] = Some(t);
+        if kind.is_fault() {
+            self.fault_evicted[pid.index()] = true;
+            // Capped exponential backoff, doubling per eviction.
+            let shift = fault_count.min(16) - 1;
+            let backoff =
+                (self.config.evict_backoff_base << shift).min(self.config.evict_backoff_cap);
+            self.not_before[pid.index()] = Tick(t.0.saturating_add(backoff));
+            self.churn.class_mut(slo).evictions += 1;
+        }
         self.pending.push(pid);
     }
 
     fn place(&mut self, pid: PodId, node: NodeId, t: Tick) {
+        debug_assert!(
+            self.running[pid.index()].is_none(),
+            "pod must not be running and queued at once"
+        );
         let gen = &self.workload.pods[pid.index()];
         let spec = &gen.spec;
+        let rescheduled_after = self.evicted_at[pid.index()].take();
         if self.config.record_ranks {
             let (ru, rr) = self.ranks_of(node, spec.request);
             let outcome = &mut self.outcomes[pid.index()];
@@ -477,21 +671,27 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         });
         let duration = spec.nominal_duration.unwrap_or(u64::MAX);
         let is_be = spec.slo == SloClass::Be;
+        // Suspended progress (preemption or drain) resumes; pods that
+        // lost progress (crash/kill) restart their full duration.
         let work_left = if is_be {
-            // Preempted BE pods resume their remaining work.
             self.suspended_work[pid.index()]
                 .take()
                 .unwrap_or(duration as f64)
         } else {
             0.0
         };
+        let end_tick = if is_be {
+            None
+        } else {
+            let remaining = self.suspended_work[pid.index()]
+                .take()
+                .map(|w| w as u64)
+                .unwrap_or(duration);
+            Some(Tick(t.0.saturating_add(remaining)))
+        };
         self.running[pid.index()] = Some(RunningState {
             node,
-            end_tick: if is_be {
-                None
-            } else {
-                Some(Tick(t.0.saturating_add(duration)))
-            },
+            end_tick,
             work_left,
             cpu_psi: PsiWindow::ZERO,
             mem_psi: PsiWindow::ZERO,
@@ -511,7 +711,20 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             // span preemptions.
             outcome.placed_at = Some(t);
             outcome.wait_ticks = t.saturating_since(spec.arrival);
+        } else if let Some(ev) = rescheduled_after {
+            // Re-placement after an eviction: waiting restarted at the
+            // eviction tick and the reschedule gap is charged on top.
+            outcome.wait_ticks += t.saturating_since(ev);
         }
+        if self.fault_evicted[pid.index()] {
+            self.fault_evicted[pid.index()] = false;
+            let class = self.churn.class_mut(spec.slo);
+            class.rescheduled += 1;
+            if let Some(ev) = rescheduled_after {
+                class.resched_ticks += t.saturating_since(ev);
+            }
+        }
+        self.not_before[pid.index()] = Tick::ZERO;
     }
 
     /// Alignment-score ranks of the chosen node among all nodes, where
@@ -550,12 +763,23 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         let mut ls_count = 0usize;
         let mut ls_qps_sum = 0.0;
         let mut running_count = 0usize;
+        let mut down_nodes = 0usize;
         // Reuse the completion buffer across ticks (borrowed out of
         // `self` so pushes can happen while `self.running` is borrowed).
         let mut completions = std::mem::take(&mut self.completion_scratch);
         debug_assert!(completions.is_empty());
 
         for node_idx in 0..self.nodes.len() {
+            // A down node contributes no capacity and hosts no pods;
+            // it still pushes (zero) usage into its history so
+            // predictors and schedulers see the outage, but it is
+            // excluded from the violation denominator.
+            if self.nodes[node_idx].lifecycle == NodeLifecycle::Down {
+                self.churn.down_node_ticks += 1;
+                down_nodes += 1;
+                self.nodes[node_idx].push_usage(Resources::ZERO);
+                continue;
+            }
             // Pass 1: raw usage per resident pod.
             self.usage_scratch.clear();
             {
@@ -570,7 +794,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 }
             }
             let raw: Resources = self.usage_scratch.iter().map(|(_, u, _)| *u).sum();
-            let cap = self.nodes[node_idx].spec.capacity;
+            let cap = self.nodes[node_idx].effective_capacity();
             self.violations.total_node_ticks += 1;
             let cpu_scale = if raw.cpu > cap.cpu {
                 self.violations.cpu_node_ticks += 1;
@@ -796,6 +1020,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 } else {
                     0.0
                 },
+                down_nodes,
             });
         }
     }
@@ -895,10 +1120,25 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
     }
 
     fn finalize(&mut self, end: Tick) {
-        // Pods still pending: censored waiting times.
-        for &pid in &self.pending {
+        // Pods still pending: censored waiting times. A never-placed
+        // pod waits from arrival; an evicted, never re-placed pod
+        // additionally waits from its eviction (and counts as failed
+        // in the per-class recovery stats when the eviction was
+        // fault-driven).
+        for k in 0..self.pending.len() {
+            let pid = self.pending[k];
+            let ev = self.evicted_at[pid.index()];
             let o = &mut self.outcomes[pid.index()];
-            o.wait_ticks = end.saturating_since(o.arrival);
+            if o.placed_at.is_none() {
+                o.wait_ticks = end.saturating_since(o.arrival);
+            } else if let Some(ev) = ev {
+                o.wait_ticks += end.saturating_since(ev);
+            }
+            if self.fault_evicted[pid.index()] {
+                self.fault_evicted[pid.index()] = false;
+                let slo = self.outcomes[pid.index()].slo;
+                self.churn.class_mut(slo).failed += 1;
+            }
         }
         // Pods still running: flush their peaks into outcomes.
         for pid in 0..self.running.len() {

@@ -33,7 +33,10 @@ pub use appstats::AppStatsStore;
 pub use config::{PredictorEval, SimConfig};
 pub use engine::Simulator;
 pub use node::{NodeRuntime, ResidentPod};
-pub use result::{ClusterTickStats, NodeSnapshot, PodOutcome, PodPoint, SimResult, ViolationStats};
+pub use result::{
+    ChurnStats, ClassChurn, ClusterTickStats, NodeSnapshot, PodOutcome, PodPoint, SimResult,
+    ViolationStats,
+};
 pub use scheduler::{Decision, Scheduler};
 pub use training::{AppUsageProfile, CtSample, EroTable, PsiSample, TrainingData, TripleEroTable};
 pub use view::ClusterView;

@@ -1,7 +1,7 @@
 //! Per-node runtime state.
 
 use optum_predictors::PodInfo;
-use optum_types::{AppId, NodeSpec, PodId, Resources, SloClass, Tick};
+use optum_types::{AppId, NodeLifecycle, NodeSpec, PodId, Resources, SloClass, Tick};
 
 /// A pod resident on a node, as the node tracks it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +30,13 @@ pub struct ResidentPod {
 pub struct NodeRuntime {
     /// Static description.
     pub spec: NodeSpec,
+    /// Lifecycle state (fault injection drives this; healthy runs stay
+    /// [`NodeLifecycle::Up`] forever).
+    pub lifecycle: NodeLifecycle,
+    /// Effective-capacity multiplier in `(0, 1]`; `1.0` when healthy.
+    /// Transient degradation (thermal throttling, noisy daemons)
+    /// shrinks it.
+    pub degrade: f64,
     /// Resident pods, in placement order.
     pub pods: Vec<ResidentPod>,
     /// Parallel predictor-facing view of `pods`.
@@ -68,6 +75,8 @@ impl NodeRuntime {
     pub fn with_window(spec: NodeSpec, window: usize) -> NodeRuntime {
         NodeRuntime {
             spec,
+            lifecycle: NodeLifecycle::Up,
+            degrade: 1.0,
             pods: Vec::new(),
             infos: Vec::new(),
             requested: Resources::ZERO,
@@ -85,6 +94,26 @@ impl NodeRuntime {
     /// Number of resident pods.
     pub fn pod_count(&self) -> usize {
         self.pods.len()
+    }
+
+    /// Whether the node may receive new placements (it is
+    /// [`NodeLifecycle::Up`]). Schedulers must skip nodes that fail
+    /// this; the engine's stale-view guard rejects placements onto
+    /// them regardless.
+    pub fn is_schedulable(&self) -> bool {
+        self.lifecycle.is_schedulable()
+    }
+
+    /// Capacity currently usable by the physics: nominal capacity
+    /// scaled by the degradation factor. Exactly the nominal capacity
+    /// when healthy (the common case takes the fast path, keeping
+    /// healthy runs bit-identical to the pre-chaos engine).
+    pub fn effective_capacity(&self) -> Resources {
+        if self.degrade >= 1.0 {
+            self.spec.capacity
+        } else {
+            self.spec.capacity.scale(self.degrade)
+        }
     }
 
     /// Adds a pod (placement).
@@ -243,6 +272,20 @@ mod tests {
         assert_eq!(n.peak_cpu(5), 0.9);
         assert_eq!(n.mem_window(2), &[0.5, 0.5]);
         assert_eq!(n.usage.cpu, 0.9);
+    }
+
+    #[test]
+    fn lifecycle_gates_schedulability() {
+        use optum_types::NodeLifecycle;
+        let mut n = NodeRuntime::new(NodeSpec::standard(NodeId(0)));
+        assert!(n.is_schedulable());
+        assert_eq!(n.effective_capacity(), n.spec.capacity);
+        n.lifecycle = NodeLifecycle::Draining;
+        assert!(!n.is_schedulable());
+        n.lifecycle = NodeLifecycle::Down;
+        assert!(!n.is_schedulable());
+        n.degrade = 0.5;
+        assert!((n.effective_capacity().cpu - n.spec.capacity.cpu * 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub struct PodOutcome {
     pub mean_pod_mem_util: f64,
     /// Times this pod was preempted by an LSR pod.
     pub preemptions: u32,
+    /// Times this pod was evicted by a fault (node crash or drain, or
+    /// a straggler kill), as opposed to scheduler preemption.
+    pub evictions: u32,
     /// Alignment-score rank of the chosen host under usage-based
     /// availability (1 = best; recorded when `record_ranks` is set).
     pub rank_by_usage: Option<u32>,
@@ -115,6 +118,8 @@ pub struct ClusterTickStats {
     pub mean_ls_pod_util: f64,
     /// Mean QPS of running LS/LSR pods.
     pub mean_ls_qps: f64,
+    /// Hosts currently crashed ([`optum_types::NodeLifecycle::Down`]).
+    pub down_nodes: usize,
 }
 
 /// One sampled point of a pod's recorded time series.
@@ -183,6 +188,80 @@ impl ViolationStats {
     }
 }
 
+/// Recovery accounting for one SLO class under churn.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassChurn {
+    /// Fault-driven evictions of pods in this class.
+    pub evictions: u64,
+    /// Evictions later followed by a successful re-placement.
+    pub rescheduled: u64,
+    /// Total ticks from eviction to re-placement, over all
+    /// re-placements.
+    pub resched_ticks: u64,
+    /// Evicted pods still un-placed when the window closed.
+    pub failed: u64,
+}
+
+impl ClassChurn {
+    /// Mean time-to-reschedule in ticks (over successful
+    /// re-placements).
+    pub fn mean_ttr_ticks(&self) -> f64 {
+        if self.rescheduled == 0 {
+            return 0.0;
+        }
+        self.resched_ticks as f64 / self.rescheduled as f64
+    }
+}
+
+/// Fault-injection and recovery accounting for one run. All-zero for
+/// healthy runs (an empty fault plan).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChurnStats {
+    /// Node crashes applied.
+    pub crashes: u64,
+    /// Maintenance drains applied.
+    pub drains: u64,
+    /// Degradation episodes applied.
+    pub degradations: u64,
+    /// Straggler pod kills applied (only counted when a victim was
+    /// resident).
+    pub pod_kills: u64,
+    /// Node-ticks spent crashed (capacity offline).
+    pub down_node_ticks: u64,
+    /// Placements the engine rejected because the scheduler's view was
+    /// stale: the chosen node had failed or started draining by
+    /// decision time. The pod goes back to the queue for a
+    /// rescheduling round.
+    pub stale_rejections: u64,
+    /// Per-class recovery accounting, indexed in [`SloClass::ALL`]
+    /// order.
+    pub per_class: [ClassChurn; SloClass::ALL.len()],
+}
+
+impl ChurnStats {
+    fn class_index(slo: SloClass) -> usize {
+        SloClass::ALL
+            .iter()
+            .position(|&c| c == slo)
+            .expect("every class is in ALL")
+    }
+
+    /// Recovery accounting of one class.
+    pub fn class(&self, slo: SloClass) -> &ClassChurn {
+        &self.per_class[Self::class_index(slo)]
+    }
+
+    /// Mutable recovery accounting of one class.
+    pub fn class_mut(&mut self, slo: SloClass) -> &mut ClassChurn {
+        &mut self.per_class[Self::class_index(slo)]
+    }
+
+    /// Total fault-driven evictions across classes.
+    pub fn total_evictions(&self) -> u64 {
+        self.per_class.iter().map(|c| c.evictions).sum()
+    }
+}
+
 /// Everything a simulation run produces.
 pub struct SimResult {
     /// Scheduler display name.
@@ -195,6 +274,9 @@ pub struct SimResult {
     pub pod_series: Vec<(PodId, Vec<PodPoint>)>,
     /// Capacity-violation accounting.
     pub violations: ViolationStats,
+    /// Fault-injection and recovery accounting (all-zero for healthy
+    /// runs).
+    pub churn: ChurnStats,
     /// Predictor-accuracy results (when enabled).
     pub predictor_errors: Vec<(String, PredictionErrors)>,
     /// Offline-profiling dataset (when enabled).
@@ -258,6 +340,7 @@ mod tests {
             mean_pod_cpu_util: 0.3,
             mean_pod_mem_util: 0.8,
             preemptions: 0,
+            evictions: 0,
             rank_by_usage: None,
             rank_by_request: None,
         }
@@ -280,5 +363,18 @@ mod tests {
         };
         assert!((v.rate() - 0.01).abs() < 1e-12);
         assert_eq!(ViolationStats::default().rate(), 0.0);
+    }
+
+    #[test]
+    fn churn_class_accounting() {
+        let mut c = ChurnStats::default();
+        c.class_mut(SloClass::Be).evictions += 3;
+        c.class_mut(SloClass::Be).rescheduled += 2;
+        c.class_mut(SloClass::Be).resched_ticks += 10;
+        c.class_mut(SloClass::Ls).evictions += 1;
+        assert_eq!(c.class(SloClass::Be).evictions, 3);
+        assert_eq!(c.total_evictions(), 4);
+        assert!((c.class(SloClass::Be).mean_ttr_ticks() - 5.0).abs() < 1e-12);
+        assert_eq!(c.class(SloClass::Lsr).mean_ttr_ticks(), 0.0);
     }
 }

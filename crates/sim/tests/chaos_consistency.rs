@@ -1,0 +1,138 @@
+//! Consistency of the simulator under arbitrary fault plans.
+//!
+//! Property: whatever the chaos subsystem throws at the engine, the
+//! run-level accounting stays consistent — every fault-driven eviction
+//! is eventually re-placed or counted failed, per-pod and per-class
+//! eviction counts agree, completed pods were placed, and the same
+//! plan replays bit-identically.
+
+use optum_chaos::{generate_plan, ChaosConfig};
+use optum_sim::{run, ClusterView, Decision, Scheduler, SimConfig, SimResult};
+use optum_trace::{generate, Workload, WorkloadConfig};
+use optum_types::{DelayCause, FaultEvent, PodSpec, SloClass};
+use proptest::prelude::*;
+
+/// First-fit by requests against raw capacity.
+struct FirstFit;
+
+impl Scheduler for FirstFit {
+    fn name(&self) -> String {
+        "first-fit".into()
+    }
+
+    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+        for node in view.nodes {
+            if node.is_schedulable() && pod.request.fits_within(&node.free_by_request()) {
+                return Decision::Place(node.spec.id);
+            }
+        }
+        Decision::Unplaceable(DelayCause::CpuAndMemory)
+    }
+}
+
+const HOSTS: usize = 40;
+
+fn workload() -> &'static Workload {
+    use std::sync::OnceLock;
+    static W: OnceLock<Workload> = OnceLock::new();
+    W.get_or_init(|| generate(&WorkloadConfig::small(7)).unwrap())
+}
+
+fn run_with(faults: Vec<FaultEvent>) -> SimResult {
+    let mut cfg = SimConfig::new(HOSTS);
+    cfg.fault_events = faults;
+    run(workload(), FirstFit, cfg).unwrap()
+}
+
+fn assert_consistent(r: &SimResult) {
+    // Per class: every fault-driven eviction resolves to a successful
+    // re-placement or a window-end failure.
+    for &slo in &SloClass::ALL {
+        let c = r.churn.class(slo);
+        assert_eq!(
+            c.evictions,
+            c.rescheduled + c.failed,
+            "class {slo:?}: evictions {} != rescheduled {} + failed {}",
+            c.evictions,
+            c.rescheduled,
+            c.failed
+        );
+    }
+    // Per-pod eviction counts agree with the per-class totals.
+    let per_pod: u64 = r.outcomes.iter().map(|o| o.evictions as u64).sum();
+    assert_eq!(per_pod, r.churn.total_evictions());
+    for o in &r.outcomes {
+        // Completion implies placement, and durations are positive.
+        if o.completed_at.is_some() {
+            assert!(o.placed_at.is_some(), "pod {:?} completed unplaced", o.id);
+            assert!(o.actual_duration.unwrap_or(0) >= 1);
+        }
+        // A pod evicted at least once recorded the eviction delay cause
+        // at some point (it may be overwritten by later rounds) and its
+        // wait accounting never exceeds the window.
+        assert!(
+            o.wait_ticks <= r.end_tick.0 * (1 + o.evictions as u64 + o.preemptions as u64),
+            "pod {:?} wait {} out of range",
+            o.id,
+            o.wait_ticks
+        );
+    }
+    // Each counted crash put its node down for at least the crash tick.
+    assert!(r.churn.down_node_ticks >= r.churn.crashes);
+    assert!(r.violations.rate() <= 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_fault_plans_keep_the_simulator_consistent(
+        seed in any::<u64>(),
+        mtbf_days in 0.05f64..4.0,
+    ) {
+        let window = workload().config.window_ticks();
+        let cfg = ChaosConfig::from_mtbf_days(HOSTS as u32, window, seed, mtbf_days);
+        let plan = generate_plan(&cfg);
+        let r = run_with(plan.clone());
+        assert_consistent(&r);
+        // Same plan, same result, bit for bit.
+        let r2 = run_with(plan);
+        prop_assert_eq!(&r.outcomes, &r2.outcomes);
+        prop_assert_eq!(&r.violations, &r2.violations);
+        prop_assert_eq!(&r.churn, &r2.churn);
+    }
+}
+
+#[test]
+fn empty_fault_plan_matches_the_plain_engine() {
+    let plain = run(workload(), FirstFit, SimConfig::new(HOSTS)).unwrap();
+    let chaos = run_with(Vec::new());
+    assert_eq!(plain.outcomes, chaos.outcomes);
+    assert_eq!(plain.violations, chaos.violations);
+    assert_eq!(plain.cluster_series, chaos.cluster_series);
+    assert_eq!(chaos.churn, optum_sim::ChurnStats::default());
+}
+
+#[test]
+fn a_stormy_plan_actually_churns() {
+    let window = workload().config.window_ticks();
+    let cfg = ChaosConfig::from_mtbf_days(HOSTS as u32, window, 7, 0.25);
+    let r = run_with(generate_plan(&cfg));
+    assert!(r.churn.crashes > 0, "no crashes under MTBF=0.25d");
+    assert!(r.churn.down_node_ticks > 0);
+    assert!(
+        r.churn.total_evictions() > 0,
+        "crashes evicted nothing: {:?}",
+        r.churn
+    );
+    assert!(
+        r.churn.per_class.iter().any(|c| c.rescheduled > 0),
+        "nothing was ever rescheduled"
+    );
+    // Eviction shows up as a delay cause (the fig9b satellite).
+    assert!(r
+        .outcomes
+        .iter()
+        .any(|o| o.delay_cause == Some(DelayCause::Eviction)));
+    assert_consistent(&r);
+}

@@ -13,6 +13,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod node;
 pub mod pod;
@@ -23,6 +24,7 @@ pub mod time;
 
 pub use config::ClusterConfig;
 pub use error::{Error, Result};
+pub use fault::{sort_fault_plan, FaultEvent, FaultKind, NodeLifecycle};
 pub use ids::{AppId, NodeId, PodId};
 pub use node::NodeSpec;
 pub use pod::{DelayCause, Placement, PodPhase, PodSpec};

@@ -67,6 +67,9 @@ pub enum DelayCause {
     Memory,
     /// Affinity or other non-resource constraints.
     Other,
+    /// The pod was evicted from its host (preemption or a fault) and
+    /// is waiting to be rescheduled.
+    Eviction,
 }
 
 impl DelayCause {
@@ -77,6 +80,7 @@ impl DelayCause {
             DelayCause::Cpu => "CPU",
             DelayCause::Memory => "Mem",
             DelayCause::Other => "Other",
+            DelayCause::Eviction => "Eviction",
         }
     }
 }

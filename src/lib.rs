@@ -10,6 +10,7 @@
 //! assert_eq!(cluster.node_count, 10);
 //! ```
 
+pub use optum_chaos as chaos;
 pub use optum_core as optum;
 pub use optum_experiments as experiments;
 pub use optum_ml as ml;

@@ -2,7 +2,7 @@
 //! parallelized path — forest training, profiler training, experiment
 //! fan-out — produces bit-identical results for every thread count.
 
-use optum_platform::experiments::{endtoend, ExpConfig, Runner};
+use optum_platform::experiments::{churn, endtoend, ExpConfig, Runner};
 use optum_platform::ml::{Matrix, RandomForest, Regressor};
 use optum_platform::optum::{InterferenceProfiler, ProfilerConfig, TracingCoordinator};
 use optum_platform::sched::{AlibabaLike, BorgLike, Medea};
@@ -95,4 +95,21 @@ fn figure_tsv_is_byte_identical_across_thread_counts() {
         endtoend::fig19(&mut runner).unwrap().render()
     };
     assert_eq!(render(1), render(3));
+}
+
+#[test]
+fn churn_experiment_is_byte_identical_across_thread_counts() {
+    // A reduced grid (one healthy arm, one stormy arm) keeps the test
+    // cheap; the fan-out still interleaves chaos and healthy runs
+    // across workers, which is exactly what must not leak into
+    // results.
+    let grid = [f64::INFINITY, 0.5];
+    let render = |threads: usize| {
+        let mut runner = Runner::new(tiny()).unwrap();
+        runner.set_threads(threads);
+        churn::churn_grid(&mut runner, &grid).unwrap().render()
+    };
+    let serial = render(1);
+    assert!(serial.contains("0.50"), "stormy arm missing from output");
+    assert_eq!(serial, render(3));
 }
