@@ -1,0 +1,64 @@
+//! Observability overhead on the simulator hot loop.
+//!
+//! Run twice and compare:
+//!
+//! ```sh
+//! cargo bench --bench obs_overhead                      # instrumented
+//! cargo bench --bench obs_overhead --features obs-off   # compiled out
+//! ```
+//!
+//! The contract: with `obs-off` the run must match the
+//! pre-instrumentation engine within noise (±2%), because every
+//! recording macro compiles to nothing (the guard is a zero-sized
+//! type with no `Drop`; `crates/obs` unit tests pin that down). The
+//! delta between the two runs is the price of observability itself —
+//! deliberately worst-case here: at 20 hosts a scheduling decision is
+//! sub-microsecond, so the `sched.decide` span's `Instant::now()`
+//! pair is a visible fraction (~10–20%) of the loop. At experiment
+//! scale (60+ hosts, costlier decisions) the instrumented `repro
+//! fig19 --fast` wall time is unchanged within noise. The
+//! `primitives` group measures the raw per-call cost of each
+//! recording primitive (~the empty-loop floor under `obs-off`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use optum_sched::AlibabaLike;
+use optum_sim::{run, SimConfig};
+use optum_trace::{generate, WorkloadConfig};
+
+fn hot_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    // The same workload the simulator bench replays: a full simulated
+    // day under the reference scheduler, dominated by the tick loop
+    // that `sim.tick` / `sim.physics` / `sched.decide` instrument.
+    let workload = generate(&WorkloadConfig::sized(20, 1, 55)).unwrap();
+    group.bench_function("sim_hot_loop", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::new(20);
+            cfg.pods_per_app_sampled = 0;
+            std::hint::black_box(run(&workload, AlibabaLike::default(), cfg).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    group.bench_function("counter", |b| {
+        b.iter(|| optum_obs::counter!("bench.counter"));
+    });
+    group.bench_function("observe", |b| {
+        b.iter(|| optum_obs::observe!("bench.hist", std::hint::black_box(1234u64)));
+    });
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let _g = optum_obs::span!("bench.span");
+        });
+    });
+    group.finish();
+    optum_obs::reset();
+}
+
+criterion_group!(benches, hot_loop, primitives);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates the golden-figure snapshots in `tests/golden/`.
+//!
+//! ```sh
+//! cargo run --release -p optum-experiments --example gen_golden
+//! ```
+//!
+//! Run this (and commit the diff, with justification in the PR) only
+//! when figure output changes *intentionally*. The golden suite
+//! (`tests/golden_figures.rs`) asserts byte-identity against these
+//! files at `OPTUM_THREADS ∈ {1, 4}`.
+
+use std::path::Path;
+
+use optum_experiments::output::head_lines;
+use optum_experiments::{churn, endtoend, ExpConfig, Runner};
+
+/// Lines snapshotted per figure.
+const GOLDEN_LINES: usize = 20;
+
+/// Reduced MTBF grid for the churn golden: one healthy arm, one
+/// stormy arm (the full 4-arm grid is too slow for a unit test; the
+/// fan-out still interleaves chaos and healthy runs across workers).
+const CHURN_GRID: [f64; 2] = [f64::INFINITY, 0.5];
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+
+    let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+    runner.set_threads(1);
+
+    let fig19 = endtoend::fig19(&mut runner).expect("fig19").render();
+    let path = dir.join("fig19_fast_head.tsv");
+    std::fs::write(&path, head_lines(&fig19, GOLDEN_LINES)).expect("write fig19 golden");
+    eprintln!("wrote {}", path.display());
+
+    let churn = churn::churn_grid(&mut runner, &CHURN_GRID)
+        .expect("churn")
+        .render();
+    let path = dir.join("churn_fast_head.tsv");
+    std::fs::write(&path, head_lines(&churn, GOLDEN_LINES)).expect("write churn golden");
+    eprintln!("wrote {}", path.display());
+}

@@ -2,26 +2,38 @@
 //!
 //! ```text
 //! repro <figure-id>... [--fast] [--hosts N] [--days D] [--seed S] [--threads T]
+//!                      [--trace-summary] [--bench-dir DIR] [--no-bench]
 //! repro all [--fast]
 //! ```
 //!
 //! `--threads` (or the `OPTUM_THREADS` environment variable) sets the
 //! worker count for the parallel fan-out of independent simulations
 //! and model fits; results are bit-identical for every thread count.
+//!
+//! After each figure a machine-readable perf snapshot is written to
+//! `BENCH_<figure>.json` (wall time, per-phase span breakdown,
+//! decision-latency histogram, peak RSS, placement/eviction counters;
+//! see EXPERIMENTS.md). `--bench-dir` picks the output directory
+//! (default: current directory), `--no-bench` disables the export,
+//! and `--trace-summary` additionally prints a human-readable span
+//! table to stderr. Figure TSV on stdout is unaffected.
 
-use optum_experiments::{run_figure_with, ExpConfig, Runner, ALL_FIGURES};
+use optum_experiments::{run_figure_with, snapshot, ExpConfig, Runner, ALL_FIGURES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T]"
+            "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T] [--trace-summary] [--bench-dir DIR] [--no-bench]"
         );
         eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn");
         std::process::exit(2);
     }
     let mut config = ExpConfig::standard();
     let mut figures: Vec<String> = Vec::new();
+    let mut trace_summary = false;
+    let mut write_bench = true;
+    let mut bench_dir = std::path::PathBuf::from(".");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,6 +42,12 @@ fn main() {
                     seed: config.seed,
                     ..ExpConfig::fast()
                 }
+            }
+            "--trace-summary" => trace_summary = true,
+            "--no-bench" => write_bench = false,
+            "--bench-dir" => {
+                i += 1;
+                bench_dir = std::path::PathBuf::from(&args[i]);
             }
             "--hosts" => {
                 i += 1;
@@ -67,11 +85,29 @@ fn main() {
     );
     let mut runner = Runner::new(config.clone()).expect("workload generation");
     for id in &figures {
+        // Each figure gets its own metrics window, so a BENCH snapshot
+        // covers exactly one figure (shared-runner artifacts like the
+        // reference run are attributed to the figure that computed
+        // them).
+        optum_obs::reset();
         let start = std::time::Instant::now();
         match run_figure_with(id, &mut runner, &config) {
             Ok(fig) => {
                 print!("{}", fig.render());
-                eprintln!("# {id} done in {:.1}s", start.elapsed().as_secs_f64());
+                let wall = start.elapsed().as_secs_f64();
+                eprintln!("# {id} done in {wall:.1}s");
+                let snap = optum_obs::snapshot();
+                if trace_summary {
+                    eprintln!("# trace summary for {id}:");
+                    eprint!("{}", optum_obs::render_summary(&snap));
+                }
+                if write_bench {
+                    let json = snapshot::bench_json(id, &config, wall, &snap);
+                    match snapshot::write_bench(&bench_dir, id, &json) {
+                        Ok(path) => eprintln!("# wrote {}", path.display()),
+                        Err(e) => eprintln!("# BENCH export for {id} failed: {e}"),
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("# {id} FAILED: {e}");

@@ -24,6 +24,7 @@ pub mod overhead;
 pub mod predictors_eval;
 pub mod profiling_eval;
 pub mod runner;
+pub mod snapshot;
 pub mod sweep;
 
 pub use output::{Figure, Panel};

@@ -84,6 +84,18 @@ impl Figure {
     }
 }
 
+/// The first `lines` lines of a rendered figure (trailing newline
+/// kept), as snapshotted into `tests/golden/` — the golden-figure
+/// regression suite and its regenerator must truncate identically.
+pub fn head_lines(text: &str, lines: usize) -> String {
+    let mut out = String::new();
+    for line in text.lines().take(lines) {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

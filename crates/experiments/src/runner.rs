@@ -65,6 +65,7 @@ pub struct Runner {
 impl Runner {
     /// Generates the workload for a configuration.
     pub fn new(config: ExpConfig) -> Result<Runner> {
+        let _gen = optum_obs::span!("exp.workload_gen");
         let workload = generate(&config.workload_config())?;
         Ok(Runner {
             config,
@@ -97,6 +98,7 @@ impl Runner {
     /// sampling and training collection. Computed once.
     pub fn reference(&mut self) -> Result<&SimResult> {
         if self.reference.is_none() {
+            let _ref_span = optum_obs::span!("exp.reference");
             let mut cfg = self.sim_config();
             cfg.record_ranks = true;
             cfg.collect_training = true;
@@ -139,6 +141,7 @@ impl Runner {
     /// Runs an evaluation simulation (lean recording) under a
     /// scheduler.
     pub fn run_eval<S: optum_sim::Scheduler>(&self, scheduler: S) -> Result<SimResult> {
+        let _eval = optum_obs::span!("exp.eval");
         let mut cfg = self.sim_config();
         cfg.pods_per_app_sampled = 0;
         cfg.series_stride = 10;
@@ -153,6 +156,7 @@ impl Runner {
         scheduler: S,
         faults: Vec<FaultEvent>,
     ) -> Result<SimResult> {
+        let _eval = optum_obs::span!("exp.eval");
         let mut cfg = self.sim_config();
         cfg.pods_per_app_sampled = 0;
         cfg.series_stride = 10;
@@ -170,6 +174,7 @@ impl Runner {
     where
         S: optum_sim::Scheduler + Send,
     {
+        let _fanout = optum_obs::span!("exp.fanout");
         optum_parallel::parallel_map_owned_threads(self.threads, schedulers, |_, scheduler| {
             self.run_eval(scheduler)
         })

@@ -1,0 +1,215 @@
+//! Machine-readable perf snapshots (`BENCH_<figure>.json`).
+//!
+//! After each `repro` figure the observability registry is exported as
+//! one JSON document: wall time, per-phase span breakdown, the
+//! per-decision scheduling-latency histogram (the `sched.decide` span,
+//! fig22's metric), peak RSS, and the eviction/placement counters that
+//! mirror `ChurnStats`. The schema is documented in EXPERIMENTS.md
+//! §"Perf snapshots"; bump `SCHEMA_VERSION` on breaking changes.
+//!
+//! Counts in the export are deterministic (identical across
+//! `OPTUM_THREADS` settings); durations are wall-clock measurements
+//! and vary run to run, so `BENCH_*.json` files are trend data, not
+//! golden files.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use optum_obs::{Hist, JsonWriter, Snapshot, SpanStat};
+
+use crate::runner::ExpConfig;
+
+/// Bumped on breaking changes to the JSON layout.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The span whose per-call histogram is exported as the
+/// decision-latency distribution (one entry per scheduler decision).
+pub const DECISION_SPAN: &str = "sched.decide";
+
+fn write_span(w: &mut JsonWriter, name: &str, s: &SpanStat) {
+    w.begin_object()
+        .key("name")
+        .value_str(name)
+        .key("count")
+        .value_u64(s.count)
+        .key("total_ms")
+        .value_f64(s.total_ns as f64 / 1.0e6)
+        .key("self_ms")
+        .value_f64(s.self_ns as f64 / 1.0e6)
+        .key("mean_us")
+        .value_f64(s.hist.mean() / 1.0e3)
+        .key("p50_us")
+        .value_f64(s.hist.quantile(0.5) as f64 / 1.0e3)
+        .key("p99_us")
+        .value_f64(s.hist.quantile(0.99) as f64 / 1.0e3)
+        .key("max_us")
+        .value_f64(if s.count == 0 {
+            0.0
+        } else {
+            s.hist.max as f64 / 1.0e3
+        })
+        .end_object();
+}
+
+fn write_hist(w: &mut JsonWriter, h: &Hist) {
+    w.begin_object()
+        .key("count")
+        .value_u64(h.count)
+        .key("sum_ns")
+        .value_u64(h.sum)
+        .key("min_ns")
+        .value_u64(if h.count == 0 { 0 } else { h.min })
+        .key("max_ns")
+        .value_u64(h.max)
+        .key("mean_ns")
+        .value_f64(h.mean())
+        .key("p50_ns")
+        .value_u64(h.quantile(0.5))
+        .key("p90_ns")
+        .value_u64(h.quantile(0.9))
+        .key("p99_ns")
+        .value_u64(h.quantile(0.99))
+        .key("buckets")
+        .begin_array();
+    // Sparse: only occupied log2 buckets, as (inclusive upper bound,
+    // count) pairs.
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c > 0 {
+            w.begin_object()
+                .key("le_ns")
+                .value_u64(Hist::bucket_le(i))
+                .key("count")
+                .value_u64(c)
+                .end_object();
+        }
+    }
+    w.end_array().end_object();
+}
+
+/// Serializes one figure's perf snapshot to JSON.
+pub fn bench_json(figure: &str, config: &ExpConfig, wall_s: f64, snap: &Snapshot) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("schema_version")
+        .value_u64(SCHEMA_VERSION as u64)
+        .key("figure")
+        .value_str(figure)
+        .key("wall_s")
+        .value_f64(wall_s)
+        .key("threads")
+        .value_u64(optum_parallel::default_threads() as u64)
+        .key("scale")
+        .begin_object()
+        .key("hosts")
+        .value_u64(config.hosts as u64)
+        .key("days")
+        .value_u64(config.days)
+        .key("seed")
+        .value_u64(config.seed)
+        .end_object();
+    match optum_obs::peak_rss_bytes() {
+        Some(rss) => w.key("peak_rss_bytes").value_u64(rss),
+        None => w.key("peak_rss_bytes").value_f64(f64::NAN),
+    };
+    // Per-phase breakdown: every recorded span, sorted by total time.
+    let mut spans: Vec<_> = snap.spans.iter().collect();
+    spans.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
+    w.key("phases").begin_array();
+    for (name, s) in &spans {
+        write_span(&mut w, name, s);
+    }
+    w.end_array();
+    // The fig22-style decision-latency histogram.
+    w.key("decision_latency_ns");
+    match snap.span(DECISION_SPAN) {
+        Some(s) => write_hist(&mut w, &s.hist),
+        None => write_hist(&mut w, &Hist::default()),
+    }
+    w.key("counters").begin_object();
+    for (name, v) in &snap.counters {
+        w.key(name).value_u64(*v);
+    }
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (name, v) in &snap.gauges {
+        w.key(name).value_f64(*v);
+    }
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// Writes `BENCH_<figure>.json` into `dir`, returning the path.
+pub fn write_bench(dir: &Path, figure: &str, json: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{figure}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            hosts: 20,
+            days: 1,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        // Build a snapshot by hand so the test doesn't depend on the
+        // process-global registry (other tests run in parallel).
+        let mut hist = Hist::default();
+        hist.observe(1_000);
+        hist.observe(64_000);
+        let snap = Snapshot {
+            counters: vec![("sim.placements".into(), 42)],
+            gauges: vec![("threads".into(), 2.0)],
+            hists: vec![],
+            spans: vec![(
+                DECISION_SPAN.into(),
+                SpanStat {
+                    count: 2,
+                    total_ns: 65_000,
+                    self_ns: 65_000,
+                    hist,
+                },
+            )],
+        };
+        let json = bench_json("fig19", &tiny(), 1.25, &snap);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for needle in [
+            "\"schema_version\":1",
+            "\"figure\":\"fig19\"",
+            "\"phases\":[",
+            "\"decision_latency_ns\":{",
+            "\"count\":2",
+            "\"sim.placements\":42",
+            "\"hosts\":20",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_still_exports() {
+        let json = bench_json("fig3", &tiny(), 0.1, &Snapshot::default());
+        assert!(json.contains("\"phases\":[]"));
+        assert!(json.contains("\"decision_latency_ns\":{\"count\":0"));
+    }
+
+    #[test]
+    fn write_bench_creates_file() {
+        let dir = std::env::temp_dir().join("optum_bench_test");
+        let path = write_bench(&dir, "figX", "{}").unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_figX.json");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -124,6 +124,7 @@ impl RandomForest {
     /// the per-row loop and rows fanned out across the configured
     /// worker threads. Output order always matches row order.
     pub fn predict_matrix(&self, x: &Matrix) -> Vec<f64> {
+        let _predict = optum_obs::span!("ml.forest.predict");
         assert!(!self.trees.is_empty(), "fit before predict");
         let inv = self.inv_tree_count;
         let rows: Vec<usize> = (0..x.rows()).collect();
@@ -136,6 +137,7 @@ impl RandomForest {
 
 impl Regressor for RandomForest {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        let _fit = optum_obs::span!("ml.forest.fit");
         if x.rows() != y.len() {
             return Err(Error::InvalidData("feature/target length mismatch".into()));
         }

@@ -1,0 +1,170 @@
+//! A minimal JSON writer — enough to serialize perf snapshots without
+//! pulling in serde. Comma placement is handled by tracking whether
+//! the current container already has a member; keys are written with
+//! [`JsonWriter::key`], values with the typed `value_*` methods.
+
+/// Streaming JSON writer over an owned `String`.
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once it has a member.
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Finishes and returns the JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(has_member) = self.stack.last_mut() {
+            if *has_member {
+                self.out.push(',');
+            }
+            *has_member = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes an object key; the next `value_*`/`begin_*` call is its
+    /// value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.pre_value();
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        // The key consumed the comma slot; its value must not add one.
+        if let Some(has_member) = self.stack.last_mut() {
+            *has_member = false;
+        }
+        self
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        write_escaped(&mut self.out, v);
+        self
+    }
+
+    /// Writes an integer value.
+    pub fn value_u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a float value (`null` for non-finite floats, which JSON
+    /// cannot represent).
+    pub fn value_f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_object_and_array() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("name")
+            .value_str("fig19")
+            .key("spans")
+            .begin_array();
+        w.begin_object()
+            .key("n")
+            .value_u64(3)
+            .key("ok")
+            .value_bool(true)
+            .end_object();
+        w.begin_object().key("mean").value_f64(1.5).end_object();
+        w.end_array().key("nan").value_f64(f64::NAN).end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"fig19","spans":[{"n":3,"ok":true},{"mean":1.5}],"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("k")
+            .value_str("a\"b\\c\nd\u{1}")
+            .end_object();
+        assert_eq!(w.finish(), "{\"k\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+    }
+}

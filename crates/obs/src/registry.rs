@@ -1,0 +1,403 @@
+//! The metrics registry: thread-local shards merged into a process
+//! global.
+//!
+//! Every recording call (counter, gauge, histogram, span exit) lands
+//! in the *current thread's* shard — a plain `RefCell`, no locks, no
+//! atomics — so the hot path costs a TLS access plus a small-map
+//! update. Shards merge into the process-wide registry under a mutex
+//! only at scope exit: when a worker thread finishes (its shard's
+//! `Drop` flushes, so the `optum-parallel` fan-out needs no
+//! cooperation), or when [`flush`]/[`snapshot`] is called on the
+//! main thread.
+//!
+//! Determinism rules (see DESIGN.md §Observability):
+//!
+//! * metrics are **observation-only** — nothing in the registry ever
+//!   feeds back into simulation or scheduling decisions, so
+//!   instrumented and uninstrumented builds produce bit-identical
+//!   results;
+//! * counter and histogram merges are integer additions, which
+//!   commute — totals are exact regardless of thread count or merge
+//!   order;
+//! * gauges are last-write-wins across merges, so they are only
+//!   meaningful for values set from one thread (configuration knobs
+//!   like the worker count);
+//! * durations (span totals, histogram sums of timed values) are
+//!   wall-clock measurements and naturally vary run to run.
+
+#[cfg(not(feature = "obs-off"))]
+use std::cell::RefCell;
+#[cfg(not(feature = "obs-off"))]
+use std::collections::BTreeMap;
+#[cfg(not(feature = "obs-off"))]
+use std::sync::Mutex;
+
+/// Histogram bucket count: one bucket per bit length of a `u64` value
+/// (0, \[1,1\], \[2,3\], \[4,7\], … \[2^63, 2^64−1\]).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed log₂-bucket histogram of `u64` values (typically
+/// nanoseconds).
+///
+/// Buckets never reallocate and merging is element-wise addition, so
+/// per-thread shards combine into exactly the histogram a
+/// single-threaded run would have produced (count, sum, min/max and
+/// every bucket).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts; value `v` lands in bucket `bit_length(v)`.
+    pub buckets: Box<[u64; HIST_BUCKETS]>,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Box::new([0; HIST_BUCKETS]),
+        }
+    }
+}
+
+impl Hist {
+    /// The bucket index of a value: its bit length.
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket (`0` for bucket 0, else
+    /// `2^i − 1`).
+    pub fn bucket_le(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Adds another histogram into this one (commutative).
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Approximate `q`-quantile: the geometric midpoint of the bucket
+    /// holding the `q·count`-th value, clamped to the observed
+    /// min/max. Exact to within a factor of 2 by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = if i == 0 {
+                    0
+                } else {
+                    // Midpoint of [2^(i−1), 2^i − 1] ≈ 0.75 · 2^i.
+                    (1u64 << (i - 1)) + (Self::bucket_le(i) - (1u64 << (i - 1))) / 2
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Aggregated statistics of one span name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed enters/exits.
+    pub count: u64,
+    /// Total wall time inside the span, nanoseconds.
+    pub total_ns: u64,
+    /// Wall time exclusive of child spans, nanoseconds.
+    pub self_ns: u64,
+    /// Distribution of per-call durations.
+    pub hist: Hist,
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl SpanStat {
+    fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.self_ns = self.self_ns.saturating_add(other.self_ns);
+        self.hist.merge(&other.hist);
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+/// One thread's metric shard (also the shape of the merged global).
+#[derive(Default)]
+pub(crate) struct Shard {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub gauges: BTreeMap<&'static str, f64>,
+    pub hists: BTreeMap<&'static str, Hist>,
+    pub spans: BTreeMap<&'static str, SpanStat>,
+    /// Child-duration accumulators of the open span stack (drives
+    /// self-time accounting; survives flushes).
+    pub stack: Vec<u64>,
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl Shard {
+    fn merge_into(&mut self, global: &mut Shard) {
+        for (k, v) in std::mem::take(&mut self.counters) {
+            *global.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in std::mem::take(&mut self.gauges) {
+            global.gauges.insert(k, v);
+        }
+        for (k, v) in std::mem::take(&mut self.hists) {
+            global.hists.entry(k).or_default().merge(&v);
+        }
+        for (k, v) in std::mem::take(&mut self.spans) {
+            global.spans.entry(k).or_default().merge(&v);
+        }
+    }
+
+    fn has_data(&self) -> bool {
+        !(self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.spans.is_empty())
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+static GLOBAL: Mutex<Option<Shard>> = Mutex::new(None);
+
+#[cfg(not(feature = "obs-off"))]
+fn with_global<R>(f: impl FnOnce(&mut Shard) -> R) -> R {
+    let mut guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(Shard::default))
+}
+
+/// Wrapper so thread exit flushes the shard into the global registry.
+///
+/// This is a best-effort fallback: `std::thread::scope` considers a
+/// scoped thread finished when its closure returns, *before* TLS
+/// destructors run, so scoped workers (the `optum-parallel` pool)
+/// must call [`flush`] at the end of their closure body to guarantee
+/// their shard is visible when the scope exits.
+#[cfg(not(feature = "obs-off"))]
+pub(crate) struct LocalShard(pub RefCell<Shard>);
+
+#[cfg(not(feature = "obs-off"))]
+impl Drop for LocalShard {
+    fn drop(&mut self) {
+        let shard = self.0.get_mut();
+        if shard.has_data() {
+            with_global(|g| shard.merge_into(g));
+        }
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+thread_local! {
+    pub(crate) static LOCAL: LocalShard = LocalShard(RefCell::new(Shard::default()));
+}
+
+/// Runs `f` on the current thread's shard; silently a no-op during
+/// thread-local teardown.
+#[cfg(not(feature = "obs-off"))]
+pub(crate) fn with_local(f: impl FnOnce(&mut Shard)) {
+    let _ = LOCAL.try_with(|l| {
+        if let Ok(mut shard) = l.0.try_borrow_mut() {
+            f(&mut shard);
+        }
+    });
+}
+
+/// Adds `v` to a named counter.
+#[inline]
+pub fn counter_add(name: &'static str, v: u64) {
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = (name, v);
+    }
+    #[cfg(not(feature = "obs-off"))]
+    with_local(|s| *s.counters.entry(name).or_insert(0) += v);
+}
+
+/// Sets a named gauge (last write wins across shard merges; set
+/// gauges from one thread only).
+#[inline]
+pub fn gauge_set(name: &'static str, v: f64) {
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = (name, v);
+    }
+    #[cfg(not(feature = "obs-off"))]
+    with_local(|s| {
+        s.gauges.insert(name, v);
+    });
+}
+
+/// Records a value into a named histogram.
+#[inline]
+pub fn observe_u64(name: &'static str, v: u64) {
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = (name, v);
+    }
+    #[cfg(not(feature = "obs-off"))]
+    with_local(|s| s.hists.entry(name).or_default().observe(v));
+}
+
+#[cfg(not(feature = "obs-off"))]
+pub(crate) fn record_span(name: &'static str, total_ns: u64, self_ns: u64) {
+    with_local(|s| {
+        let stat = s.spans.entry(name).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(total_ns);
+        stat.self_ns = stat.self_ns.saturating_add(self_ns);
+        stat.hist.observe(total_ns);
+    });
+}
+
+/// Merges the current thread's shard into the global registry. Worker
+/// threads flush automatically on exit; the main thread flushes via
+/// [`snapshot`] (which calls this) or explicitly.
+pub fn flush() {
+    #[cfg(not(feature = "obs-off"))]
+    with_local(|s| {
+        if s.has_data() {
+            with_global(|g| s.merge_into(g));
+        }
+    });
+}
+
+/// Clears the global registry and the current thread's shard (open
+/// span stacks are untouched). Call between measured sections so each
+/// snapshot covers exactly one section.
+pub fn reset() {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        with_local(|s| {
+            s.counters.clear();
+            s.gauges.clear();
+            s.hists.clear();
+            s.spans.clear();
+        });
+        with_global(|g| {
+            g.counters.clear();
+            g.gauges.clear();
+            g.hists.clear();
+            g.spans.clear();
+        });
+    }
+}
+
+/// A point-in-time copy of the merged registry, sorted by metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counters (name, total).
+    pub counters: Vec<(String, u64)>,
+    /// Gauges (name, last value).
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms (name, merged histogram).
+    pub hists: Vec<(String, Hist)>,
+    /// Spans (name, merged statistics).
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter total.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Looks up span statistics.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+/// Flushes the current thread and returns a copy of the merged
+/// registry. Shards of still-running *other* threads are not included
+/// until they exit or flush.
+pub fn snapshot() -> Snapshot {
+    flush();
+    #[cfg(feature = "obs-off")]
+    {
+        Snapshot::default()
+    }
+    #[cfg(not(feature = "obs-off"))]
+    with_global(|g| Snapshot {
+        counters: g
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+        gauges: g.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        hists: g
+            .hists
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        spans: g
+            .spans
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    })
+}

@@ -1,0 +1,76 @@
+//! Human-readable rendering of a [`Snapshot`] — the `--trace-summary`
+//! table printed by the `repro` binary.
+
+use crate::registry::Snapshot;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1.0e3
+}
+
+/// Renders the snapshot as an aligned text table: spans sorted by
+/// total time (descending), then counters, gauges, and histograms.
+pub fn render_summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    if !snap.spans.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>11} {:>11} {:>10} {:>10} {:>10}\n",
+            "span", "count", "total_ms", "self_ms", "mean_us", "p99_us", "max_us"
+        ));
+        let mut spans: Vec<_> = snap.spans.iter().collect();
+        spans.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
+        for (name, s) in spans {
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>11.3} {:>11.3} {:>10.2} {:>10.2} {:>10.2}\n",
+                name,
+                s.count,
+                ms(s.total_ns),
+                ms(s.self_ns),
+                us(s.hist.mean() as u64),
+                us(s.hist.quantile(0.99)),
+                us(s.hist.max),
+            ));
+        }
+    }
+
+    if !snap.counters.is_empty() {
+        out.push_str(&format!("\n{:<40} {:>14}\n", "counter", "value"));
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("{name:<40} {v:>14}\n"));
+        }
+    }
+
+    if !snap.gauges.is_empty() {
+        out.push_str(&format!("\n{:<40} {:>14}\n", "gauge", "value"));
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("{name:<40} {v:>14.3}\n"));
+        }
+    }
+
+    if !snap.hists.is_empty() {
+        out.push_str(&format!(
+            "\n{:<28} {:>9} {:>12} {:>10} {:>10} {:>10}\n",
+            "histogram", "count", "mean", "p50", "p99", "max"
+        ));
+        for (name, h) in &snap.hists {
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>12.2} {:>10} {:>10} {:>10}\n",
+                name,
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                if h.count == 0 { 0 } else { h.max },
+            ));
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(no observability data recorded)\n");
+    }
+    out
+}

@@ -1,0 +1,56 @@
+//! Property test: histogram shards recorded on worker threads and
+//! merged at thread exit equal a single-threaded recording of the
+//! same values — count, sum, min/max, and every bucket.
+
+#![cfg(not(feature = "obs-off"))]
+
+use optum_obs as obs;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn merged_thread_shards_equal_single_threaded_run(
+        values in proptest::collection::vec(any::<u64>(), 0..200),
+        threads in 1usize..5,
+    ) {
+        // Expected: one histogram observing everything in order.
+        let mut expected = obs::Hist::default();
+        for &v in &values {
+            expected.observe(v);
+        }
+
+        // Actual: round-robin the values across worker threads that
+        // record into their thread-local shards; shards flush into
+        // the global registry when each thread exits.
+        obs::reset();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let chunk: Vec<u64> = values
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                scope.spawn(move || {
+                    for v in chunk {
+                        obs::observe!("prop.shard", v);
+                    }
+                    // Scoped threads signal completion before TLS
+                    // destructors run; flush explicitly, as the
+                    // optum-parallel worker pool does.
+                    obs::flush();
+                });
+            }
+        });
+        let snap = obs::snapshot();
+
+        if values.is_empty() {
+            prop_assert!(snap.hist("prop.shard").is_none());
+        } else {
+            let merged = snap.hist("prop.shard").unwrap();
+            prop_assert_eq!(merged, &expected);
+        }
+        obs::reset();
+    }
+}

@@ -397,22 +397,26 @@ impl Scheduler for OptumScheduler {
         // PPO sampling: a random host subset per request (§4.3.4).
         // `partial_shuffle` returns the sampled elements as its first
         // tuple component (they live at the *end* of the slice).
-        self.candidate_scratch.clear();
-        self.candidate_scratch.extend(0..n);
-        let (chosen, _) = self.candidate_scratch.partial_shuffle(&mut self.rng, want);
-        // Affinity first (§2.1: candidates are the affinity-satisfying
-        // nodes), then the PPO sample.
-        let candidates: Vec<usize> = chosen
-            .iter()
-            .copied()
-            .filter(|&i| {
-                view.nodes[i].is_schedulable() && view.allows(pod.app, view.nodes[i].spec.id)
-            })
-            .collect();
+        let candidates: Vec<usize> = {
+            let _filter = optum_obs::span!("optum.filter");
+            self.candidate_scratch.clear();
+            self.candidate_scratch.extend(0..n);
+            let (chosen, _) = self.candidate_scratch.partial_shuffle(&mut self.rng, want);
+            // Affinity first (§2.1: candidates are the affinity-
+            // satisfying nodes), then the PPO sample.
+            chosen
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    view.nodes[i].is_schedulable() && view.allows(pod.app, view.nodes[i].spec.id)
+                })
+                .collect()
+        };
         if candidates.is_empty() {
             return Decision::Unplaceable(optum_types::DelayCause::Other);
         }
 
+        let _score = optum_obs::span!("optum.score");
         // Score all candidates, across worker threads when the set is
         // large enough to amortize spawning (§4.3.4: the Online
         // Scheduler's components run multi-threaded, each thread

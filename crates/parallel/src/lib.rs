@@ -86,13 +86,21 @@ where
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
-            handles.push(scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            handles.push(scope.spawn(|| {
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock() = Some(r);
                 }
-                let r = f(i, &items[i]);
-                *slots[i].lock() = Some(r);
+                // Merge this worker's metric shard before the scope
+                // joins: scoped threads signal completion *before* TLS
+                // destructors run, so without this explicit flush a
+                // snapshot taken right after the pool returns could
+                // miss late shards.
+                optum_obs::flush();
             }));
         }
         // Join explicitly so a worker panic surfaces here (and thus in

@@ -89,6 +89,7 @@ pub fn best_node(
     mut feasibility: impl FnMut(&NodeRuntime) -> Option<(bool, bool)>,
     mut score: impl FnMut(&NodeRuntime) -> f64,
 ) -> Result<optum_types::NodeId, DelayCause> {
+    let _scan = optum_obs::span!("sched.best_node");
     let mut tracker = CauseTracker::default();
     let mut best: Option<(usize, f64)> = None;
     for (i, node) in nodes.iter().enumerate() {

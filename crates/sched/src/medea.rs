@@ -149,6 +149,7 @@ impl Scheduler for Medea {
         if self.batch.is_empty() {
             return;
         }
+        let _solve = optum_obs::span!("sched.medea.solve");
         let take = self.batch.len().min(self.max_batch);
         let queued: Vec<(PodId, optum_types::AppId, Resources)> =
             self.batch.drain(..take).collect();
@@ -205,6 +206,7 @@ impl Scheduler for Medea {
 
     fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
         if pod.slo.is_long_running() {
+            let _validate = optum_obs::span!("sched.medea.validate");
             if let Some(node) = self.assignments.remove(&pod.id) {
                 // Validate against drift since the solve.
                 let n = &view.nodes[node.index()];

@@ -276,8 +276,10 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
 
     /// Runs the simulation to completion and returns the result.
     pub fn run(mut self) -> Result<SimResult> {
+        let _run = optum_obs::span!("sim.run");
         let mut t = Tick(0);
         while t < self.end_tick {
+            let _tick = optum_obs::span!("sim.tick");
             let (sub_be, sub_ls) = self.admit_arrivals(t);
             if t.0.is_multiple_of(REFRESH_STRIDE) {
                 self.apps.refresh_all();
@@ -458,6 +460,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         if self.pending.is_empty() {
             return;
         }
+        let _round = optum_obs::span!("sim.schedule_round");
         // Highest SLO priority first, FIFO within a class.
         let workload = self.workload;
         self.pending.sort_by_key(|&id| {
@@ -491,7 +494,12 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 history_window: self.config.history_window,
                 affinity: &self.affinity_fractions,
             };
-            let decision = self.scheduler.select_node(spec, &view);
+            // The span's histogram doubles as the per-decision
+            // scheduling-latency distribution (fig22) in BENCH exports.
+            let decision = {
+                let _d = optum_obs::span!("sched.decide");
+                self.scheduler.select_node(spec, &view)
+            };
             match decision {
                 Decision::Place(node) if node.index() < self.nodes.len() => {
                     if self.nodes[node.index()].is_schedulable() {
@@ -502,6 +510,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                         // it. The decision is rejected and the pod
                         // goes through another scheduling round.
                         self.churn.stale_rejections += 1;
+                        optum_obs::counter!("sim.stale_rejections");
                         self.outcomes[pid.index()].delay_cause = Some(DelayCause::Other);
                         self.pending.push(pid);
                     }
@@ -622,8 +631,10 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             outcome.evictions += 1;
             outcome.delay_cause = Some(DelayCause::Eviction);
             fault_count = outcome.evictions;
+            optum_obs::counter!("sim.evictions");
         } else {
             outcome.preemptions += 1;
+            optum_obs::counter!("sim.preemptions");
         }
         outcome.node = None;
         // Carry performance peaks across the eviction.
@@ -650,6 +661,10 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             self.running[pid.index()].is_none(),
             "pod must not be running and queued at once"
         );
+        optum_obs::counter!("sim.placements");
+        if self.fault_evicted[pid.index()] {
+            optum_obs::counter!("sim.reschedules");
+        }
         let gen = &self.workload.pods[pid.index()];
         let spec = &gen.spec;
         let rescheduled_after = self.evicted_at[pid.index()].take();
@@ -749,6 +764,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
     }
 
     fn physics_pass(&mut self, t: Tick, sub_be: usize, sub_ls: usize) {
+        let _physics = optum_obs::span!("sim.physics");
         let record_series = t.0.is_multiple_of(self.config.series_stride);
         let mut sum_cpu_util = 0.0;
         let mut sum_mem_util = 0.0;

@@ -9,7 +9,7 @@
 use optum_chaos::{generate_plan, ChaosConfig};
 use optum_sim::{run, ClusterView, Decision, Scheduler, SimConfig, SimResult};
 use optum_trace::{generate, Workload, WorkloadConfig};
-use optum_types::{DelayCause, FaultEvent, PodSpec, SloClass};
+use optum_types::{DelayCause, FaultEvent, FaultKind, NodeId, PodSpec, SloClass, Tick};
 use proptest::prelude::*;
 
 /// First-fit by requests against raw capacity.
@@ -135,4 +135,106 @@ fn a_stormy_plan_actually_churns() {
         .iter()
         .any(|o| o.delay_cause == Some(DelayCause::Eviction)));
     assert_consistent(&r);
+}
+
+/// Eviction at the very last tick: the restart backoff (base 2 ticks)
+/// pushes every victim's earliest re-offer past the window end, so
+/// none can reschedule and finalize must count them all `failed` —
+/// the `evictions == rescheduled + failed` invariant holds with the
+/// entire right-hand side on the `failed` leg.
+#[test]
+fn crash_at_the_final_tick_counts_every_eviction_as_failed() {
+    let window = workload().config.window_ticks();
+    let plan: Vec<FaultEvent> = (0..HOSTS as u32)
+        .map(|n| FaultEvent {
+            at: Tick(window - 1),
+            node: NodeId(n),
+            kind: FaultKind::Crash,
+        })
+        .collect();
+    let r = run_with(plan);
+    // Every node was Up until the final tick, so every crash counts.
+    assert_eq!(r.churn.crashes, HOSTS as u64);
+    assert!(
+        r.churn.total_evictions() > 0,
+        "no pods resident at the final tick: {:?}",
+        r.churn
+    );
+    for &slo in &SloClass::ALL {
+        let c = r.churn.class(slo);
+        assert_eq!(
+            c.rescheduled, 0,
+            "class {slo:?} rescheduled after a final-tick eviction"
+        );
+        assert_eq!(c.failed, c.evictions, "class {slo:?}");
+    }
+    assert_consistent(&r);
+}
+
+/// A `PodKill` aimed at a node with no resident pods is a pure no-op:
+/// `pod_kills` only counts kills that found a victim, and the run is
+/// bit-identical to one with no faults at all.
+#[test]
+fn pod_kill_on_an_empty_node_is_a_no_op() {
+    // Faults apply before the tick-0 schedule round, so at t=0 every
+    // node is still empty no matter what the scheduler does later.
+    let plan = vec![FaultEvent {
+        at: Tick(0),
+        node: NodeId(5),
+        kind: FaultKind::PodKill { selector: 42 },
+    }];
+    let r = run_with(plan);
+    assert_eq!(r.churn.pod_kills, 0, "kill on an empty node was counted");
+    let baseline = run_with(Vec::new());
+    assert_eq!(r.outcomes, baseline.outcomes);
+    assert_eq!(r.churn, baseline.churn);
+    assert_eq!(r.violations, baseline.violations);
+}
+
+/// Draining an empty node counts the drain episode but evicts nothing:
+/// the node just drops out of the schedulable set. With no other
+/// faults in the plan the churn ledger stays all-zero except `drains`.
+#[test]
+fn drain_of_an_empty_node_counts_the_drain_but_evicts_nothing() {
+    let plan = vec![FaultEvent {
+        at: Tick(0),
+        node: NodeId(HOSTS as u32 - 1),
+        kind: FaultKind::DrainStart,
+    }];
+    let r = run_with(plan);
+    assert_eq!(r.churn.drains, 1);
+    assert_eq!(r.churn.total_evictions(), 0, "empty drain evicted pods");
+    for &slo in &SloClass::ALL {
+        let c = r.churn.class(slo);
+        assert_eq!((c.rescheduled, c.failed), (0, 0), "class {slo:?}");
+    }
+    assert_consistent(&r);
+}
+
+/// A second crash on a node that is already Down is idempotent: it is
+/// not counted and evicts nothing, so the run is bit-identical to the
+/// single-crash plan.
+#[test]
+fn a_crash_on_a_down_node_is_idempotent() {
+    let first = FaultEvent {
+        at: Tick(100),
+        node: NodeId(0),
+        kind: FaultKind::Crash,
+    };
+    let double = vec![
+        first,
+        FaultEvent {
+            at: Tick(101),
+            node: NodeId(0),
+            kind: FaultKind::Crash,
+        },
+    ];
+    let r2 = run_with(double);
+    let r1 = run_with(vec![first]);
+    assert_eq!(r1.churn.crashes, 1);
+    assert_eq!(r2.churn.crashes, 1, "crash on a Down node was counted");
+    assert_eq!(r1.outcomes, r2.outcomes);
+    assert_eq!(r1.churn, r2.churn);
+    assert_eq!(r1.violations, r2.violations);
+    assert_consistent(&r2);
 }

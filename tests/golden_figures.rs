@@ -1,0 +1,65 @@
+//! Golden-figure regression suite: the first 20 lines of the fast-
+//! scale `fig19` and `churn` figure TSV must match the snapshots in
+//! `tests/golden/` byte for byte, at worker-thread counts 1 and 4.
+//!
+//! This turns two standing claims into CI-enforced tests: the figure
+//! pipeline is deterministic (PR 1/2 verified thread-count invariance
+//! by hand), and the observability instrumentation (PR 3) is
+//! observation-only — recording spans and counters must not perturb a
+//! single output byte.
+//!
+//! When figure output changes intentionally, regenerate with
+//!
+//! ```sh
+//! cargo run --release -p optum-experiments --example gen_golden
+//! ```
+//!
+//! and justify the diff in the PR.
+
+use optum_platform::experiments::output::head_lines;
+use optum_platform::experiments::{churn, endtoend, ExpConfig, Runner};
+
+const FIG19_GOLDEN: &str = include_str!("golden/fig19_fast_head.tsv");
+const CHURN_GOLDEN: &str = include_str!("golden/churn_fast_head.tsv");
+
+/// Must match `gen_golden.rs`.
+const GOLDEN_LINES: usize = 20;
+/// Must match `gen_golden.rs`: one healthy arm, one stormy arm.
+const CHURN_GRID: [f64; 2] = [f64::INFINITY, 0.5];
+
+/// Worker-thread counts the goldens are asserted at. `set_threads`
+/// takes precedence over `OPTUM_THREADS`, so the test controls the
+/// fan-out without touching process-global env.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+#[test]
+fn fig19_fast_matches_golden_at_each_thread_count() {
+    for threads in THREAD_COUNTS {
+        let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+        runner.set_threads(threads);
+        let rendered = endtoend::fig19(&mut runner).expect("fig19").render();
+        assert_eq!(
+            head_lines(&rendered, GOLDEN_LINES),
+            FIG19_GOLDEN,
+            "fig19 --fast drifted from tests/golden/fig19_fast_head.tsv at threads={threads} \
+             (if intentional, regenerate with the gen_golden example)"
+        );
+    }
+}
+
+#[test]
+fn churn_fast_matches_golden_at_each_thread_count() {
+    for threads in THREAD_COUNTS {
+        let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+        runner.set_threads(threads);
+        let rendered = churn::churn_grid(&mut runner, &CHURN_GRID)
+            .expect("churn")
+            .render();
+        assert_eq!(
+            head_lines(&rendered, GOLDEN_LINES),
+            CHURN_GOLDEN,
+            "churn drifted from tests/golden/churn_fast_head.tsv at threads={threads} \
+             (if intentional, regenerate with the gen_golden example)"
+        );
+    }
+}
