@@ -1,0 +1,321 @@
+//! Control-plane fault injection: lossy proposal channels and
+//! predictor outages.
+//!
+//! The crate root stresses the *data plane* (node crashes, drains,
+//! straggler kills). This module stresses the *control plane* of the
+//! paper's §4.4 distributed deployment: the proposal RPCs between each
+//! scheduler replica and the Deployment Module, and the trained
+//! predictors behind Optum's scoring function. Like the fault plans,
+//! everything here is a pure function of `(seed, replica, tick)` —
+//! runs replay bit-identically, and the loss rate of one replica's
+//! channel never perturbs another's stream.
+
+use optum_types::{SplitMix64, Tick};
+
+/// Channel salts for control-plane streams. Node-churn channels in the
+/// crate root use 1–4; new channels must take fresh salts.
+const CH_PROPOSAL: u64 = 5;
+const CH_PREDICTOR: u64 = 6;
+
+/// Mixing constant folding the tick into a per-round proposal stream.
+const TICK_MIX: u64 = 0xD6E8_FEB8_6659_FD93;
+
+/// The fate of one proposal-send attempt on a lossy channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposalFate {
+    /// Delivered exactly once.
+    Deliver,
+    /// Lost in flight; the sender times out and retries.
+    Drop,
+    /// Delivered, but the acknowledgment is lost, so the timed-out
+    /// sender's retry lands a second copy at the Deployment Module.
+    Duplicate,
+}
+
+/// Lossy-channel parameters for the scheduler → Deployment Module
+/// proposal path, plus the sender's retry policy.
+///
+/// Proposal RPCs resolve in sub-second time against the simulator's
+/// 30-second ticks, so retries play out *within* a tick: the backoff
+/// clock is virtual milliseconds, tracked for reporting, and a
+/// proposal that exhausts its retry budget is deferred to the next
+/// round rather than silently lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelChaosConfig {
+    /// Seed of every per-(replica, tick) stream.
+    pub seed: u64,
+    /// Probability an attempt is dropped in flight.
+    pub loss_rate: f64,
+    /// Probability a delivered attempt is duplicated (lost ack).
+    pub duplicate_rate: f64,
+    /// Send attempts per proposal beyond the first.
+    pub max_retries: u32,
+    /// Base virtual backoff before the first retry, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Cap on the exponential backoff, in milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl ChannelChaosConfig {
+    /// A perfect channel: every attempt delivers exactly once. The
+    /// retry machinery is bypassed entirely, so a run over a reliable
+    /// channel is bit-identical to one that never heard of channels.
+    pub fn reliable() -> ChannelChaosConfig {
+        ChannelChaosConfig {
+            seed: 0,
+            loss_rate: 0.0,
+            duplicate_rate: 0.0,
+            max_retries: 4,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 800,
+        }
+    }
+
+    /// A lossy channel dropping `loss_rate` of attempts; lost acks
+    /// (duplicates) arrive at a quarter of the drop rate.
+    pub fn lossy(seed: u64, loss_rate: f64) -> ChannelChaosConfig {
+        ChannelChaosConfig {
+            seed,
+            loss_rate: loss_rate.clamp(0.0, 0.95),
+            duplicate_rate: (loss_rate / 4.0).clamp(0.0, 0.25),
+            ..ChannelChaosConfig::reliable()
+        }
+    }
+
+    /// True when no fault can ever fire on this channel.
+    pub fn is_reliable(&self) -> bool {
+        self.loss_rate <= 0.0 && self.duplicate_rate <= 0.0
+    }
+
+    /// The fate stream for one `(replica, tick)` scheduling round.
+    ///
+    /// Each round draws from its own counter-derived stream, so the
+    /// number of attempts made in one round never shifts the fates
+    /// seen by any other round or replica.
+    pub fn round_stream(&self, replica: usize, tick: Tick) -> SplitMix64 {
+        let lane = (replica as u64) ^ tick.0.wrapping_mul(TICK_MIX);
+        SplitMix64::stream(self.seed, lane, CH_PROPOSAL)
+    }
+
+    /// Draws the fate of one send attempt.
+    pub fn draw_fate(&self, rng: &mut SplitMix64) -> ProposalFate {
+        let x = rng.next_f64();
+        if x < self.loss_rate {
+            ProposalFate::Drop
+        } else if x < self.loss_rate + self.duplicate_rate {
+            ProposalFate::Duplicate
+        } else {
+            ProposalFate::Deliver
+        }
+    }
+
+    /// Virtual backoff before retry number `attempt` (1-based), in
+    /// milliseconds: capped exponential with deterministic equal
+    /// jitter — half the capped value plus a uniform draw over the
+    /// other half, from the same round stream as the fates.
+    pub fn backoff_ms(&self, attempt: u32, rng: &mut SplitMix64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        let raw = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap_ms.max(1));
+        let half = raw / 2;
+        half + rng.next_u64() % (raw - half + 1)
+    }
+}
+
+/// A half-open interval of ticks during which the trained predictors
+/// are unavailable (serving faults or stale models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// First tick of the outage.
+    pub start: Tick,
+    /// First tick after the outage (exclusive).
+    pub end: Tick,
+}
+
+impl OutageWindow {
+    /// True when `t` falls inside the outage.
+    pub fn contains(&self, t: Tick) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Parameters of the predictor-outage plan. Outage onsets follow
+/// exponential inter-event times (mean `outage_interval_ticks`);
+/// `f64::INFINITY` disables the channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorChaosConfig {
+    /// Seed of the outage stream.
+    pub seed: u64,
+    /// Plan horizon: no outage starts at or after this tick.
+    pub window_ticks: u64,
+    /// Mean ticks between outage onsets.
+    pub outage_interval_ticks: f64,
+    /// Fixed outage duration in ticks.
+    pub outage_duration_ticks: u64,
+}
+
+impl PredictorChaosConfig {
+    /// No outages at all.
+    pub fn quiet(window_ticks: u64) -> PredictorChaosConfig {
+        PredictorChaosConfig {
+            seed: 0,
+            window_ticks,
+            outage_interval_ticks: f64::INFINITY,
+            outage_duration_ticks: 120,
+        }
+    }
+
+    /// The predictor is down for the *entire* window — the forced
+    /// worst case, under which Optum must degrade to utilization-only
+    /// scoring for the whole run instead of erroring.
+    pub fn always_faulty(window_ticks: u64) -> PredictorChaosConfig {
+        PredictorChaosConfig {
+            seed: 0,
+            window_ticks,
+            outage_interval_ticks: 0.0,
+            outage_duration_ticks: window_ticks.max(1),
+        }
+    }
+}
+
+/// Generates the sorted, non-overlapping outage plan for a
+/// configuration. A zero interval produces one outage spanning the
+/// window from tick 0 (the [`PredictorChaosConfig::always_faulty`]
+/// case).
+pub fn generate_outages(cfg: &PredictorChaosConfig) -> Vec<OutageWindow> {
+    let mut windows = Vec::new();
+    if !cfg.outage_interval_ticks.is_finite() || cfg.window_ticks == 0 {
+        return windows;
+    }
+    if cfg.outage_interval_ticks <= 0.0 {
+        windows.push(OutageWindow {
+            start: Tick(0),
+            end: Tick(cfg.window_ticks),
+        });
+        return windows;
+    }
+    let mut rng = SplitMix64::stream(cfg.seed, u64::MAX, CH_PREDICTOR);
+    let mut t = 0u64;
+    loop {
+        let draw = rng.exp(cfg.outage_interval_ticks);
+        if !draw.is_finite() {
+            break;
+        }
+        let gap = (draw.ceil() as u64).max(1);
+        let Some(start) = t.checked_add(gap).filter(|&x| x < cfg.window_ticks) else {
+            break;
+        };
+        let end = start
+            .saturating_add(cfg.outage_duration_ticks.max(1))
+            .min(cfg.window_ticks);
+        windows.push(OutageWindow {
+            start: Tick(start),
+            end: Tick(end),
+        });
+        t = end;
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_channel_never_drops() {
+        let cfg = ChannelChaosConfig::reliable();
+        assert!(cfg.is_reliable());
+        let mut rng = cfg.round_stream(3, Tick(17));
+        for _ in 0..500 {
+            assert_eq!(cfg.draw_fate(&mut rng), ProposalFate::Deliver);
+        }
+    }
+
+    #[test]
+    fn fate_frequencies_track_the_rates() {
+        let cfg = ChannelChaosConfig::lossy(11, 0.2);
+        let (mut drops, mut dups, mut total) = (0u32, 0u32, 0u32);
+        for tick in 0..2000u64 {
+            let mut rng = cfg.round_stream(0, Tick(tick));
+            match cfg.draw_fate(&mut rng) {
+                ProposalFate::Drop => drops += 1,
+                ProposalFate::Duplicate => dups += 1,
+                ProposalFate::Deliver => {}
+            }
+            total += 1;
+        }
+        let drop_frac = drops as f64 / total as f64;
+        let dup_frac = dups as f64 / total as f64;
+        assert!((drop_frac - 0.2).abs() < 0.04, "drop frac {drop_frac}");
+        assert!((dup_frac - 0.05).abs() < 0.02, "dup frac {dup_frac}");
+    }
+
+    #[test]
+    fn round_streams_are_deterministic_and_independent() {
+        let cfg = ChannelChaosConfig::lossy(7, 0.05);
+        let a: Vec<u64> = {
+            let mut r = cfg.round_stream(1, Tick(100));
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = cfg.round_stream(1, Tick(100));
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other_replica = cfg.round_stream(2, Tick(100));
+        let mut other_tick = cfg.round_stream(1, Tick(101));
+        assert_ne!(a[0], other_replica.next_u64());
+        assert_ne!(a[0], other_tick.next_u64());
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered_within_bounds() {
+        let cfg = ChannelChaosConfig::lossy(3, 0.5);
+        let mut rng = cfg.round_stream(0, Tick(0));
+        for attempt in 1..=10u32 {
+            let ms = cfg.backoff_ms(attempt, &mut rng);
+            let raw = cfg
+                .backoff_base_ms
+                .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+                .min(cfg.backoff_cap_ms);
+            assert!(ms >= raw / 2 && ms <= raw, "attempt {attempt}: {ms}");
+        }
+    }
+
+    #[test]
+    fn quiet_predictor_plan_is_empty() {
+        assert!(generate_outages(&PredictorChaosConfig::quiet(5000)).is_empty());
+    }
+
+    #[test]
+    fn always_faulty_covers_the_whole_window() {
+        let plan = generate_outages(&PredictorChaosConfig::always_faulty(5000));
+        assert_eq!(plan.len(), 1);
+        for t in [0u64, 1, 2499, 4999] {
+            assert!(plan[0].contains(Tick(t)));
+        }
+        assert!(!plan[0].contains(Tick(5000)));
+    }
+
+    #[test]
+    fn outages_are_sorted_disjoint_and_in_window() {
+        let cfg = PredictorChaosConfig {
+            seed: 42,
+            window_ticks: 23_040,
+            outage_interval_ticks: 500.0,
+            outage_duration_ticks: 120,
+        };
+        let plan = generate_outages(&cfg);
+        assert!(!plan.is_empty());
+        for w in &plan {
+            assert!(w.start < w.end);
+            assert!(w.end.0 <= cfg.window_ticks);
+        }
+        for pair in plan.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "overlap: {pair:?}");
+        }
+        assert_eq!(plan, generate_outages(&cfg));
+    }
+}

@@ -17,55 +17,19 @@
 
 use optum_types::{sort_fault_plan, FaultEvent, FaultKind, NodeId, Tick, TICKS_PER_DAY};
 
-/// A small, fast, well-mixed deterministic generator (SplitMix64).
-///
-/// Used instead of `rand`'s `StdRng` so fault plans are reproducible
-/// from the seed alone, independent of any external crate's stream
-/// definition.
-#[derive(Debug, Clone)]
-pub struct SplitMix64 {
-    state: u64,
-}
+pub mod control;
 
-impl SplitMix64 {
-    /// Creates a generator from a seed.
-    pub fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    /// Next raw 64-bit output.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform draw in `[0, 1)` with 53 bits of precision.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Exponential draw with the given mean (inverse CDF). Returns
-    /// infinity when the mean is infinite (a disabled channel).
-    pub fn exp(&mut self, mean: f64) -> f64 {
-        if !mean.is_finite() {
-            return f64::INFINITY;
-        }
-        -mean * (1.0 - self.next_f64()).ln()
-    }
-}
+pub use control::{
+    generate_outages, ChannelChaosConfig, OutageWindow, PredictorChaosConfig, ProposalFate,
+};
+/// Re-exported so existing users keep compiling; the generator itself
+/// lives in `optum-types` so dependency-light crates (the simulator's
+/// lossy-channel wrapper) can share the exact stream definition.
+pub use optum_types::SplitMix64;
 
 /// Derives an independent stream for `(seed, node, channel)`.
 fn stream(seed: u64, node: u64, channel: u64) -> SplitMix64 {
-    // One warm-up scramble so nearby (node, channel) pairs decorrelate.
-    let mut mixer = SplitMix64::new(
-        seed ^ node.wrapping_mul(0xA076_1D64_78BD_642F)
-            ^ channel.wrapping_mul(0xE703_7ED1_A0B4_28DB),
-    );
-    let s = mixer.next_u64();
-    SplitMix64::new(s)
+    SplitMix64::stream(seed, node, channel)
 }
 
 /// Parameters of a fault plan. All intervals are *means* of

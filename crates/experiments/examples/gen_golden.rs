@@ -12,7 +12,7 @@
 use std::path::Path;
 
 use optum_experiments::output::head_lines;
-use optum_experiments::{churn, endtoend, ExpConfig, Runner};
+use optum_experiments::{churn, degrade, endtoend, ExpConfig, Runner};
 
 /// Lines snapshotted per figure.
 const GOLDEN_LINES: usize = 20;
@@ -21,6 +21,11 @@ const GOLDEN_LINES: usize = 20;
 /// stormy arm (the full 4-arm grid is too slow for a unit test; the
 /// fan-out still interleaves chaos and healthy runs across workers).
 const CHURN_GRID: [f64; 2] = [f64::INFINITY, 0.5];
+
+/// Reduced grids for the degrade golden: the anchor arm (loss 0,
+/// k = 1) plus one lossy distributed arm, and both outage arms.
+const DEGRADE_LOSSES: [f64; 2] = [0.0, 0.2];
+const DEGRADE_SHARDS: [usize; 2] = [1, 4];
 
 fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
@@ -39,5 +44,12 @@ fn main() {
         .render();
     let path = dir.join("churn_fast_head.tsv");
     std::fs::write(&path, head_lines(&churn, GOLDEN_LINES)).expect("write churn golden");
+    eprintln!("wrote {}", path.display());
+
+    let degrade = degrade::degrade_grid(&mut runner, &DEGRADE_LOSSES, &DEGRADE_SHARDS)
+        .expect("degrade")
+        .render();
+    let path = dir.join("degrade_fast_head.tsv");
+    std::fs::write(&path, head_lines(&degrade, GOLDEN_LINES)).expect("write degrade golden");
     eprintln!("wrote {}", path.display());
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! repro <figure-id>... [--fast] [--hosts N] [--days D] [--seed S] [--threads T]
 //!                      [--trace-summary] [--bench-dir DIR] [--no-bench]
+//!                      [--checkpoint-every N] [--checkpoint-path FILE] [--resume FILE]
 //! repro all [--fast]
 //! ```
 //!
@@ -17,6 +18,11 @@
 //! (default: current directory), `--no-bench` disables the export,
 //! and `--trace-summary` additionally prints a human-readable span
 //! table to stderr. Figure TSV on stdout is unaffected.
+//!
+//! `--checkpoint-every N` writes a crash-consistent snapshot of the
+//! reference run every N ticks to `--checkpoint-path` (default
+//! `optum-reference.snap`); after a kill, `--resume FILE` continues
+//! from the last snapshot and produces byte-identical figure TSVs.
 
 use optum_experiments::{run_figure_with, snapshot, ExpConfig, Runner, ALL_FIGURES};
 
@@ -24,9 +30,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T] [--trace-summary] [--bench-dir DIR] [--no-bench]"
+            "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T] [--trace-summary] [--bench-dir DIR] [--no-bench] [--checkpoint-every N] [--checkpoint-path FILE] [--resume FILE]"
         );
-        eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn");
+        eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn + degrade");
         std::process::exit(2);
     }
     let mut config = ExpConfig::standard();
@@ -34,6 +40,9 @@ fn main() {
     let mut trace_summary = false;
     let mut write_bench = true;
     let mut bench_dir = std::path::PathBuf::from(".");
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_path = std::path::PathBuf::from("optum-reference.snap");
+    let mut resume_from: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -48,6 +57,18 @@ fn main() {
             "--bench-dir" => {
                 i += 1;
                 bench_dir = std::path::PathBuf::from(&args[i]);
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                checkpoint_every = Some(args[i].parse().expect("--checkpoint-every takes ticks"));
+            }
+            "--checkpoint-path" => {
+                i += 1;
+                checkpoint_path = std::path::PathBuf::from(&args[i]);
+            }
+            "--resume" => {
+                i += 1;
+                resume_from = Some(std::path::PathBuf::from(&args[i]));
             }
             "--hosts" => {
                 i += 1;
@@ -84,6 +105,12 @@ fn main() {
         optum_parallel::default_threads()
     );
     let mut runner = Runner::new(config.clone()).expect("workload generation");
+    if let Some(every) = checkpoint_every {
+        runner.set_checkpointing(every, checkpoint_path);
+    }
+    if let Some(path) = resume_from {
+        runner.set_resume(path);
+    }
     for id in &figures {
         // Each figure gets its own metrics window, so a BENCH snapshot
         // covers exactly one figure (shared-runner artifacts like the

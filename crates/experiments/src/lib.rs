@@ -18,6 +18,7 @@ pub mod characterization;
 pub mod check;
 pub mod churn;
 pub mod correlation;
+pub mod degrade;
 pub mod endtoend;
 pub mod output;
 pub mod overhead;
@@ -71,9 +72,10 @@ pub fn run_figure_with(
         "fig21" => sweep::fig21(runner),
         "check" => check::check(runner),
         "churn" => churn::churn(runner),
+        "degrade" => degrade::degrade(runner),
         "fig22" => overhead::fig22(config),
         other => Err(optum_types::Error::InvalidConfig(format!(
-            "unknown figure id '{other}'; known: {:?} + fig22 + churn",
+            "unknown figure id '{other}'; known: {:?} + fig22 + churn + degrade",
             ALL_FIGURES
         ))),
     }

@@ -60,6 +60,11 @@ pub struct Runner {
     /// resolves via `OPTUM_THREADS` / available parallelism, `1` is
     /// serial, anything else is literal.
     threads: usize,
+    /// Checkpoint the reference run every N ticks into this file.
+    checkpoint: Option<(u64, std::path::PathBuf)>,
+    /// Resume the reference run from this snapshot instead of
+    /// replaying it from tick zero.
+    resume_from: Option<std::path::PathBuf>,
 }
 
 impl Runner {
@@ -73,7 +78,26 @@ impl Runner {
             reference: None,
             roster_cache: Vec::new(),
             threads: 0,
+            checkpoint: None,
+            resume_from: None,
         })
+    }
+
+    /// Checkpoints the reference run every `every` ticks into `path`
+    /// (atomically replaced each time). Only the reference run is
+    /// checkpointed: it dominates wall time, and its AlibabaLike
+    /// scheduler carries serializable state, while the Optum
+    /// evaluation arms hold live model RNGs and decline snapshots.
+    pub fn set_checkpointing(&mut self, every: u64, path: std::path::PathBuf) {
+        self.checkpoint = Some((every, path));
+    }
+
+    /// Resumes the reference run from a snapshot written by a
+    /// checkpointed run over the same configuration and workload
+    /// (fingerprint-checked); the completed run is byte-identical to
+    /// an uninterrupted one.
+    pub fn set_resume(&mut self, path: std::path::PathBuf) {
+        self.resume_from = Some(path);
     }
 
     /// Sets the fan-out worker count (`0` = auto; see
@@ -110,7 +134,17 @@ impl Runner {
             cfg.snapshot_tick = Some(optum_types::Tick(
                 mid_day * optum_types::TICKS_PER_DAY + 15 * optum_types::TICKS_PER_HOUR,
             ));
-            let result = run(&self.workload, AlibabaLike::default(), cfg)?;
+            if let Some((every, path)) = &self.checkpoint {
+                cfg.checkpoint_every = Some(*every);
+                cfg.checkpoint_path = Some(path.clone());
+            }
+            let result = if let Some(snap) = &self.resume_from {
+                let bytes = optum_sim::read_snapshot_file(snap)?;
+                optum_sim::Simulator::resume(&self.workload, AlibabaLike::default(), cfg, &bytes)?
+                    .run()?
+            } else {
+                run(&self.workload, AlibabaLike::default(), cfg)?
+            };
             self.reference = Some(result);
         }
         Ok(self.reference.as_ref().expect("just computed"))

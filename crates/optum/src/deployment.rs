@@ -7,6 +7,8 @@
 //! Module accepts, per host, only the pod with the highest Node
 //! Selector score and re-dispatches the rest to their schedulers.
 
+use std::collections::HashMap;
+
 use optum_types::{NodeId, PodId};
 
 /// A placement decision proposed by one of the parallel schedulers.
@@ -31,11 +33,90 @@ pub struct ResolvedRound {
     pub redispatched: Vec<ProposedPlacement>,
 }
 
+/// Outcome of delivering a single proposal to the Deployment Module's
+/// claim table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The host was free this round; the proposal now holds the claim.
+    Accepted,
+    /// The host was claimed by another pod, the newcomer out-scored it
+    /// and took over the claim.
+    AcceptedAfterConflict {
+        /// The pod whose claim was displaced.
+        displaced: PodId,
+    },
+    /// A re-sent copy of a proposal that already holds the host claim:
+    /// acknowledged again, never double-placed (idempotent dedup).
+    Duplicate,
+    /// Lost the conflict; the proposal is re-dispatched to its
+    /// scheduler.
+    Rejected {
+        /// The pod keeping the host claim.
+        winner: PodId,
+    },
+}
+
 /// The conflict-resolving deployment module.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct DeploymentModule;
+///
+/// Besides the batch [`DeploymentModule::resolve`], the module keeps a
+/// per-round claim table for the streaming path used by
+/// [`crate::DistributedOptum`]: proposals arrive one at a time (and,
+/// over a lossy channel, possibly more than once), and
+/// [`DeploymentModule::deliver`] adjudicates each against the claims
+/// made so far this round.
+#[derive(Debug, Clone, Default)]
+pub struct DeploymentModule {
+    /// Host → winning proposal for the current round.
+    claims: HashMap<NodeId, ProposedPlacement>,
+}
 
 impl DeploymentModule {
+    /// An empty module with no standing claims.
+    pub fn new() -> DeploymentModule {
+        DeploymentModule::default()
+    }
+
+    /// Starts a new scheduling round, clearing every host claim.
+    pub fn begin_round(&mut self) {
+        self.claims.clear();
+    }
+
+    /// Number of hosts claimed in the current round.
+    pub fn claims(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Delivers one proposal against the current round's claim table.
+    ///
+    /// A duplicate of the proposal already holding the host is
+    /// re-acknowledged without side effects — the retry layer may
+    /// re-send after a lost ack, and a re-sent proposal for an
+    /// already-claimed host must be re-dispatched, never double-placed.
+    pub fn deliver(&mut self, proposal: ProposedPlacement) -> Delivery {
+        match self.claims.get(&proposal.node) {
+            None => {
+                self.claims.insert(proposal.node, proposal);
+                Delivery::Accepted
+            }
+            Some(winner) if winner.pod == proposal.pod => Delivery::Duplicate,
+            Some(winner) => {
+                let round = self.resolve(vec![*winner, proposal]);
+                let kept = round.accepted[0];
+                let displaced = if kept.pod == proposal.pod {
+                    let d = winner.pod;
+                    self.claims.insert(proposal.node, kept);
+                    Some(d)
+                } else {
+                    None
+                };
+                match displaced {
+                    Some(displaced) => Delivery::AcceptedAfterConflict { displaced },
+                    None => Delivery::Rejected { winner: kept.pod },
+                }
+            }
+        }
+    }
+
     /// Resolves one round of proposals: for each host, the proposal
     /// with the highest score wins (ties break toward the lower pod id
     /// for determinism); everything else is re-dispatched.
@@ -76,7 +157,7 @@ mod tests {
 
     #[test]
     fn highest_score_wins_each_host() {
-        let round = DeploymentModule.resolve(vec![
+        let round = DeploymentModule::new().resolve(vec![
             prop(1, 0, 0.5, 0),
             prop(2, 0, 0.9, 1),
             prop(3, 1, 0.1, 0),
@@ -92,14 +173,14 @@ mod tests {
 
     #[test]
     fn ties_break_deterministically() {
-        let round = DeploymentModule.resolve(vec![prop(7, 0, 0.5, 0), prop(3, 0, 0.5, 1)]);
+        let round = DeploymentModule::new().resolve(vec![prop(7, 0, 0.5, 0), prop(3, 0, 0.5, 1)]);
         assert_eq!(round.accepted[0].pod, PodId(3));
         assert_eq!(round.redispatched[0].pod, PodId(7));
     }
 
     #[test]
     fn no_conflicts_passes_everything() {
-        let round = DeploymentModule.resolve(vec![
+        let round = DeploymentModule::new().resolve(vec![
             prop(1, 0, 0.1, 0),
             prop(2, 1, 0.2, 0),
             prop(3, 2, 0.3, 1),
@@ -110,9 +191,45 @@ mod tests {
 
     #[test]
     fn empty_round() {
-        let round = DeploymentModule.resolve(Vec::new());
+        let round = DeploymentModule::new().resolve(Vec::new());
         assert!(round.accepted.is_empty());
         assert!(round.redispatched.is_empty());
+    }
+
+    #[test]
+    fn deliver_accepts_then_adjudicates_conflicts() {
+        let mut dm = DeploymentModule::new();
+        assert_eq!(dm.deliver(prop(1, 0, 0.5, 0)), Delivery::Accepted);
+        assert_eq!(dm.claims(), 1);
+        // Lower score loses; the claim stands.
+        assert_eq!(
+            dm.deliver(prop(2, 0, 0.3, 1)),
+            Delivery::Rejected { winner: PodId(1) }
+        );
+        // Higher score displaces the incumbent.
+        assert_eq!(
+            dm.deliver(prop(3, 0, 0.9, 1)),
+            Delivery::AcceptedAfterConflict {
+                displaced: PodId(1)
+            }
+        );
+        assert_eq!(dm.claims(), 1);
+    }
+
+    #[test]
+    fn deliver_dedups_resent_proposals() {
+        let mut dm = DeploymentModule::new();
+        let p = prop(7, 3, 0.4, 0);
+        assert_eq!(dm.deliver(p), Delivery::Accepted);
+        // A re-send after a lost ack is idempotent: re-acknowledged,
+        // no second claim, no conflict.
+        assert_eq!(dm.deliver(p), Delivery::Duplicate);
+        assert_eq!(dm.deliver(p), Delivery::Duplicate);
+        assert_eq!(dm.claims(), 1);
+        // A new round forgets the claim.
+        dm.begin_round();
+        assert_eq!(dm.claims(), 0);
+        assert_eq!(dm.deliver(p), Delivery::Accepted);
     }
 }
 
@@ -139,8 +256,8 @@ mod proptests {
                     scheduler: 0,
                 })
                 .collect();
-            let first = DeploymentModule.resolve(proposals);
-            let second = DeploymentModule.resolve(first.accepted.clone());
+            let first = DeploymentModule::new().resolve(proposals);
+            let second = DeploymentModule::new().resolve(first.accepted.clone());
             prop_assert_eq!(second.accepted, first.accepted);
             prop_assert!(second.redispatched.is_empty());
         }

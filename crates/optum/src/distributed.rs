@@ -13,46 +13,104 @@
 //! within a tick, each host accepts at most one pod — a later
 //! scheduler whose best candidate was already claimed this round must
 //! settle for its next-best (or defer), exactly the re-dispatch path.
+//!
+//! The proposal RPC between a replica and the Deployment Module can be
+//! made lossy ([`DistributedOptum::set_channel_chaos`]): each send
+//! attempt draws a deterministic fate from a per-(seed, replica, tick)
+//! stream, drops are retried under capped exponential backoff with
+//! deterministic jitter, and duplicated deliveries (lost acks) are
+//! deduplicated idempotently at the Deployment Module. A proposal that
+//! exhausts its retry budget defers the pod to the next round.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use optum_chaos::{ChannelChaosConfig, OutageWindow, ProposalFate};
 use optum_sim::{ClusterView, Decision, Scheduler, TrainingData};
-use optum_types::{NodeId, PodSpec, Tick};
+use optum_types::{PodSpec, SplitMix64, Tick};
 
-use crate::deployment::{DeploymentModule, ProposedPlacement};
+use crate::deployment::{Delivery, DeploymentModule, ProposedPlacement};
 use crate::profiler::{InterferenceProfiler, ProfilerConfig, ResourceUsageProfiler};
 use crate::scheduler::{OptumConfig, OptumScheduler};
+
+/// Control-plane counters of one distributed deployment, shared out
+/// via [`DistributedOptum::stats_handle`] so experiments can read them
+/// after `run` has consumed the scheduler. Unlike the global
+/// `optum-obs` registry, a handle is private to one deployment, so
+/// parallel experiment arms never mix counts.
+#[derive(Debug, Default)]
+pub struct DistStats {
+    /// Host conflicts adjudicated by the Deployment Module.
+    pub conflicts: AtomicU64,
+    /// Proposal attempts dropped in flight.
+    pub dropped: AtomicU64,
+    /// Deliveries duplicated by a lost ack.
+    pub duplicated: AtomicU64,
+    /// Retries sent after a drop.
+    pub retries: AtomicU64,
+    /// Proposals abandoned after exhausting the retry budget.
+    pub exhausted: AtomicU64,
+    /// Duplicate deliveries idempotently re-acknowledged.
+    pub dedup_acks: AtomicU64,
+    /// Virtual milliseconds spent in retry backoff.
+    pub backoff_ms: AtomicU64,
+    /// Ticks any replica spent in utilization-only fallback.
+    pub fallback_ticks: AtomicU64,
+}
+
+impl DistStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads one counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
 
 /// `k` parallel Optum schedulers behind a conflict-resolving
 /// Deployment Module.
 pub struct DistributedOptum {
     schedulers: Vec<OptumScheduler>,
     deployment: DeploymentModule,
-    /// Hosts already claimed in the current tick, with the claiming
-    /// proposal (host → proposal).
-    claimed: HashMap<NodeId, ProposedPlacement>,
     current_tick: Tick,
-    /// Conflicts resolved so far (for inspection).
-    pub conflicts_resolved: u64,
+    channel: ChannelChaosConfig,
+    /// Per-replica fate/backoff stream of the current round (derived
+    /// lazily so reliable channels never touch the generator).
+    round_streams: Vec<Option<SplitMix64>>,
+    conflicts_this_round: u64,
+    stats: Arc<DistStats>,
 }
 
 impl DistributedOptum {
-    /// Builds `k` schedulers sharing one trained profile set.
+    /// Builds `k` schedulers sharing one trained profile set, over a
+    /// reliable proposal channel.
     pub fn from_training(
         k: usize,
         config: OptumConfig,
         data: &TrainingData,
         profiler_config: ProfilerConfig,
     ) -> optum_types::Result<DistributedOptum> {
+        let usage = Arc::new(ResourceUsageProfiler::from_training(data));
+        let interference = Arc::new(InterferenceProfiler::train(data, profiler_config)?);
+        DistributedOptum::with_shared(k, config, usage, interference)
+    }
+
+    /// Builds `k` schedulers over already-trained shared profilers
+    /// (experiments training one profile set for many arms).
+    pub fn with_shared(
+        k: usize,
+        config: OptumConfig,
+        usage: Arc<ResourceUsageProfiler>,
+        interference: Arc<InterferenceProfiler>,
+    ) -> optum_types::Result<DistributedOptum> {
         if k == 0 {
             return Err(optum_types::Error::InvalidConfig(
                 "need at least one scheduler".into(),
             ));
         }
-        let usage = Arc::new(ResourceUsageProfiler::from_training(data));
-        let interference = Arc::new(InterferenceProfiler::train(data, profiler_config)?);
-        let schedulers = (0..k)
+        let schedulers: Vec<OptumScheduler> = (0..k)
             .map(|i| {
                 OptumScheduler::with_shared(
                     OptumConfig {
@@ -65,12 +123,38 @@ impl DistributedOptum {
             })
             .collect();
         Ok(DistributedOptum {
+            round_streams: vec![None; schedulers.len()],
             schedulers,
-            deployment: DeploymentModule,
-            claimed: HashMap::new(),
+            deployment: DeploymentModule::new(),
             current_tick: Tick(u64::MAX),
-            conflicts_resolved: 0,
+            channel: ChannelChaosConfig::reliable(),
+            conflicts_this_round: 0,
+            stats: Arc::new(DistStats::default()),
         })
+    }
+
+    /// Makes the proposal channel lossy (chaos fates + retry policy).
+    pub fn set_channel_chaos(&mut self, channel: ChannelChaosConfig) {
+        self.channel = channel;
+    }
+
+    /// Installs a predictor outage plan on every replica (they share
+    /// one profile set, so an outage hits all of them at once).
+    pub fn set_outage_plan(&mut self, outages: Vec<OutageWindow>) {
+        for s in &mut self.schedulers {
+            s.set_outage_plan(outages.clone());
+        }
+    }
+
+    /// Shared handle onto the control-plane counters; clone it before
+    /// handing the scheduler to `run`.
+    pub fn stats_handle(&self) -> Arc<DistStats> {
+        self.stats.clone()
+    }
+
+    /// Host conflicts resolved so far.
+    pub fn conflicts_resolved(&self) -> u64 {
+        DistStats::get(&self.stats.conflicts)
     }
 
     /// Number of parallel schedulers.
@@ -81,30 +165,100 @@ impl DistributedOptum {
     fn shard_of(&self, pod: &PodSpec) -> usize {
         pod.id.index() % self.schedulers.len()
     }
+
+    /// Starts a new scheduling round: flushes the previous round's
+    /// bookkeeping to gauges, then clears the claim table and the
+    /// per-replica channel streams.
+    fn start_round(&mut self, tick: Tick) {
+        optum_obs::gauge!("optum.dist.claimed", self.deployment.claims() as f64);
+        optum_obs::gauge!(
+            "optum.dist.conflicts_round",
+            self.conflicts_this_round as f64
+        );
+        self.conflicts_this_round = 0;
+        self.deployment.begin_round();
+        for s in &mut self.round_streams {
+            *s = None;
+        }
+        self.current_tick = tick;
+    }
+
+    /// Pushes one proposal through the (possibly lossy) channel.
+    /// Returns `(delivered, duplicated)`; a `false` first component
+    /// means the retry budget ran out and the pod defers a round.
+    fn transmit(&mut self, shard: usize, tick: Tick) -> (bool, bool) {
+        if self.channel.is_reliable() {
+            return (true, false);
+        }
+        let channel = self.channel;
+        let rng =
+            self.round_streams[shard].get_or_insert_with(|| channel.round_stream(shard, tick));
+        let mut attempt = 0u32;
+        loop {
+            match channel.draw_fate(rng) {
+                ProposalFate::Deliver => return (true, false),
+                ProposalFate::Duplicate => {
+                    DistStats::bump(&self.stats.duplicated);
+                    optum_obs::counter!("optum.channel.duplicated");
+                    return (true, true);
+                }
+                ProposalFate::Drop => {
+                    DistStats::bump(&self.stats.dropped);
+                    optum_obs::counter!("optum.channel.dropped");
+                    if attempt >= channel.max_retries {
+                        DistStats::bump(&self.stats.exhausted);
+                        optum_obs::counter!("optum.channel.exhausted");
+                        return (false, false);
+                    }
+                    attempt += 1;
+                    let delay = channel.backoff_ms(attempt, rng);
+                    self.stats.backoff_ms.fetch_add(delay, Ordering::Relaxed);
+                    DistStats::bump(&self.stats.retries);
+                    optum_obs::counter!("optum.channel.retries");
+                }
+            }
+        }
+    }
 }
 
 impl Scheduler for DistributedOptum {
     fn name(&self) -> String {
-        format!("Optum x{}", self.schedulers.len())
+        // A single replica is exactly the non-distributed pipeline.
+        if self.schedulers.len() == 1 {
+            "Optum".into()
+        } else {
+            format!("Optum x{}", self.schedulers.len())
+        }
     }
 
     fn on_tick(&mut self, view: &ClusterView<'_>) {
         for s in &mut self.schedulers {
             s.on_tick(view);
         }
+        if self.schedulers.iter().any(|s| s.is_degraded()) {
+            DistStats::bump(&self.stats.fallback_ticks);
+        }
+        if view.tick != self.current_tick {
+            self.start_round(view.tick);
+        }
     }
 
     fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
-        // A new round clears the claim table.
+        // Safety net for callers that never drive `on_tick`.
         if view.tick != self.current_tick {
-            self.current_tick = view.tick;
-            self.claimed.clear();
+            self.start_round(view.tick);
         }
         let shard = self.shard_of(pod);
         let decision = self.schedulers[shard].select_node(pod, view);
         let Decision::Place(node) = decision else {
             return decision;
         };
+        // The decision must survive the proposal channel before the
+        // Deployment Module can act on it.
+        let (delivered, duplicated) = self.transmit(shard, view.tick);
+        if !delivered {
+            return Decision::Unplaceable(optum_types::DelayCause::Other);
+        }
         let score = {
             let e = self.schedulers[shard].explain(pod, &view.nodes[node.index()], view);
             e.score
@@ -115,27 +269,48 @@ impl Scheduler for DistributedOptum {
             score,
             scheduler: shard,
         };
-        match self.claimed.get(&node) {
-            None => {
-                self.claimed.insert(node, proposal);
+        // A single replica is the only proposer: the Deployment Module
+        // trivially accepts (the claim table models *cross-replica*
+        // staleness, and duplicates of an accepted proposal are
+        // idempotent by definition).
+        if self.schedulers.len() == 1 {
+            if duplicated {
+                DistStats::bump(&self.stats.dedup_acks);
+                optum_obs::counter!("optum.dedup.acks");
+            }
+            return Decision::Place(node);
+        }
+        let outcome = match self.deployment.deliver(proposal) {
+            Delivery::Accepted | Delivery::Duplicate => Decision::Place(node),
+            Delivery::AcceptedAfterConflict { .. } => {
+                // Conflict: the Deployment Module keeps the higher
+                // score; the displaced claim's pod was already
+                // dispatched in an earlier call this round, so only
+                // the claim moves.
+                self.conflicts_this_round += 1;
+                DistStats::bump(&self.stats.conflicts);
+                optum_obs::counter!("optum.conflicts");
                 Decision::Place(node)
             }
-            Some(winner) => {
-                // Conflict: the Deployment Module keeps the higher
-                // score; the loser is re-dispatched (here: deferred to
-                // the next round, when predictions are fresh).
-                self.conflicts_resolved += 1;
+            Delivery::Rejected { .. } => {
+                // The loser is re-dispatched (here: deferred to the
+                // next round, when predictions are fresh).
+                self.conflicts_this_round += 1;
+                DistStats::bump(&self.stats.conflicts);
                 optum_obs::counter!("optum.conflicts");
-                let round = self.deployment.resolve(vec![*winner, proposal]);
-                let kept = round.accepted[0];
-                if kept.pod == pod.id {
-                    self.claimed.insert(node, kept);
-                    Decision::Place(node)
-                } else {
-                    Decision::Unplaceable(optum_types::DelayCause::Other)
-                }
+                Decision::Unplaceable(optum_types::DelayCause::Other)
+            }
+        };
+        if duplicated {
+            // The retry's second copy arrives; the Deployment Module
+            // recognizes a re-sent proposal for an already-claimed
+            // host and re-acknowledges instead of double-placing.
+            if self.deployment.deliver(proposal) == Delivery::Duplicate {
+                DistStats::bump(&self.stats.dedup_acks);
+                optum_obs::counter!("optum.dedup.acks");
             }
         }
+        outcome
     }
 }
 
@@ -173,8 +348,7 @@ mod tests {
     /// pins the property that actually matters — distributing must
     /// not lose placements versus the single pipeline — plus a sane
     /// absolute floor, and verifies conflicts really occur via the
-    /// `optum.conflicts` metric (the scheduler itself is consumed by
-    /// `run`, so its `conflicts_resolved` field is unreachable here).
+    /// stats handle.
     #[test]
     fn distributed_matches_pipeline_and_resolves_conflicts() {
         let w = generate(&WorkloadConfig::sized(30, 1, 31)).unwrap();
@@ -186,6 +360,7 @@ mod tests {
             ProfilerConfig::default(),
         )
         .unwrap();
+        assert_eq!(pipeline.name(), "Optum");
         let baseline =
             run(&w, pipeline, optum_sim::SimConfig::new(30)).expect("simulation succeeds");
         let sched = DistributedOptum::from_training(
@@ -196,13 +371,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sched.shards(), 4);
-        let conflicts_before = optum_obs::snapshot()
-            .counter("optum.conflicts")
-            .unwrap_or(0);
+        let stats = sched.stats_handle();
         let result = run(&w, sched, optum_sim::SimConfig::new(30)).expect("simulation succeeds");
-        let conflicts_after = optum_obs::snapshot()
-            .counter("optum.conflicts")
-            .unwrap_or(0);
         assert!(
             result.placement_rate() >= baseline.placement_rate() - 0.02,
             "distributed placement {:.3} fell behind single pipeline {:.3}",
@@ -214,14 +384,132 @@ mod tests {
             "distributed placement {:.3}",
             result.placement_rate()
         );
-        #[cfg(not(feature = "obs-off"))]
         assert!(
-            conflicts_after > conflicts_before,
-            "x4 run resolved no conflicts ({conflicts_before} -> {conflicts_after})"
+            DistStats::get(&stats.conflicts) > 0,
+            "x4 run resolved no conflicts"
         );
-        #[cfg(feature = "obs-off")]
-        let _ = (conflicts_before, conflicts_after);
+        assert_eq!(
+            DistStats::get(&stats.dropped),
+            0,
+            "reliable channel dropped proposals"
+        );
         assert_eq!(result.scheduler, "Optum x4");
+    }
+
+    /// A single replica behind a reliable channel is the plain Optum
+    /// pipeline, decision for decision: same shared training, same
+    /// seed, no claim table in the way.
+    #[test]
+    fn single_replica_matches_plain_optum_bit_for_bit() {
+        let w = generate(&WorkloadConfig::sized(30, 1, 31)).unwrap();
+        let data = training(&w);
+        let plain =
+            OptumScheduler::from_training(OptumConfig::default(), &data, ProfilerConfig::default())
+                .unwrap();
+        let plain_run = run(&w, plain, optum_sim::SimConfig::new(30)).unwrap();
+        let dist = DistributedOptum::from_training(
+            1,
+            OptumConfig::default(),
+            &data,
+            ProfilerConfig::default(),
+        )
+        .unwrap();
+        let dist_run = run(&w, dist, optum_sim::SimConfig::new(30)).unwrap();
+        assert_eq!(plain_run.scheduler, dist_run.scheduler);
+        assert_eq!(plain_run.outcomes, dist_run.outcomes);
+        assert_eq!(plain_run.violations, dist_run.violations);
+        assert_eq!(plain_run.cluster_series, dist_run.cluster_series);
+    }
+
+    /// A heavily lossy channel loses placements (exhausted retry
+    /// budgets defer pods) but the accounting stays conservative and
+    /// the same seed replays bit-identically.
+    #[test]
+    fn lossy_channel_is_deterministic_and_accounted() {
+        let w = generate(&WorkloadConfig::sized(30, 1, 31)).unwrap();
+        let data = training(&w);
+        let mk = || {
+            let mut s = DistributedOptum::from_training(
+                4,
+                OptumConfig::default(),
+                &data,
+                ProfilerConfig::default(),
+            )
+            .unwrap();
+            s.set_channel_chaos(ChannelChaosConfig::lossy(9, 0.5));
+            s
+        };
+        let a = mk();
+        let a_stats = a.stats_handle();
+        let ra = run(&w, a, optum_sim::SimConfig::new(30)).unwrap();
+        let b = mk();
+        let b_stats = b.stats_handle();
+        let rb = run(&w, b, optum_sim::SimConfig::new(30)).unwrap();
+        assert_eq!(ra.outcomes, rb.outcomes);
+        for (x, y) in [
+            (&a_stats.dropped, &b_stats.dropped),
+            (&a_stats.retries, &b_stats.retries),
+            (&a_stats.duplicated, &b_stats.duplicated),
+            (&a_stats.exhausted, &b_stats.exhausted),
+            (&a_stats.dedup_acks, &b_stats.dedup_acks),
+        ] {
+            assert_eq!(DistStats::get(x), DistStats::get(y));
+        }
+        assert!(
+            DistStats::get(&a_stats.dropped) > 0,
+            "0.5 loss never dropped"
+        );
+        assert!(DistStats::get(&a_stats.retries) > 0, "drops never retried");
+        assert!(
+            DistStats::get(&a_stats.duplicated) > 0,
+            "no duplicate deliveries at 12.5% dup rate"
+        );
+        // Every dedup ack answers a duplicate delivery; duplicates of
+        // conflict-rejected proposals are re-rejected, not re-acked.
+        let dups = DistStats::get(&a_stats.duplicated);
+        let acks = DistStats::get(&a_stats.dedup_acks);
+        assert!(acks > 0, "no duplicate was idempotently re-acked");
+        assert!(
+            acks <= dups,
+            "more dedup acks ({acks}) than duplicates ({dups})"
+        );
+    }
+
+    /// The headline degradation guarantee: with the trained predictor
+    /// forced faulty for the *entire* run, Optum falls back to
+    /// utilization-only scoring from the first tick and lands the
+    /// Optum-util arm's placement ratio instead of erroring.
+    #[test]
+    fn forced_predictor_outage_degrades_to_the_util_arm() {
+        let w = generate(&WorkloadConfig::sized(30, 1, 31)).unwrap();
+        let data = training(&w);
+        let util = OptumScheduler::from_training(
+            OptumConfig {
+                util_only: true,
+                ..OptumConfig::default()
+            },
+            &data,
+            ProfilerConfig::default(),
+        )
+        .unwrap();
+        let util_run = run(&w, util, optum_sim::SimConfig::new(30)).unwrap();
+        let mut faulty =
+            OptumScheduler::from_training(OptumConfig::default(), &data, ProfilerConfig::default())
+                .unwrap();
+        faulty.set_outage_plan(vec![OutageWindow {
+            start: Tick(0),
+            end: Tick(u64::MAX),
+        }]);
+        let faulty_run = run(&w, faulty, optum_sim::SimConfig::new(30)).unwrap();
+        assert!(
+            (faulty_run.placement_rate() - util_run.placement_rate()).abs() <= 0.005,
+            "degraded run placed {:.4}, util arm {:.4}",
+            faulty_run.placement_rate(),
+            util_run.placement_rate()
+        );
+        // Stronger than the ±0.5pp criterion: the breaker opens before
+        // the first scheduling round, so the decision streams coincide.
+        assert_eq!(faulty_run.outcomes, util_run.outcomes);
     }
 
     #[test]

@@ -26,8 +26,10 @@ pub mod profiler;
 pub mod scheduler;
 pub mod tracing;
 
-pub use deployment::DeploymentModule;
-pub use distributed::DistributedOptum;
-pub use profiler::{InterferenceProfiler, ModelKind, ProfilerConfig, ResourceUsageProfiler};
-pub use scheduler::{CandidateExplanation, OptumConfig, OptumScheduler, ScoringMode};
+pub use deployment::{Delivery, DeploymentModule};
+pub use distributed::{DistStats, DistributedOptum};
+pub use profiler::{
+    InterferenceProfiler, ModelKind, PredictorHealth, ProfilerConfig, ResourceUsageProfiler,
+};
+pub use scheduler::{BreakerState, CandidateExplanation, OptumConfig, OptumScheduler, ScoringMode};
 pub use tracing::TracingCoordinator;

@@ -437,6 +437,51 @@ impl optum_predictors::ProfileSource for ResourceUsageProfiler {
     }
 }
 
+/// Deterministic health view over the trained profilers.
+///
+/// Chaos marks the [`InterferenceProfiler`] / [`ResourceUsageProfiler`]
+/// pair faulty or stale for windows of ticks
+/// ([`optum_chaos::generate_outages`]); the scheduler probes this view
+/// once per tick and trips its circuit breaker while the predictors
+/// are down. The profilers themselves are shared immutably across
+/// scheduler replicas, so health is tracked *beside* them rather than
+/// inside: every replica sees the same plan and flips at the same
+/// tick.
+#[derive(Debug, Clone, Default)]
+pub struct PredictorHealth {
+    /// Sorted, disjoint outage windows.
+    outages: Vec<optum_chaos::OutageWindow>,
+    /// First window that could still cover the current tick (ticks are
+    /// probed in order, so scanning never restarts).
+    cursor: usize,
+}
+
+impl PredictorHealth {
+    /// Always-healthy predictors (no chaos).
+    pub fn healthy() -> PredictorHealth {
+        PredictorHealth::default()
+    }
+
+    /// Health driven by a sorted outage plan.
+    pub fn from_plan(outages: Vec<optum_chaos::OutageWindow>) -> PredictorHealth {
+        PredictorHealth { outages, cursor: 0 }
+    }
+
+    /// True when any outage is planned at all.
+    pub fn has_outages(&self) -> bool {
+        !self.outages.is_empty()
+    }
+
+    /// Probes predictor health at a tick. Ticks must be probed in
+    /// non-decreasing order (the scheduler probes once per tick).
+    pub fn healthy_at(&mut self, t: optum_types::Tick) -> bool {
+        while self.outages.get(self.cursor).is_some_and(|w| w.end <= t) {
+            self.cursor += 1;
+        }
+        !self.outages.get(self.cursor).is_some_and(|w| w.contains(t))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

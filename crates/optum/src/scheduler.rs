@@ -66,6 +66,15 @@ pub struct OptumConfig {
     /// services"): a candidate whose placement would push any resident
     /// LS application's predicted PSI above this is infeasible.
     pub psi_guard: f64,
+    /// Utilization-only scoring (the paper's Optum-util ablation):
+    /// drop the interference terms and the PSI guard, keep the
+    /// CPU/memory guards. This is also the circuit breaker's fallback
+    /// mode when the trained predictors are faulty or stale.
+    pub util_only: bool,
+    /// Consecutive failed predictor probes before the breaker opens.
+    pub breaker_trip_after: u32,
+    /// Ticks the breaker stays open before probing again (half-open).
+    pub breaker_cooldown_ticks: u32,
 }
 
 impl Default for OptumConfig {
@@ -81,8 +90,30 @@ impl Default for OptumConfig {
             seed: 42,
             scoring: ScoringMode::Absolute,
             psi_guard: 0.1,
+            util_only: false,
+            breaker_trip_after: 1,
+            breaker_cooldown_ticks: 10,
         }
     }
+}
+
+/// Circuit-breaker state guarding the trained predictors.
+///
+/// `Closed` is the healthy state (full Eq. 11 scoring). A failed
+/// predictor probe — the profiles are marked faulty or stale by the
+/// chaos plan — counts toward `breaker_trip_after`; tripping opens the
+/// breaker and the scheduler falls back to utilization-only scoring.
+/// After `breaker_cooldown_ticks` the breaker half-opens and probes
+/// again: a healthy probe closes it (full scoring resumes with the
+/// refreshed profile), a failed one re-opens it for another cooldown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Predictors healthy; full interference-aware scoring.
+    Closed,
+    /// Predictors faulty; utilization-only fallback.
+    Open,
+    /// Cooldown elapsed; probing for recovery (still in fallback).
+    HalfOpen,
 }
 
 /// Memoization key for interference predictions: the (app, POC
@@ -126,6 +157,11 @@ pub struct OptumScheduler {
     ri_cache: Arc<RwLock<HashMap<RiKey, f64>>>,
     scratch: Vec<PodInfo>,
     candidate_scratch: Vec<usize>,
+    health: crate::profiler::PredictorHealth,
+    breaker: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    fallback_ticks: u64,
 }
 
 impl OptumScheduler {
@@ -155,6 +191,79 @@ impl OptumScheduler {
             ri_cache: Arc::new(RwLock::new(HashMap::new())),
             scratch: Vec::new(),
             candidate_scratch: Vec::new(),
+            health: crate::profiler::PredictorHealth::healthy(),
+            breaker: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            fallback_ticks: 0,
+        }
+    }
+
+    /// Installs a predictor outage plan (sorted chaos windows during
+    /// which the trained profiles are faulty or stale). The circuit
+    /// breaker probes it once per tick.
+    pub fn set_outage_plan(&mut self, outages: Vec<optum_chaos::OutageWindow>) {
+        self.health = crate::profiler::PredictorHealth::from_plan(outages);
+    }
+
+    /// Current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker
+    }
+
+    /// Ticks spent in utilization-only fallback because of the
+    /// breaker (permanent `util_only` configs do not count).
+    pub fn fallback_ticks(&self) -> u64 {
+        self.fallback_ticks
+    }
+
+    /// True while scoring runs utilization-only — either the
+    /// permanent Optum-util configuration or an open breaker.
+    pub fn is_degraded(&self) -> bool {
+        self.config.util_only || self.breaker != BreakerState::Closed
+    }
+
+    /// Advances the breaker state machine with one predictor probe.
+    fn probe_predictor(&mut self, tick: optum_types::Tick) {
+        if !self.health.has_outages() {
+            return;
+        }
+        let healthy = self.health.healthy_at(tick);
+        match self.breaker {
+            BreakerState::Closed => {
+                if healthy {
+                    self.consecutive_failures = 0;
+                } else {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.config.breaker_trip_after.max(1) {
+                        self.breaker = BreakerState::Open;
+                        self.cooldown_left = self.config.breaker_cooldown_ticks.max(1);
+                        optum_obs::counter!("optum.breaker.opened");
+                    }
+                }
+            }
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.breaker = BreakerState::HalfOpen;
+                    optum_obs::counter!("optum.breaker.half_open");
+                }
+            }
+            BreakerState::HalfOpen => {
+                if healthy {
+                    self.breaker = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    optum_obs::counter!("optum.breaker.closed");
+                } else {
+                    self.breaker = BreakerState::Open;
+                    self.cooldown_left = self.config.breaker_cooldown_ticks.max(1);
+                    optum_obs::counter!("optum.breaker.opened");
+                }
+            }
+        }
+        if self.breaker != BreakerState::Closed {
+            self.fallback_ticks += 1;
+            optum_obs::counter!("optum.fallback.ticks");
         }
     }
 
@@ -333,6 +442,24 @@ impl OptumScheduler {
                 be_ri: 0.0,
             });
         }
+        // Utilization-only scoring (the Optum-util ablation, also the
+        // breaker's fallback while the trained predictors are down):
+        // keep the utilization product and the CPU/memory guards, drop
+        // the interference terms and the PSI guard that depend on the
+        // faulty models.
+        if self.config.util_only || self.breaker != BreakerState::Closed {
+            let score = match self.config.scoring {
+                ScoringMode::Absolute => poc_util * pom_util,
+                ScoringMode::Marginal => poc_util * pom_util - before.0 * before.1,
+            };
+            return Some(ScoredCandidate {
+                score,
+                cpu_ok: true,
+                mem_ok: true,
+                ls_ri: 0.0,
+                be_ri: 0.0,
+            });
+        }
         // Resident pods grouped per app (small vectors; avoid hashing).
         let mut groups: Vec<(AppId, SloClass, f64)> = Vec::with_capacity(8);
         for rp in &node.pods {
@@ -386,7 +513,15 @@ impl OptumScheduler {
 
 impl Scheduler for OptumScheduler {
     fn name(&self) -> String {
-        "Optum".into()
+        if self.config.util_only {
+            "Optum-util".into()
+        } else {
+            "Optum".into()
+        }
+    }
+
+    fn on_tick(&mut self, view: &ClusterView<'_>) {
+        self.probe_predictor(view.tick);
     }
 
     fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
@@ -731,6 +866,59 @@ mod tests {
             );
             assert_eq!(single.select_node(&p, &view), multi.select_node(&p, &view));
         }
+    }
+
+    #[test]
+    fn breaker_trips_on_outage_and_recovers_after_cooldown() {
+        let mut sched = scheduler();
+        sched.set_outage_plan(vec![optum_chaos::OutageWindow {
+            start: Tick(2),
+            end: Tick(4),
+        }]);
+        let apps = AppStatsStore::new(3);
+        let cluster = ClusterConfig::homogeneous(1);
+        let nodes = vec![NodeRuntime::new(NodeSpec::standard(NodeId(0)))];
+        let view_at = |t: u64| ClusterView {
+            tick: Tick(t),
+            nodes: &nodes,
+            apps: &apps,
+            cluster: &cluster,
+            history_window: 10,
+            affinity: &[],
+        };
+        sched.on_tick(&view_at(0));
+        assert_eq!(sched.breaker_state(), BreakerState::Closed);
+        assert!(!sched.is_degraded());
+        // First failed probe trips the breaker (trip_after = 1).
+        sched.on_tick(&view_at(2));
+        assert_eq!(sched.breaker_state(), BreakerState::Open);
+        assert!(sched.is_degraded());
+        // The default cooldown (10 ticks) runs down while the outage
+        // ends underneath; then one healthy probe closes the breaker.
+        for t in 3..13 {
+            sched.on_tick(&view_at(t));
+        }
+        assert_eq!(sched.breaker_state(), BreakerState::HalfOpen);
+        sched.on_tick(&view_at(13));
+        assert_eq!(sched.breaker_state(), BreakerState::Closed);
+        assert!(!sched.is_degraded());
+        assert_eq!(sched.fallback_ticks(), 11);
+    }
+
+    #[test]
+    fn util_only_config_reports_the_ablation_name() {
+        let data = training(3);
+        let sched = OptumScheduler::from_training(
+            OptumConfig {
+                util_only: true,
+                ..OptumConfig::default()
+            },
+            &data,
+            ProfilerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(sched.name(), "Optum-util");
+        assert!(sched.is_degraded());
     }
 
     #[test]

@@ -170,6 +170,27 @@ impl Scheduler for AlibabaLike {
             Err(cause) => Decision::Unplaceable(cause),
         }
     }
+
+    // Policy constants are construction-time configuration; the only
+    // mutable state is the BE admission gate and its trailing EMA.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut w = optum_sim::SnapWriter::new();
+        w.put_bool(self.be_paused);
+        w.put_f64(self.usage_ema);
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> optum_types::Result<()> {
+        let mut r = optum_sim::SnapReader::new(state);
+        self.be_paused = r.get_bool()?;
+        self.usage_ema = r.get_f64()?;
+        if r.remaining() != 0 {
+            return Err(optum_types::Error::InvalidData(
+                "AlibabaLike checkpoint state has trailing bytes".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -282,5 +303,20 @@ mod tests {
         };
         let d = sched.select_node(&pod(SloClass::Ls, 0.05, 0.05), &view);
         assert_eq!(d, Decision::Unplaceable(optum_types::DelayCause::Memory));
+    }
+
+    #[test]
+    fn checkpoint_state_round_trips() {
+        let src = AlibabaLike {
+            be_paused: true,
+            usage_ema: 0.4375,
+            ..AlibabaLike::default()
+        };
+        let state = src.save_state().unwrap();
+        let mut dst = AlibabaLike::default();
+        dst.load_state(&state).unwrap();
+        assert_eq!(src, dst);
+        // Garbage state is rejected, not silently accepted.
+        assert!(dst.load_state(&[1, 2, 3]).is_err());
     }
 }

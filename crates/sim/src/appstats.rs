@@ -102,6 +102,63 @@ impl AppStats {
     pub fn p99(&self) -> Option<Resources> {
         self.cached_p99
     }
+
+    /// Serializes the statistics for a checkpoint.
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        let cpu = self.cpu_window.as_slice();
+        w.put_u64(cpu.len() as u64);
+        for x in cpu {
+            w.put_f64(x);
+        }
+        let mem = self.mem_window.as_slice();
+        w.put_u64(mem.len() as u64);
+        for x in mem {
+            w.put_f64(x);
+        }
+        w.put_u64(self.mem_util_count);
+        w.put_f64(self.mem_util_mean);
+        w.put_f64(self.mem_util_m2);
+        w.put_f64(self.max_cpu_util);
+        w.put_f64(self.max_mem_util);
+        w.put_f64(self.max_qps_norm);
+        match self.cached_p99 {
+            Some(p) => {
+                w.put_u64(1);
+                w.put_f64(p.cpu);
+                w.put_f64(p.mem);
+            }
+            None => w.put_u64(0),
+        }
+        w.put_u64(self.samples);
+    }
+
+    /// Restores statistics from a checkpoint section.
+    pub(crate) fn snap_load(
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<AppStats> {
+        let mut s = AppStats::default();
+        // Windows hold at most their capacity, so replaying the saved
+        // samples in order reproduces the deque exactly.
+        for _ in 0..r.get_len()? {
+            s.cpu_window.push(r.get_f64()?);
+        }
+        for _ in 0..r.get_len()? {
+            s.mem_window.push(r.get_f64()?);
+        }
+        s.mem_util_count = r.get_u64()?;
+        s.mem_util_mean = r.get_f64()?;
+        s.mem_util_m2 = r.get_f64()?;
+        s.max_cpu_util = r.get_f64()?;
+        s.max_mem_util = r.get_f64()?;
+        s.max_qps_norm = r.get_f64()?;
+        s.cached_p99 = if r.get_u64()? != 0 {
+            Some(Resources::new(r.get_f64()?, r.get_f64()?))
+        } else {
+            None
+        };
+        s.samples = r.get_u64()?;
+        Ok(s)
+    }
 }
 
 /// Store of per-application statistics plus the live ERO table.
@@ -155,6 +212,35 @@ impl AppStatsStore {
     /// The live ERO table.
     pub fn ero_table(&self) -> &EroTable {
         &self.ero
+    }
+
+    /// Serializes the store for a checkpoint.
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        w.put_u64(self.stats.len() as u64);
+        for s in &self.stats {
+            s.snap_save(w);
+        }
+        self.ero.snap_save(w);
+    }
+
+    /// Restores a store from a checkpoint section; the app count must
+    /// match the workload the simulator was rebuilt over.
+    pub(crate) fn snap_load(
+        n_apps: usize,
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<AppStatsStore> {
+        let n = r.get_len()?;
+        if n != n_apps {
+            return Err(optum_types::Error::InvalidData(format!(
+                "snapshot covers {n} applications but the workload has {n_apps}"
+            )));
+        }
+        let mut stats = Vec::with_capacity(n);
+        for _ in 0..n {
+            stats.push(AppStats::snap_load(r)?);
+        }
+        let ero = EroTable::snap_load(r)?;
+        Ok(AppStatsStore { stats, ero })
     }
 }
 

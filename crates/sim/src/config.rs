@@ -71,6 +71,12 @@ pub struct SimConfig {
     pub evict_backoff_base: u64,
     /// Upper bound of the eviction restart backoff, in ticks.
     pub evict_backoff_cap: u64,
+    /// Write a crash-consistent engine snapshot every this many ticks
+    /// (requires `checkpoint_path` and a scheduler that implements
+    /// [`crate::Scheduler::save_state`]).
+    pub checkpoint_every: Option<u64>,
+    /// Snapshot file, atomically replaced at every checkpoint.
+    pub checkpoint_path: Option<std::path::PathBuf>,
 }
 
 impl SimConfig {
@@ -93,6 +99,8 @@ impl SimConfig {
             fault_events: Vec::new(),
             evict_backoff_base: 2,
             evict_backoff_cap: 120,
+            checkpoint_every: None,
+            checkpoint_path: None,
         }
     }
 }

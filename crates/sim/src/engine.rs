@@ -9,6 +9,7 @@ use optum_types::{
 use optum_trace::{hash_noise, Workload};
 
 use crate::appstats::AppStatsStore;
+use crate::checkpoint::{self, Fingerprint, SnapReader, SnapWriter, SNAP_VERSION};
 use crate::config::SimConfig;
 use crate::node::{NodeRuntime, ResidentPod};
 use crate::result::{
@@ -45,6 +46,41 @@ struct RunningState {
     max_host_mem_util: f64,
     util_sum: Resources,
     util_ticks: u64,
+}
+
+impl RunningState {
+    fn snap_save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.node.0 as u64);
+        w.put_opt_u64(self.end_tick.map(|t| t.0));
+        w.put_f64(self.work_left);
+        w.put_psi(&self.cpu_psi);
+        w.put_psi(&self.mem_psi);
+        w.put_f64(self.worst_psi);
+        w.put_f64(self.max_pod_cpu_util);
+        w.put_f64(self.max_pod_mem_util);
+        w.put_f64(self.max_host_cpu_util);
+        w.put_f64(self.max_host_mem_util);
+        w.put_f64(self.util_sum.cpu);
+        w.put_f64(self.util_sum.mem);
+        w.put_u64(self.util_ticks);
+    }
+
+    fn snap_load(r: &mut SnapReader<'_>) -> Result<RunningState> {
+        Ok(RunningState {
+            node: NodeId(r.get_u64()? as u32),
+            end_tick: r.get_opt_u64()?.map(Tick),
+            work_left: r.get_f64()?,
+            cpu_psi: r.get_psi()?,
+            mem_psi: r.get_psi()?,
+            worst_psi: r.get_f64()?,
+            max_pod_cpu_util: r.get_f64()?,
+            max_pod_mem_util: r.get_f64()?,
+            max_host_cpu_util: r.get_f64()?,
+            max_host_mem_util: r.get_f64()?,
+            util_sum: Resources::new(r.get_f64()?, r.get_f64()?),
+            util_ticks: r.get_u64()?,
+        })
+    }
 }
 
 /// Why a running pod is being removed from its node before
@@ -138,6 +174,9 @@ pub struct Simulator<'w, S: Scheduler> {
     pending_scratch: Vec<PodId>,
     affinity_fractions: Vec<f64>,
     end_tick: Tick,
+    /// First tick of the loop: zero for fresh runs, the snapshot tick
+    /// after a checkpoint restore.
+    start_tick: Tick,
 }
 
 // The experiment layer fans independent simulations out across worker
@@ -157,6 +196,26 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             return Err(Error::InvalidConfig(
                 "cluster needs at least one node".into(),
             ));
+        }
+        if let Some(every) = config.checkpoint_every {
+            if every == 0 {
+                return Err(Error::InvalidConfig(
+                    "checkpoint interval must be positive".into(),
+                ));
+            }
+            if config.checkpoint_path.is_none() {
+                return Err(Error::InvalidConfig(
+                    "checkpoint_every requires checkpoint_path".into(),
+                ));
+            }
+            if config.predictor_eval.is_some() {
+                return Err(Error::InvalidConfig(
+                    "checkpointing cannot be combined with predictor evaluation \
+                     (open evaluation points hold live predictor handles that \
+                     cannot be serialized)"
+                        .into(),
+                ));
+            }
         }
         let end_tick = config
             .end_tick
@@ -271,15 +330,40 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             pending_scratch: Vec::new(),
             affinity_fractions: workload.apps.iter().map(|a| a.affinity_fraction).collect(),
             end_tick,
+            start_tick: Tick::ZERO,
         })
+    }
+
+    /// Builds a simulator and restores a checkpoint into it, so
+    /// [`Simulator::run`] resumes from the snapshot tick. The workload
+    /// and configuration must match the checkpointed run (validated by
+    /// fingerprint); the scheduler must be a freshly built instance of
+    /// the same scheduler, whose state the snapshot overwrites.
+    pub fn resume(
+        workload: &'w Workload,
+        scheduler: S,
+        config: SimConfig,
+        snapshot: &[u8],
+    ) -> Result<Self> {
+        let mut sim = Simulator::new(workload, scheduler, config)?;
+        sim.restore_from(snapshot)?;
+        Ok(sim)
     }
 
     /// Runs the simulation to completion and returns the result.
     pub fn run(mut self) -> Result<SimResult> {
         let _run = optum_obs::span!("sim.run");
-        let mut t = Tick(0);
+        let mut t = self.start_tick;
         while t < self.end_tick {
             let _tick = optum_obs::span!("sim.tick");
+            // Snapshots are cut at the top of the tick, before any of
+            // its events: resuming replays tick `t` in full, so the
+            // resumed run is bit-identical to an uninterrupted one.
+            if let Some(every) = self.config.checkpoint_every {
+                if t.0 != self.start_tick.0 && t.0.is_multiple_of(every) {
+                    self.write_checkpoint(t)?;
+                }
+            }
             let (sub_be, sub_ls) = self.admit_arrivals(t);
             if t.0.is_multiple_of(REFRESH_STRIDE) {
                 self.apps.refresh_all();
@@ -1173,6 +1257,400 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             }
         }
     }
+
+    // --- Checkpoint/restore -------------------------------------------
+
+    /// Fingerprint binding a snapshot to this simulation configuration
+    /// (cluster shape, strides, flags, fault plan, end tick).
+    fn config_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.fold(self.config.cluster.node_count as u64);
+        for n in self.config.cluster.nodes() {
+            fp.fold(n.id.0 as u64);
+            fp.fold_f64(n.capacity.cpu);
+            fp.fold_f64(n.capacity.mem);
+        }
+        fp.fold(self.config.history_window as u64);
+        fp.fold(self.config.schedule_budget_per_tick as u64);
+        fp.fold(self.config.record_ranks as u64);
+        fp.fold(self.config.collect_training as u64);
+        fp.fold(self.config.collect_triple_ero as u64);
+        fp.fold(self.config.training_stride);
+        fp.fold(self.config.series_stride);
+        fp.fold(self.config.pods_per_app_sampled as u64);
+        fp.fold(self.end_tick.0);
+        fp.fold(self.config.snapshot_tick.map(|t| t.0).unwrap_or(u64::MAX));
+        fp.fold_f64(self.config.preempt_request_cap);
+        fp.fold(self.config.evict_backoff_base);
+        fp.fold(self.config.evict_backoff_cap);
+        fp.fold(self.faults.len() as u64);
+        for ev in &self.faults {
+            fp.fold(ev.at.0);
+            fp.fold(ev.node.0 as u64);
+            match ev.kind {
+                FaultKind::Crash => fp.fold(0),
+                FaultKind::Recover => fp.fold(1),
+                FaultKind::DrainStart => fp.fold(2),
+                FaultKind::DrainEnd => fp.fold(3),
+                FaultKind::Degrade { factor } => {
+                    fp.fold(4);
+                    fp.fold_f64(factor);
+                }
+                FaultKind::DegradeEnd => fp.fold(5),
+                FaultKind::PodKill { selector } => {
+                    fp.fold(6);
+                    fp.fold(selector);
+                }
+            }
+        }
+        fp.finish()
+    }
+
+    /// Fingerprint binding a snapshot to the exact workload.
+    fn workload_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.fold(self.workload.config.window_ticks());
+        fp.fold(self.workload.apps.len() as u64);
+        for a in &self.workload.apps {
+            fp.fold_f64(a.affinity_fraction);
+        }
+        fp.fold(self.workload.pods.len() as u64);
+        for p in &self.workload.pods {
+            let s = &p.spec;
+            fp.fold(s.id.0 as u64);
+            fp.fold(s.app.0 as u64);
+            fp.fold(checkpoint::slo_code(s.slo));
+            fp.fold_f64(s.request.cpu);
+            fp.fold_f64(s.request.mem);
+            fp.fold(s.arrival.0);
+            fp.fold(s.nominal_duration.unwrap_or(u64::MAX));
+        }
+        fp.finish()
+    }
+
+    /// Serializes the complete mutable state at the top of tick `t`.
+    fn snapshot_bytes(&self, t: Tick) -> Result<Vec<u8>> {
+        let Some(sched_state) = self.scheduler.save_state() else {
+            return Err(Error::InvalidConfig(format!(
+                "scheduler '{}' does not support checkpointing (it exposes no \
+                 serializable state); run without --checkpoint-every",
+                self.scheduler.name()
+            )));
+        };
+        let mut w = SnapWriter::new();
+        w.put_magic();
+        w.put_u64(SNAP_VERSION);
+        w.put_u64(self.config_fingerprint());
+        w.put_u64(self.workload_fingerprint());
+        w.put_u64(t.0);
+        w.put_str(&self.scheduler.name());
+        w.put_bytes(&sched_state);
+        // Cursors and queues.
+        w.put_u64(self.next_arrival as u64);
+        w.put_u64(self.next_fault as u64);
+        w.put_u64(self.pending.len() as u64);
+        for p in &self.pending {
+            w.put_u64(p.0 as u64);
+        }
+        // Cluster and application state.
+        w.put_u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            n.snap_save(&mut w);
+        }
+        self.apps.snap_save(&mut w);
+        // Per-pod state (all vectors are indexed by pod id and sized
+        // to the workload, so only the values are stored).
+        w.put_u64(self.running.len() as u64);
+        for state in &self.running {
+            match state {
+                Some(s) => {
+                    w.put_u64(1);
+                    s.snap_save(&mut w);
+                }
+                None => w.put_u64(0),
+            }
+        }
+        for sw in &self.suspended_work {
+            w.put_opt_f64(*sw);
+        }
+        for ev in &self.evicted_at {
+            w.put_opt_u64(ev.map(|t| t.0));
+        }
+        for &f in &self.fault_evicted {
+            w.put_bool(f);
+        }
+        for nb in &self.not_before {
+            w.put_u64(nb.0);
+        }
+        // Outcome accumulators: only the fields the run mutates (the
+        // identity fields are rebuilt from the workload on restore).
+        for o in &self.outcomes {
+            w.put_opt_u64(o.node.map(|n| n.0 as u64));
+            w.put_opt_u64(o.placed_at.map(|t| t.0));
+            w.put_u64(o.wait_ticks);
+            w.put_opt_u64(o.delay_cause.map(checkpoint::delay_code));
+            w.put_opt_u64(o.completed_at.map(|t| t.0));
+            w.put_opt_u64(o.actual_duration);
+            w.put_f64(o.worst_psi);
+            w.put_f64(o.max_pod_cpu_util);
+            w.put_f64(o.max_pod_mem_util);
+            w.put_f64(o.max_host_cpu_util);
+            w.put_f64(o.max_host_mem_util);
+            w.put_f64(o.mean_pod_cpu_util);
+            w.put_f64(o.mean_pod_mem_util);
+            w.put_u64(o.preemptions as u64);
+            w.put_u64(o.evictions as u64);
+            w.put_opt_u64(o.rank_by_usage.map(u64::from));
+            w.put_opt_u64(o.rank_by_request.map(u64::from));
+        }
+        self.churn.snap_save(&mut w);
+        self.violations.snap_save(&mut w);
+        // Recorded series.
+        w.put_u64(self.cluster_series.len() as u64);
+        for s in &self.cluster_series {
+            s.snap_save(&mut w);
+        }
+        w.put_u64(self.pod_series.len() as u64);
+        for (pid, points) in &self.pod_series {
+            w.put_u64(pid.0 as u64);
+            w.put_u64(points.len() as u64);
+            for p in points {
+                p.snap_save(&mut w);
+            }
+        }
+        // Training collections.
+        w.put_u64(self.psi_samples.len() as u64);
+        for s in &self.psi_samples {
+            w.put_u64(s.app.0 as u64);
+            w.put_f64(s.pod_cpu_util);
+            w.put_f64(s.pod_mem_util);
+            w.put_f64(s.host_cpu_util);
+            w.put_f64(s.host_mem_util);
+            w.put_f64(s.qps_norm);
+            w.put_f64(s.psi);
+        }
+        w.put_u64(self.ct_samples.len() as u64);
+        for s in &self.ct_samples {
+            w.put_u64(s.app.0 as u64);
+            w.put_f64(s.max_pod_cpu_util);
+            w.put_f64(s.max_pod_mem_util);
+            w.put_f64(s.max_host_cpu_util);
+            w.put_f64(s.max_host_mem_util);
+            w.put_f64(s.ct_norm);
+        }
+        self.triple_ero.snap_save(&mut w);
+        w.put_u64(self.node_snapshot.len() as u64);
+        for s in &self.node_snapshot {
+            s.snap_save(&mut w);
+        }
+        Ok(w.finish_with_checksum())
+    }
+
+    /// Writes a crash-consistent checkpoint at the top of tick `t`.
+    fn write_checkpoint(&self, t: Tick) -> Result<()> {
+        let _span = optum_obs::span!("sim.checkpoint");
+        let bytes = self.snapshot_bytes(t)?;
+        let path = self
+            .config
+            .checkpoint_path
+            .as_ref()
+            .expect("validated in Simulator::new");
+        checkpoint::write_snapshot_file(path, &bytes)?;
+        optum_obs::counter!("sim.checkpoints");
+        Ok(())
+    }
+
+    /// Restores snapshot bytes into this freshly built simulator.
+    fn restore_from(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.config.predictor_eval.is_some() {
+            return Err(Error::InvalidConfig(
+                "cannot resume with predictor evaluation enabled: snapshots \
+                 carry no evaluation points"
+                    .into(),
+            ));
+        }
+        let payload = checkpoint::verify_checksum(bytes)?;
+        let mut r = SnapReader::new(payload);
+        r.get_magic()?;
+        let version = r.get_u64()?;
+        if version != SNAP_VERSION {
+            return Err(Error::InvalidData(format!(
+                "snapshot format version {version} is not supported (expected {SNAP_VERSION})"
+            )));
+        }
+        let cfg_fp = r.get_u64()?;
+        if cfg_fp != self.config_fingerprint() {
+            return Err(Error::InvalidData(
+                "snapshot was taken under a different simulation configuration \
+                 (cluster, strides, fault plan or end tick differ)"
+                    .into(),
+            ));
+        }
+        let wl_fp = r.get_u64()?;
+        if wl_fp != self.workload_fingerprint() {
+            return Err(Error::InvalidData(
+                "snapshot was taken over a different workload".into(),
+            ));
+        }
+        let t = Tick(r.get_u64()?);
+        if t >= self.end_tick {
+            return Err(Error::InvalidData(format!(
+                "snapshot tick {} is not before the configured end tick {}",
+                t.0, self.end_tick.0
+            )));
+        }
+        let sched_name = r.get_str()?;
+        if sched_name != self.scheduler.name() {
+            return Err(Error::InvalidData(format!(
+                "snapshot was taken with scheduler '{sched_name}' but resuming \
+                 with '{}'",
+                self.scheduler.name()
+            )));
+        }
+        let sched_state = r.get_bytes()?;
+        self.scheduler.load_state(&sched_state)?;
+        // Cursors and queues.
+        self.next_arrival = r.get_u64()? as usize;
+        self.next_fault = r.get_u64()? as usize;
+        if self.next_arrival > self.workload.pods.len() || self.next_fault > self.faults.len() {
+            return Err(Error::InvalidData(
+                "snapshot corrupt: cursor beyond plan length".into(),
+            ));
+        }
+        self.pending.clear();
+        for _ in 0..r.get_len()? {
+            self.pending.push(PodId(r.get_u64()? as u32));
+        }
+        // Cluster and application state.
+        let n_nodes = r.get_len()?;
+        if n_nodes != self.nodes.len() {
+            return Err(Error::InvalidData(format!(
+                "snapshot covers {n_nodes} nodes but the cluster has {}",
+                self.nodes.len()
+            )));
+        }
+        for i in 0..n_nodes {
+            let spec = self.nodes[i].spec;
+            self.nodes[i] = NodeRuntime::snap_load(spec, self.config.history_window, &mut r)?;
+        }
+        self.apps = AppStatsStore::snap_load(self.workload.apps.len(), &mut r)?;
+        // Per-pod state.
+        let n_pods = self.workload.pods.len();
+        let n_running = r.get_len()?;
+        if n_running != n_pods {
+            return Err(Error::InvalidData(format!(
+                "snapshot covers {n_running} pods but the workload has {n_pods}"
+            )));
+        }
+        for slot in self.running.iter_mut() {
+            *slot = if r.get_u64()? != 0 {
+                Some(RunningState::snap_load(&mut r)?)
+            } else {
+                None
+            };
+        }
+        for slot in self.suspended_work.iter_mut() {
+            *slot = r.get_opt_f64()?;
+        }
+        for slot in self.evicted_at.iter_mut() {
+            *slot = r.get_opt_u64()?.map(Tick);
+        }
+        for slot in self.fault_evicted.iter_mut() {
+            *slot = r.get_bool()?;
+        }
+        for slot in self.not_before.iter_mut() {
+            *slot = Tick(r.get_u64()?);
+        }
+        for o in self.outcomes.iter_mut() {
+            o.node = r.get_opt_u64()?.map(|n| NodeId(n as u32));
+            o.placed_at = r.get_opt_u64()?.map(Tick);
+            o.wait_ticks = r.get_u64()?;
+            o.delay_cause = match r.get_opt_u64()? {
+                Some(code) => Some(checkpoint::delay_from(code)?),
+                None => None,
+            };
+            o.completed_at = r.get_opt_u64()?.map(Tick);
+            o.actual_duration = r.get_opt_u64()?;
+            o.worst_psi = r.get_f64()?;
+            o.max_pod_cpu_util = r.get_f64()?;
+            o.max_pod_mem_util = r.get_f64()?;
+            o.max_host_cpu_util = r.get_f64()?;
+            o.max_host_mem_util = r.get_f64()?;
+            o.mean_pod_cpu_util = r.get_f64()?;
+            o.mean_pod_mem_util = r.get_f64()?;
+            o.preemptions = r.get_u64()? as u32;
+            o.evictions = r.get_u64()? as u32;
+            o.rank_by_usage = r.get_opt_u64()?.map(|x| x as u32);
+            o.rank_by_request = r.get_opt_u64()?.map(|x| x as u32);
+        }
+        self.churn = ChurnStats::snap_load(&mut r)?;
+        self.violations = ViolationStats::snap_load(&mut r)?;
+        // Recorded series.
+        self.cluster_series.clear();
+        for _ in 0..r.get_len()? {
+            self.cluster_series
+                .push(ClusterTickStats::snap_load(&mut r)?);
+        }
+        let n_series = r.get_len()?;
+        if n_series != self.pod_series.len() {
+            return Err(Error::InvalidData(format!(
+                "snapshot records {n_series} pod series but sampling \
+                 configuration yields {}",
+                self.pod_series.len()
+            )));
+        }
+        for (pid, points) in self.pod_series.iter_mut() {
+            let saved = PodId(r.get_u64()? as u32);
+            if saved != *pid {
+                return Err(Error::InvalidData(format!(
+                    "snapshot series pod {} does not match expected {}",
+                    saved.0, pid.0
+                )));
+            }
+            points.clear();
+            for _ in 0..r.get_len()? {
+                points.push(PodPoint::snap_load(&mut r)?);
+            }
+        }
+        // Training collections.
+        self.psi_samples.clear();
+        for _ in 0..r.get_len()? {
+            self.psi_samples.push(PsiSample {
+                app: optum_types::AppId(r.get_u64()? as u32),
+                pod_cpu_util: r.get_f64()?,
+                pod_mem_util: r.get_f64()?,
+                host_cpu_util: r.get_f64()?,
+                host_mem_util: r.get_f64()?,
+                qps_norm: r.get_f64()?,
+                psi: r.get_f64()?,
+            });
+        }
+        self.ct_samples.clear();
+        for _ in 0..r.get_len()? {
+            self.ct_samples.push(CtSample {
+                app: optum_types::AppId(r.get_u64()? as u32),
+                max_pod_cpu_util: r.get_f64()?,
+                max_pod_mem_util: r.get_f64()?,
+                max_host_cpu_util: r.get_f64()?,
+                max_host_mem_util: r.get_f64()?,
+                ct_norm: r.get_f64()?,
+            });
+        }
+        self.triple_ero = TripleEroTable::snap_load(&mut r)?;
+        self.node_snapshot.clear();
+        for _ in 0..r.get_len()? {
+            self.node_snapshot
+                .push(crate::result::NodeSnapshot::snap_load(&mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(Error::InvalidData(format!(
+                "snapshot corrupt: {} unread trailing bytes",
+                r.remaining()
+            )));
+        }
+        self.start_tick = t;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1197,6 +1675,15 @@ mod tests {
                 }
             }
             Decision::Unplaceable(DelayCause::CpuAndMemory)
+        }
+
+        // Stateless, hence trivially checkpointable.
+        fn save_state(&self) -> Option<Vec<u8>> {
+            Some(Vec::new())
+        }
+
+        fn load_state(&mut self, _state: &[u8]) -> optum_types::Result<()> {
+            Ok(())
         }
     }
 
@@ -1352,5 +1839,125 @@ mod tests {
         let r = small_run();
         assert!(r.violations.total_node_ticks > 0);
         assert!(r.violations.rate() <= 1.0);
+    }
+
+    fn snap_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("optum-{}-{name}.snap", std::process::id()))
+    }
+
+    fn checkpointing_config(hosts: usize, path: &std::path::Path) -> SimConfig {
+        let mut cfg = SimConfig::new(hosts);
+        cfg.record_ranks = true;
+        cfg.collect_training = true;
+        cfg.checkpoint_every = Some(250);
+        cfg.checkpoint_path = Some(path.to_path_buf());
+        cfg
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let path = snap_path("roundtrip");
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+
+        let mut base_cfg = SimConfig::new(40);
+        base_cfg.record_ranks = true;
+        base_cfg.collect_training = true;
+        let baseline = crate::run(&w, FirstFit, base_cfg).unwrap();
+
+        // Checkpointed run: write snapshots along the way, then throw
+        // the result away (simulating a crash after the last snapshot).
+        let interrupted = crate::run(&w, FirstFit, checkpointing_config(40, &path)).unwrap();
+        assert_eq!(interrupted.outcomes, baseline.outcomes);
+
+        // Resume from the last snapshot under a fresh simulator.
+        let bytes = crate::checkpoint::read_snapshot_file(&path).unwrap();
+        let mut resume_cfg = SimConfig::new(40);
+        resume_cfg.record_ranks = true;
+        resume_cfg.collect_training = true;
+        let resumed = Simulator::resume(&w, FirstFit, resume_cfg, &bytes)
+            .unwrap()
+            .run()
+            .unwrap();
+
+        assert_eq!(resumed.outcomes, baseline.outcomes);
+        assert_eq!(resumed.violations, baseline.violations);
+        assert_eq!(resumed.churn, baseline.churn);
+        assert_eq!(resumed.cluster_series, baseline.cluster_series);
+        assert_eq!(resumed.pod_series, baseline.pod_series);
+        let (bt, rt) = (
+            baseline.training.as_ref().unwrap(),
+            resumed.training.as_ref().unwrap(),
+        );
+        assert_eq!(bt.psi, rt.psi);
+        assert_eq!(bt.ct, rt.ct);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_checkpointable_scheduler_reports_clear_error() {
+        let path = snap_path("refuser");
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let err = crate::run(&w, Refuser, checkpointing_config(40, &path))
+            .err()
+            .unwrap();
+        let msg = err.to_string();
+        assert!(msg.contains("refuser"), "unexpected error: {msg}");
+        assert!(msg.contains("checkpoint"), "unexpected error: {msg}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_rejects_different_workload() {
+        let path = snap_path("fingerprint");
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        crate::run(&w, FirstFit, checkpointing_config(40, &path)).unwrap();
+        let bytes = crate::checkpoint::read_snapshot_file(&path).unwrap();
+
+        let other = generate(&WorkloadConfig::small(8)).unwrap();
+        let err = Simulator::resume(&other, FirstFit, checkpointing_config(40, &path), &bytes)
+            .err()
+            .unwrap();
+        assert!(
+            err.to_string().contains("different workload"),
+            "unexpected error: {err}"
+        );
+
+        // A different cluster is caught by the configuration fingerprint.
+        let err = Simulator::resume(&w, FirstFit, checkpointing_config(41, &path), &bytes)
+            .err()
+            .unwrap();
+        assert!(
+            err.to_string()
+                .contains("different simulation configuration"),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_snapshot_fails_without_panicking() {
+        let path = snap_path("truncated");
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        crate::run(&w, FirstFit, checkpointing_config(40, &path)).unwrap();
+        let bytes = crate::checkpoint::read_snapshot_file(&path).unwrap();
+
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            let res = Simulator::resume(&w, FirstFit, SimConfig::new(40), &bytes[..cut]);
+            assert!(res.is_err(), "truncation at {cut} bytes was accepted");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_config_is_validated() {
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let mut cfg = SimConfig::new(40);
+        cfg.checkpoint_every = Some(100);
+        assert!(Simulator::new(&w, FirstFit, cfg).is_err());
+
+        let mut cfg = SimConfig::new(40);
+        cfg.checkpoint_every = Some(0);
+        cfg.checkpoint_path = Some(snap_path("zero"));
+        assert!(Simulator::new(&w, FirstFit, cfg).is_err());
     }
 }

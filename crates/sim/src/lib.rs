@@ -21,6 +21,7 @@
 //! and scheduler behavior yield identical results.
 
 pub mod appstats;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod node;
@@ -30,6 +31,7 @@ pub mod training;
 pub mod view;
 
 pub use appstats::AppStatsStore;
+pub use checkpoint::{read_snapshot_file, write_snapshot_file, SnapReader, SnapWriter};
 pub use config::{PredictorEval, SimConfig};
 pub use engine::Simulator;
 pub use node::{NodeRuntime, ResidentPod};

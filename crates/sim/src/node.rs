@@ -227,6 +227,90 @@ impl NodeRuntime {
     pub fn free_by_usage(&self) -> Resources {
         self.spec.capacity.saturating_sub(&self.usage)
     }
+
+    /// Serializes the node's mutable state for a checkpoint (the spec
+    /// and window are rebuilt from configuration at restore time).
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        use crate::checkpoint::{lifecycle_code, slo_code};
+        w.put_u64(lifecycle_code(self.lifecycle));
+        w.put_f64(self.degrade);
+        w.put_u64(self.pods.len() as u64);
+        for p in &self.pods {
+            w.put_u64(p.id.0 as u64);
+            w.put_u64(p.app.0 as u64);
+            w.put_u64(slo_code(p.slo));
+            w.put_f64(p.request.cpu);
+            w.put_f64(p.request.mem);
+            w.put_f64(p.limit.cpu);
+            w.put_f64(p.limit.mem);
+            w.put_u64(p.placed_at.0);
+        }
+        // Running sums are saved verbatim, not recomputed from pods:
+        // float accumulation order (adds and removes over the run)
+        // would not reproduce them bit-exactly.
+        for r in [self.requested, self.requested_be, self.limits, self.usage] {
+            w.put_f64(r.cpu);
+            w.put_f64(r.mem);
+        }
+        w.put_u64(self.cpu_history.len() as u64);
+        for &x in &self.cpu_history {
+            w.put_f64(x);
+        }
+        w.put_u64(self.mem_history.len() as u64);
+        for &x in &self.mem_history {
+            w.put_f64(x);
+        }
+        w.put_f64(self.cpu_sums.0);
+        w.put_f64(self.cpu_sums.1);
+        w.put_f64(self.mem_sums.0);
+        w.put_f64(self.mem_sums.1);
+    }
+
+    /// Restores a node from a checkpoint section.
+    pub(crate) fn snap_load(
+        spec: NodeSpec,
+        window: usize,
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<NodeRuntime> {
+        use crate::checkpoint::{lifecycle_from, slo_from};
+        let mut node = NodeRuntime::with_window(spec, window);
+        node.lifecycle = lifecycle_from(r.get_u64()?)?;
+        node.degrade = r.get_f64()?;
+        let n_pods = r.get_len()?;
+        for _ in 0..n_pods {
+            let pod = ResidentPod {
+                id: PodId(r.get_u64()? as u32),
+                app: AppId(r.get_u64()? as u32),
+                slo: slo_from(r.get_u64()?)?,
+                request: Resources::new(r.get_f64()?, r.get_f64()?),
+                limit: Resources::new(r.get_f64()?, r.get_f64()?),
+                placed_at: Tick(r.get_u64()?),
+            };
+            node.infos.push(PodInfo {
+                app: pod.app,
+                request: pod.request,
+                limit: pod.limit,
+            });
+            node.pods.push(pod);
+        }
+        node.requested = Resources::new(r.get_f64()?, r.get_f64()?);
+        node.requested_be = Resources::new(r.get_f64()?, r.get_f64()?);
+        node.limits = Resources::new(r.get_f64()?, r.get_f64()?);
+        node.usage = Resources::new(r.get_f64()?, r.get_f64()?);
+        let n_cpu = r.get_len()?;
+        node.cpu_history.reserve(n_cpu);
+        for _ in 0..n_cpu {
+            node.cpu_history.push(r.get_f64()?);
+        }
+        let n_mem = r.get_len()?;
+        node.mem_history.reserve(n_mem);
+        for _ in 0..n_mem {
+            node.mem_history.push(r.get_f64()?);
+        }
+        node.cpu_sums = (r.get_f64()?, r.get_f64()?);
+        node.mem_sums = (r.get_f64()?, r.get_f64()?);
+        Ok(node)
+    }
 }
 
 #[cfg(test)]

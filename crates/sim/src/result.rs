@@ -122,6 +122,52 @@ pub struct ClusterTickStats {
     pub down_nodes: usize,
 }
 
+impl ClusterTickStats {
+    /// Serializes one recorded point for a checkpoint.
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        w.put_u64(self.tick.0);
+        w.put_f64(self.mean_cpu_util);
+        w.put_f64(self.max_cpu_util);
+        w.put_f64(self.mean_mem_util);
+        w.put_f64(self.max_mem_util);
+        w.put_u64(self.active_nodes as u64);
+        w.put_f64(self.mean_cpu_util_active);
+        w.put_f64(self.mean_mem_util_active);
+        w.put_u64(self.pending as u64);
+        w.put_u64(self.running as u64);
+        w.put_u64(self.submitted_be as u64);
+        w.put_u64(self.submitted_ls as u64);
+        w.put_f64(self.mean_be_pod_util);
+        w.put_f64(self.mean_ls_pod_util);
+        w.put_f64(self.mean_ls_qps);
+        w.put_u64(self.down_nodes as u64);
+    }
+
+    /// Restores one recorded point from a checkpoint section.
+    pub(crate) fn snap_load(
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<ClusterTickStats> {
+        Ok(ClusterTickStats {
+            tick: Tick(r.get_u64()?),
+            mean_cpu_util: r.get_f64()?,
+            max_cpu_util: r.get_f64()?,
+            mean_mem_util: r.get_f64()?,
+            max_mem_util: r.get_f64()?,
+            active_nodes: r.get_u64()? as usize,
+            mean_cpu_util_active: r.get_f64()?,
+            mean_mem_util_active: r.get_f64()?,
+            pending: r.get_u64()? as usize,
+            running: r.get_u64()? as usize,
+            submitted_be: r.get_u64()? as usize,
+            submitted_ls: r.get_u64()? as usize,
+            mean_be_pod_util: r.get_f64()?,
+            mean_ls_pod_util: r.get_f64()?,
+            mean_ls_qps: r.get_f64()?,
+            down_nodes: r.get_u64()? as usize,
+        })
+    }
+}
+
 /// One sampled point of a pod's recorded time series.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PodPoint {
@@ -147,6 +193,41 @@ pub struct PodPoint {
     pub tx: f64,
 }
 
+impl PodPoint {
+    /// Serializes one sampled point for a checkpoint.
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        w.put_u64(self.tick.0);
+        w.put_f64(self.usage.cpu);
+        w.put_f64(self.usage.mem);
+        w.put_psi(&self.cpu_psi);
+        w.put_psi(&self.mem_psi);
+        w.put_f64(self.qps);
+        w.put_f64(self.response_time);
+        w.put_f64(self.host_cpu_util);
+        w.put_f64(self.host_mem_util);
+        w.put_f64(self.rx);
+        w.put_f64(self.tx);
+    }
+
+    /// Restores one sampled point from a checkpoint section.
+    pub(crate) fn snap_load(
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<PodPoint> {
+        Ok(PodPoint {
+            tick: Tick(r.get_u64()?),
+            usage: Resources::new(r.get_f64()?, r.get_f64()?),
+            cpu_psi: r.get_psi()?,
+            mem_psi: r.get_psi()?,
+            qps: r.get_f64()?,
+            response_time: r.get_f64()?,
+            host_cpu_util: r.get_f64()?,
+            host_mem_util: r.get_f64()?,
+            rx: r.get_f64()?,
+            tx: r.get_f64()?,
+        })
+    }
+}
+
 /// A point-in-time snapshot of one node's commitments (drives the
 /// over-commitment-rate distributions of Fig. 5).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -167,6 +248,34 @@ pub struct NodeSnapshot {
     pub pod_count: u32,
 }
 
+impl NodeSnapshot {
+    /// Serializes one commitment snapshot for a checkpoint.
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        w.put_u64(self.node.0 as u64);
+        w.put_u64(self.at.0);
+        for res in [self.capacity, self.requested, self.limits, self.usage] {
+            w.put_f64(res.cpu);
+            w.put_f64(res.mem);
+        }
+        w.put_u64(self.pod_count as u64);
+    }
+
+    /// Restores one commitment snapshot from a checkpoint section.
+    pub(crate) fn snap_load(
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<NodeSnapshot> {
+        Ok(NodeSnapshot {
+            node: NodeId(r.get_u64()? as u32),
+            at: Tick(r.get_u64()?),
+            capacity: Resources::new(r.get_f64()?, r.get_f64()?),
+            requested: Resources::new(r.get_f64()?, r.get_f64()?),
+            limits: Resources::new(r.get_f64()?, r.get_f64()?),
+            usage: Resources::new(r.get_f64()?, r.get_f64()?),
+            pod_count: r.get_u64()? as u32,
+        })
+    }
+}
+
 /// Capacity-violation accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ViolationStats {
@@ -185,6 +294,24 @@ impl ViolationStats {
             return 0.0;
         }
         (self.cpu_node_ticks + self.mem_node_ticks) as f64 / self.total_node_ticks as f64
+    }
+
+    /// Serializes the accounting for a checkpoint.
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        w.put_u64(self.cpu_node_ticks);
+        w.put_u64(self.mem_node_ticks);
+        w.put_u64(self.total_node_ticks);
+    }
+
+    /// Restores the accounting from a checkpoint section.
+    pub(crate) fn snap_load(
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<ViolationStats> {
+        Ok(ViolationStats {
+            cpu_node_ticks: r.get_u64()?,
+            mem_node_ticks: r.get_u64()?,
+            total_node_ticks: r.get_u64()?,
+        })
     }
 }
 
@@ -259,6 +386,52 @@ impl ChurnStats {
     /// Total fault-driven evictions across classes.
     pub fn total_evictions(&self) -> u64 {
         self.per_class.iter().map(|c| c.evictions).sum()
+    }
+
+    /// Serializes the accounting for a checkpoint.
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        w.put_u64(self.crashes);
+        w.put_u64(self.drains);
+        w.put_u64(self.degradations);
+        w.put_u64(self.pod_kills);
+        w.put_u64(self.down_node_ticks);
+        w.put_u64(self.stale_rejections);
+        w.put_u64(self.per_class.len() as u64);
+        for c in &self.per_class {
+            w.put_u64(c.evictions);
+            w.put_u64(c.rescheduled);
+            w.put_u64(c.resched_ticks);
+            w.put_u64(c.failed);
+        }
+    }
+
+    /// Restores the accounting from a checkpoint section.
+    pub(crate) fn snap_load(
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<ChurnStats> {
+        let mut churn = ChurnStats {
+            crashes: r.get_u64()?,
+            drains: r.get_u64()?,
+            degradations: r.get_u64()?,
+            pod_kills: r.get_u64()?,
+            down_node_ticks: r.get_u64()?,
+            stale_rejections: r.get_u64()?,
+            ..ChurnStats::default()
+        };
+        let n = r.get_len()?;
+        if n != churn.per_class.len() {
+            return Err(optum_types::Error::InvalidData(format!(
+                "snapshot corrupt: {n} churn classes, expected {}",
+                churn.per_class.len()
+            )));
+        }
+        for c in churn.per_class.iter_mut() {
+            c.evictions = r.get_u64()?;
+            c.rescheduled = r.get_u64()?;
+            c.resched_ticks = r.get_u64()?;
+            c.failed = r.get_u64()?;
+        }
+        Ok(churn)
     }
 }
 

@@ -33,6 +33,25 @@ pub trait Scheduler {
     fn on_tick(&mut self, view: &ClusterView<'_>) {
         let _ = view;
     }
+
+    /// Serializes the scheduler's internal mutable state for an engine
+    /// checkpoint. `None` (the default) declares the scheduler
+    /// non-checkpointable: the engine refuses to write a snapshot and
+    /// reports a clear error instead of silently dropping state.
+    /// Stateless schedulers should return `Some(Vec::new())`.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state produced by [`Scheduler::save_state`] when
+    /// resuming from a checkpoint.
+    fn load_state(&mut self, state: &[u8]) -> optum_types::Result<()> {
+        let _ = state;
+        Err(optum_types::Error::InvalidData(format!(
+            "scheduler '{}' does not support checkpoint restore",
+            self.name()
+        )))
+    }
 }
 
 /// Blanket impl so boxed schedulers can be passed around.
@@ -47,6 +66,14 @@ impl Scheduler for Box<dyn Scheduler> {
 
     fn on_tick(&mut self, view: &ClusterView<'_>) {
         self.as_mut().on_tick(view)
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        self.as_ref().save_state()
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> optum_types::Result<()> {
+        self.as_mut().load_state(state)
     }
 }
 
@@ -63,5 +90,13 @@ impl Scheduler for Box<dyn Scheduler + Send> {
 
     fn on_tick(&mut self, view: &ClusterView<'_>) {
         self.as_mut().on_tick(view)
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        self.as_ref().save_state()
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> optum_types::Result<()> {
+        self.as_mut().load_state(state)
     }
 }

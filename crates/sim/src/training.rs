@@ -161,6 +161,35 @@ impl EroTable {
     pub fn observed_pairs(&self) -> usize {
         self.vals.iter().filter(|v| !v.is_nan()).count()
     }
+
+    /// Serializes the table for a checkpoint (NaN "unobserved" markers
+    /// round-trip bit-exactly through the snapshot's `f64::to_bits`
+    /// encoding).
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        w.put_u64(self.n as u64);
+        w.put_u64(self.vals.len() as u64);
+        for &v in &self.vals {
+            w.put_f64(v);
+        }
+    }
+
+    /// Restores a table from a checkpoint section.
+    pub(crate) fn snap_load(
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<EroTable> {
+        let n = r.get_len()?;
+        let len = r.get_len()?;
+        if len != n * n {
+            return Err(optum_types::Error::InvalidData(format!(
+                "snapshot corrupt: ERO table for {n} apps has {len} cells"
+            )));
+        }
+        let mut vals = Vec::with_capacity(len);
+        for _ in 0..len {
+            vals.push(r.get_f64()?);
+        }
+        Ok(EroTable { n, vals })
+    }
 }
 
 /// Per-application usage profile snapshot from the profiling run.
@@ -380,6 +409,32 @@ impl TripleEroTable {
     /// Count of observed triples.
     pub fn observed(&self) -> usize {
         self.vals.len()
+    }
+
+    /// Serializes the table for a checkpoint. Entries are written in
+    /// key order so identical tables always produce identical bytes
+    /// (hash-map iteration order is not deterministic).
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        let mut entries: Vec<(u64, f64)> = self.vals.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        w.put_u64(entries.len() as u64);
+        for (k, v) in entries {
+            w.put_u64(k);
+            w.put_f64(v);
+        }
+    }
+
+    /// Restores a table from a checkpoint section.
+    pub(crate) fn snap_load(
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<TripleEroTable> {
+        let n = r.get_len()?;
+        let mut vals = std::collections::HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = r.get_u64()?;
+            vals.insert(k, r.get_f64()?);
+        }
+        Ok(TripleEroTable { vals })
     }
 }
 

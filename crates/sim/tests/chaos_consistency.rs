@@ -211,6 +211,150 @@ fn drain_of_an_empty_node_counts_the_drain_but_evicts_nothing() {
     assert_consistent(&r);
 }
 
+// --- Control-plane faults: lossy proposal channels ------------------
+
+mod message_loss {
+    use super::{workload, HOSTS};
+    use optum_chaos::ChannelChaosConfig;
+    use optum_core::{
+        DistStats, DistributedOptum, InterferenceProfiler, OptumConfig, ProfilerConfig,
+        ResourceUsageProfiler, TracingCoordinator,
+    };
+    use optum_sim::{run, SimConfig, SimResult};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    /// One shared trained profile set (RF training is the slow part).
+    fn profilers() -> &'static (Arc<ResourceUsageProfiler>, Arc<InterferenceProfiler>) {
+        use std::sync::OnceLock;
+        static P: OnceLock<(Arc<ResourceUsageProfiler>, Arc<InterferenceProfiler>)> =
+            OnceLock::new();
+        P.get_or_init(|| {
+            let training = TracingCoordinator {
+                hosts: HOSTS,
+                profile_days: 1,
+                training_stride: 20,
+            }
+            .collect(workload())
+            .expect("profiling succeeds");
+            (
+                Arc::new(ResourceUsageProfiler::from_training(&training)),
+                Arc::new(
+                    InterferenceProfiler::train(&training, ProfilerConfig::default())
+                        .expect("training succeeds"),
+                ),
+            )
+        })
+    }
+
+    fn dist(k: usize, channel: Option<ChannelChaosConfig>) -> DistributedOptum {
+        let (usage, interference) = profilers();
+        let mut s = DistributedOptum::with_shared(
+            k,
+            OptumConfig::default(),
+            usage.clone(),
+            interference.clone(),
+        )
+        .expect("k >= 1");
+        if let Some(c) = channel {
+            s.set_channel_chaos(c);
+        }
+        s
+    }
+
+    fn run_dist(s: DistributedOptum) -> SimResult {
+        run(workload(), s, SimConfig::new(HOSTS)).expect("simulation succeeds")
+    }
+
+    /// Pod and message conservation under an arbitrary lossy channel:
+    /// every submitted pod is either placed or still waiting (none
+    /// vanish, none double-place — a placed pod has exactly one host
+    /// and one placement tick), every dropped send resolves to exactly
+    /// one retry or one exhaustion, every dedup ack answers a
+    /// duplicate, and the same (seed, loss, k) replays bit-identically.
+    fn assert_conserved(r: &SimResult, stats: &DistStats) {
+        assert_eq!(r.outcomes.len(), workload().pods.len());
+        let placed = r.outcomes.iter().filter(|o| o.scheduled()).count();
+        let waiting = r.outcomes.iter().filter(|o| !o.scheduled()).count();
+        assert_eq!(placed + waiting, r.outcomes.len());
+        for o in &r.outcomes {
+            assert_eq!(o.node.is_some(), o.placed_at.is_some(), "pod {:?}", o.id);
+            if o.completed_at.is_some() {
+                assert!(o.scheduled(), "pod {:?} completed unplaced", o.id);
+            }
+        }
+        // No data-plane faults in the plan: the churn ledger is empty
+        // (message loss defers pods, it never evicts them).
+        assert_eq!(r.churn, optum_sim::ChurnStats::default());
+        // Channel accounting: drops split exactly into retries and
+        // exhaustions; acks never exceed duplicate deliveries.
+        let dropped = DistStats::get(&stats.dropped);
+        let retries = DistStats::get(&stats.retries);
+        let exhausted = DistStats::get(&stats.exhausted);
+        assert_eq!(
+            dropped,
+            retries + exhausted,
+            "dropped {dropped} != retries {retries} + exhausted {exhausted}"
+        );
+        assert!(DistStats::get(&stats.dedup_acks) <= DistStats::get(&stats.duplicated));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn lossy_channels_conserve_pods_and_messages(
+            seed in any::<u64>(),
+            loss in 0.01f64..0.6,
+            k in 1usize..5,
+        ) {
+            let s = dist(k, Some(ChannelChaosConfig::lossy(seed, loss)));
+            let stats = s.stats_handle();
+            let r = run_dist(s);
+            assert_conserved(&r, &stats);
+            // Bit-identical replay of the same lossy run.
+            let s2 = dist(k, Some(ChannelChaosConfig::lossy(seed, loss)));
+            let r2 = run_dist(s2);
+            prop_assert_eq!(&r.outcomes, &r2.outcomes);
+            prop_assert_eq!(&r.violations, &r2.violations);
+        }
+    }
+
+    /// A zero-loss channel is bit-identical to a run that never heard
+    /// of channel chaos, and the experiment fan-out preserves that at
+    /// 1 and 4 worker threads (the sim itself is single-threaded; the
+    /// pool only changes where each run executes).
+    #[test]
+    fn loss_zero_is_bit_identical_to_chaos_free_at_1_and_4_threads() {
+        let baseline = run_dist(dist(2, None));
+        let zero_stats;
+        {
+            let s = dist(2, Some(ChannelChaosConfig::lossy(9, 0.0)));
+            zero_stats = s.stats_handle();
+            let zero = run_dist(s);
+            assert_eq!(baseline.outcomes, zero.outcomes);
+            assert_eq!(baseline.violations, zero.violations);
+            assert_eq!(baseline.cluster_series, zero.cluster_series);
+        }
+        assert_eq!(DistStats::get(&zero_stats.dropped), 0);
+        assert_eq!(DistStats::get(&zero_stats.retries), 0);
+        for threads in [1usize, 4] {
+            let schedulers = vec![
+                dist(2, None),
+                dist(2, Some(ChannelChaosConfig::lossy(9, 0.0))),
+            ];
+            let results: Vec<SimResult> =
+                optum_parallel::parallel_map_owned_threads(threads, schedulers, |_, s| run_dist(s));
+            for r in &results {
+                assert_eq!(
+                    baseline.outcomes, r.outcomes,
+                    "thread count {threads} perturbed a zero-loss run"
+                );
+            }
+        }
+    }
+}
+
 /// A second crash on a node that is already Down is idempotent: it is
 /// not counted and evicts nothing, so the run is bit-identical to the
 /// single-crash plan.

@@ -11,10 +11,11 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use optum_stats::{Exponential, LogNormal, Sampler};
-use optum_types::{PodId, PodSpec, Resources, Tick};
+use optum_types::{PodId, PodSpec, Resources, Result, Tick};
 
 use crate::config::WorkloadConfig;
 use crate::population::{AppKind, AppProfile, GeneratedPod};
+use crate::workload::dist;
 
 /// Draws a Poisson count with mean `lambda` (Knuth's method; fine for
 /// the per-tick rates used here, which are ≪ 30).
@@ -60,12 +61,24 @@ fn long_running_pods(
     rng: &mut StdRng,
     rt_sigma: f64,
     out: &mut Vec<GeneratedPod>,
-) {
+) -> Result<()> {
     let window = config.window_ticks();
-    let lifetime =
-        Exponential::new(1.0 / app.mean_lifetime_ticks().max(1.0)).expect("positive lifetime");
-    let input_dist = LogNormal::from_median(1.0, 0.08).expect("valid params");
-    let rt_dist = LogNormal::from_median(1.0, rt_sigma).expect("valid params");
+    let lifetime = dist(
+        format_args!(
+            "lifetime of app {:?} (mean {} ticks)",
+            app.id,
+            app.mean_lifetime_ticks()
+        ),
+        Exponential::new(1.0 / app.mean_lifetime_ticks().max(1.0)),
+    )?;
+    let input_dist = dist(
+        format_args!("long-running input factor"),
+        LogNormal::from_median(1.0, 0.08),
+    )?;
+    let rt_dist = dist(
+        format_args!("response-time factor (sigma {rt_sigma})"),
+        LogNormal::from_median(1.0, rt_sigma),
+    )?;
     for _slot in 0..app.replicas() {
         // Initial replicas ramp in over the first twelve hours (a
         // cluster fills gradually; a cold-start burst would smear
@@ -85,6 +98,7 @@ fn long_running_pods(
             t = t.saturating_add(life).saturating_add(1);
         }
     }
+    Ok(())
 }
 
 /// Generates the pod stream for one best-effort application: jobs
@@ -96,12 +110,15 @@ fn best_effort_pods(
     next_id: &mut u32,
     rng: &mut StdRng,
     out: &mut Vec<GeneratedPod>,
-) {
+) -> Result<()> {
     let AppKind::Be(params) = &app.kind else {
-        return;
+        return Ok(());
     };
     let window = config.window_ticks();
-    let input_dist = LogNormal::from_median(1.0, config.be_input_sigma).expect("valid params");
+    let input_dist = dist(
+        format_args!("BE input factor (be_input_sigma {})", config.be_input_sigma),
+        LogNormal::from_median(1.0, config.be_input_sigma),
+    )?;
     for t in 0..window {
         let hour = Tick(t).hour_of_day();
         let jobs = poisson(rng, params.job_rate.at(hour));
@@ -125,6 +142,7 @@ fn best_effort_pods(
             }
         }
     }
+    Ok(())
 }
 
 /// Generates the complete pod arrival stream across all applications,
@@ -133,20 +151,20 @@ pub fn generate_pods(
     config: &WorkloadConfig,
     apps: &[AppProfile],
     rng: &mut StdRng,
-) -> Vec<GeneratedPod> {
+) -> Result<Vec<GeneratedPod>> {
     let mut out = Vec::new();
     let mut next_id = 0u32;
     for app in apps {
         match &app.kind {
-            AppKind::Be(_) => best_effort_pods(app, config, &mut next_id, rng, &mut out),
+            AppKind::Be(_) => best_effort_pods(app, config, &mut next_id, rng, &mut out)?,
             AppKind::Ls(_) => {
                 // Per-app RT spread: some services have deep call
                 // chains (high CoV), some are shallow.
                 let rt_sigma = rng.gen_range(0.6..1.1);
-                long_running_pods(app, config, &mut next_id, rng, rt_sigma, &mut out);
+                long_running_pods(app, config, &mut next_id, rng, rt_sigma, &mut out)?;
             }
             AppKind::Other(_) => {
-                long_running_pods(app, config, &mut next_id, rng, 0.1, &mut out);
+                long_running_pods(app, config, &mut next_id, rng, 0.1, &mut out)?;
             }
         }
     }
@@ -155,7 +173,7 @@ pub fn generate_pods(
     for (i, pod) in out.iter_mut().enumerate() {
         pod.spec.id = PodId(i as u32);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -60,20 +60,48 @@ fn scaled_count(density: f64, scale: f64) -> usize {
     (density * scale).round().max(1.0) as usize
 }
 
-/// Draws a replica count around `mean` with moderate spread.
-fn draw_replicas(rng: &mut StdRng, mean: f64) -> usize {
-    let dist = LogNormal::from_median(mean * 0.85, 0.5).expect("positive mean");
-    (dist.sample(rng).round() as usize).clamp(2, 250)
+/// Converts a failed distribution construction into a configuration
+/// error naming the offending parameters. The generator owes callers a
+/// diagnosable [`Error::InvalidConfig`] for zero/negative/NaN inputs,
+/// not a panic deep inside a builder.
+pub(crate) fn dist<T>(what: impl std::fmt::Display, built: Option<T>) -> Result<T> {
+    built.ok_or_else(|| Error::InvalidConfig(format!("invalid workload distribution: {what}")))
 }
 
-fn build_ls_app(id: u32, slo: SloClass, config: &WorkloadConfig, rng: &mut StdRng) -> AppProfile {
-    let req_dist = LogNormal::from_median(config.ls_cpu_request_median, config.request_sigma)
-        .expect("valid params");
-    let mem_dist = LogNormal::from_median(config.ls_mem_request_median, config.request_sigma)
-        .expect("valid params");
-    let qps_base = LogNormal::from_median(80.0, 0.7)
-        .expect("valid params")
-        .sample(rng);
+/// Draws a replica count around `mean` with moderate spread.
+fn draw_replicas(rng: &mut StdRng, mean: f64) -> Result<usize> {
+    let dist = dist(
+        format_args!("replica count needs a positive finite mean, got {mean}"),
+        LogNormal::from_median(mean * 0.85, 0.5),
+    )?;
+    Ok((dist.sample(rng).round() as usize).clamp(2, 250))
+}
+
+fn build_ls_app(
+    id: u32,
+    slo: SloClass,
+    config: &WorkloadConfig,
+    rng: &mut StdRng,
+) -> Result<AppProfile> {
+    let req_dist = dist(
+        format_args!(
+            "ls_cpu_request_median {} / request_sigma {}",
+            config.ls_cpu_request_median, config.request_sigma
+        ),
+        LogNormal::from_median(config.ls_cpu_request_median, config.request_sigma),
+    )?;
+    let mem_dist = dist(
+        format_args!(
+            "ls_mem_request_median {} / request_sigma {}",
+            config.ls_mem_request_median, config.request_sigma
+        ),
+        LogNormal::from_median(config.ls_mem_request_median, config.request_sigma),
+    )?;
+    let qps_base = dist(
+        format_args!("LS QPS base"),
+        LogNormal::from_median(80.0, 0.7),
+    )?
+    .sample(rng);
     let amp = (config.diurnal_amp * rng.gen_range(0.7..1.3)).clamp(0.05, 0.95);
     // LS peaks cluster in the afternoon (customers' regular activity).
     let phase = rng.gen_range(7.5..10.5);
@@ -87,7 +115,7 @@ fn build_ls_app(id: u32, slo: SloClass, config: &WorkloadConfig, rng: &mut StdRn
         config.ls_mean_replicas
     };
     let lifetime_days = config.ls_mean_lifetime_days * rng.gen_range(0.6..1.6);
-    AppProfile {
+    Ok(AppProfile {
         id: AppId(id),
         slo,
         cpu_request: req_dist.sample(rng).clamp(0.002, 0.5),
@@ -95,8 +123,11 @@ fn build_ls_app(id: u32, slo: SloClass, config: &WorkloadConfig, rng: &mut StdRn
         limit_factor: rng.gen_range(1.5..2.5),
         affinity_fraction: (config.ls_affinity_fraction * rng.gen_range(0.7..1.4)).min(1.0),
         kind: AppKind::Ls(LsParams {
-            replicas: draw_replicas(rng, mean_replicas),
-            qps: Diurnal::new(qps_base, amp, phase).expect("amp clamped to [0,1]"),
+            replicas: draw_replicas(rng, mean_replicas)?,
+            qps: dist(
+                format_args!("LS diurnal QPS (diurnal_amp {})", config.diurnal_amp),
+                Diurnal::new(qps_base, amp, phase),
+            )?,
             mean_lifetime_ticks: lifetime_days * optum_types::TICKS_PER_DAY as f64,
             cpu_floor: floor,
             cpu_span: span,
@@ -104,12 +135,14 @@ fn build_ls_app(id: u32, slo: SloClass, config: &WorkloadConfig, rng: &mut StdRn
             psi_sens: rng.gen_range(0.5..1.0),
             psi_threshold: rng.gen_range(0.8..0.97),
             psi_beta: rng.gen_range(10.0..16.0),
-            rt_base_ms: LogNormal::from_median(20.0, 0.6)
-                .expect("valid")
-                .sample(rng),
+            rt_base_ms: dist(
+                format_args!("LS response-time base"),
+                LogNormal::from_median(20.0, 0.6),
+            )?
+            .sample(rng),
         }),
         seed: splitseed(config.seed, id),
-    }
+    })
 }
 
 fn build_other_app(
@@ -117,18 +150,28 @@ fn build_other_app(
     slo: SloClass,
     config: &WorkloadConfig,
     rng: &mut StdRng,
-) -> AppProfile {
-    let req_dist = LogNormal::from_median(config.ls_cpu_request_median * 0.8, config.request_sigma)
-        .expect("valid params");
-    let mem_dist = LogNormal::from_median(config.ls_mem_request_median * 0.8, config.request_sigma)
-        .expect("valid params");
+) -> Result<AppProfile> {
+    let req_dist = dist(
+        format_args!(
+            "ls_cpu_request_median {} / request_sigma {}",
+            config.ls_cpu_request_median, config.request_sigma
+        ),
+        LogNormal::from_median(config.ls_cpu_request_median * 0.8, config.request_sigma),
+    )?;
+    let mem_dist = dist(
+        format_args!(
+            "ls_mem_request_median {} / request_sigma {}",
+            config.ls_mem_request_median, config.request_sigma
+        ),
+        LogNormal::from_median(config.ls_mem_request_median * 0.8, config.request_sigma),
+    )?;
     let lifetime_days = match slo {
         // System agents are longer-lived than services but still roll
         // (upgrades restart them).
         SloClass::System => config.ls_mean_lifetime_days * 1.5,
         _ => config.ls_mean_lifetime_days * rng.gen_range(0.8..2.0),
     };
-    AppProfile {
+    Ok(AppProfile {
         id: AppId(id),
         slo,
         cpu_request: req_dist.sample(rng).clamp(0.002, 0.5),
@@ -136,13 +179,13 @@ fn build_other_app(
         limit_factor: rng.gen_range(1.5..2.5),
         affinity_fraction: (config.ls_affinity_fraction * rng.gen_range(1.0..2.0)).min(1.0),
         kind: AppKind::Other(OtherParams {
-            replicas: draw_replicas(rng, config.other_mean_replicas),
+            replicas: draw_replicas(rng, config.other_mean_replicas)?,
             cpu_util: rng.gen_range(0.2..0.35),
             mem_util: rng.gen_range(0.4..0.6),
             mean_lifetime_ticks: lifetime_days * optum_types::TICKS_PER_DAY as f64,
         }),
         seed: splitseed(config.seed, id),
-    }
+    })
 }
 
 fn build_be_app(
@@ -150,17 +193,32 @@ fn build_be_app(
     config: &WorkloadConfig,
     pods_per_day: f64,
     rng: &mut StdRng,
-) -> AppProfile {
-    let req_dist = LogNormal::from_median(config.be_cpu_request_median, config.request_sigma)
-        .expect("valid params");
-    let mem_dist = LogNormal::from_median(config.be_mem_request_median, config.request_sigma)
-        .expect("valid params");
-    let tasks_per_job = BoundedPareto::new(
-        1.0,
-        config.be_tasks_per_job_max,
-        config.be_tasks_per_job_alpha,
-    )
-    .expect("valid params");
+) -> Result<AppProfile> {
+    let req_dist = dist(
+        format_args!(
+            "be_cpu_request_median {} / request_sigma {}",
+            config.be_cpu_request_median, config.request_sigma
+        ),
+        LogNormal::from_median(config.be_cpu_request_median, config.request_sigma),
+    )?;
+    let mem_dist = dist(
+        format_args!(
+            "be_mem_request_median {} / request_sigma {}",
+            config.be_mem_request_median, config.request_sigma
+        ),
+        LogNormal::from_median(config.be_mem_request_median, config.request_sigma),
+    )?;
+    let tasks_per_job = dist(
+        format_args!(
+            "be_tasks_per_job_max {} / be_tasks_per_job_alpha {}",
+            config.be_tasks_per_job_max, config.be_tasks_per_job_alpha
+        ),
+        BoundedPareto::new(
+            1.0,
+            config.be_tasks_per_job_max,
+            config.be_tasks_per_job_alpha,
+        ),
+    )?;
     // Mean tasks/job via a quick deterministic numeric estimate.
     let mean_tasks = {
         let mut probe = StdRng::seed_from_u64(splitseed(config.seed, id) ^ 0xBEEF);
@@ -171,7 +229,7 @@ fn build_be_app(
     let amp = (config.diurnal_amp * rng.gen_range(0.8..1.2)).clamp(0.05, 0.95);
     // Anti-phase to the LS cluster: BE floods in overnight.
     let phase = rng.gen_range(19.5..22.5);
-    AppProfile {
+    Ok(AppProfile {
         id: AppId(id),
         slo: SloClass::Be,
         cpu_request: req_dist.sample(rng).clamp(0.002, 0.5),
@@ -179,14 +237,21 @@ fn build_be_app(
         limit_factor: rng.gen_range(1.5..2.5),
         affinity_fraction: (config.be_affinity_fraction * rng.gen_range(0.9..1.2)).min(1.0),
         kind: AppKind::Be(BeParams {
-            job_rate: Diurnal::new(jobs_per_tick, amp, phase).expect("amp clamped"),
+            job_rate: dist(
+                format_args!(
+                    "BE diurnal job rate (pods_per_day {pods_per_day}, diurnal_amp {})",
+                    config.diurnal_amp
+                ),
+                Diurnal::new(jobs_per_tick, amp, phase),
+            )?,
             tasks_per_job,
-            duration: BoundedPareto::new(
-                1.0,
-                config.be_duration_max_ticks,
-                config.be_duration_alpha,
-            )
-            .expect("valid params"),
+            duration: dist(
+                format_args!(
+                    "be_duration_max_ticks {} / be_duration_alpha {}",
+                    config.be_duration_max_ticks, config.be_duration_alpha
+                ),
+                BoundedPareto::new(1.0, config.be_duration_max_ticks, config.be_duration_alpha),
+            )?,
             cpu_ratio: config.be_cpu_usage_ratio * rng.gen_range(0.7..1.3),
             mem_ratio: config.be_mem_usage_ratio * rng.gen_range(0.95..1.04),
             ct_cpu_sens: rng.gen_range(1.5..4.0),
@@ -195,7 +260,7 @@ fn build_be_app(
             ct_mem_threshold: rng.gen_range(0.75..0.9),
         }),
         seed: splitseed(config.seed, id),
-    }
+    })
 }
 
 /// Derives a per-app noise seed from the master seed.
@@ -224,23 +289,23 @@ pub fn generate(config: &WorkloadConfig) -> Result<Workload> {
     let mut apps = Vec::new();
     let mut id = 0u32;
     for _ in 0..scaled_count(config.ls_apps_per_100, scale) {
-        apps.push(build_ls_app(id, SloClass::Ls, config, &mut rng));
+        apps.push(build_ls_app(id, SloClass::Ls, config, &mut rng)?);
         id += 1;
     }
     for _ in 0..scaled_count(config.lsr_apps_per_100, scale) {
-        apps.push(build_ls_app(id, SloClass::Lsr, config, &mut rng));
+        apps.push(build_ls_app(id, SloClass::Lsr, config, &mut rng)?);
         id += 1;
     }
     for _ in 0..scaled_count(config.unknown_apps_per_100, scale) {
-        apps.push(build_other_app(id, SloClass::Unknown, config, &mut rng));
+        apps.push(build_other_app(id, SloClass::Unknown, config, &mut rng)?);
         id += 1;
     }
     for _ in 0..scaled_count(config.system_apps_per_100, scale) {
-        apps.push(build_other_app(id, SloClass::System, config, &mut rng));
+        apps.push(build_other_app(id, SloClass::System, config, &mut rng)?);
         id += 1;
     }
     for _ in 0..scaled_count(config.vmenv_apps_per_100, scale) {
-        apps.push(build_other_app(id, SloClass::VmEnv, config, &mut rng));
+        apps.push(build_other_app(id, SloClass::VmEnv, config, &mut rng)?);
         id += 1;
     }
     // BE pod budget is split across BE apps by Zipf popularity.
@@ -251,12 +316,12 @@ pub fn generate(config: &WorkloadConfig) -> Result<Workload> {
         let total_per_day = config.be_pods_per_100_per_day * scale;
         for w in &zipf_weights {
             let share = total_per_day * w / weight_sum;
-            apps.push(build_be_app(id, config, share, &mut rng));
+            apps.push(build_be_app(id, config, share, &mut rng)?);
             id += 1;
         }
     }
 
-    let pods = generate_pods(config, &apps, &mut rng);
+    let pods = generate_pods(config, &apps, &mut rng)?;
     if pods.is_empty() {
         return Err(Error::InvalidData("generated workload has no pods".into()));
     }
@@ -376,5 +441,61 @@ mod tests {
         let mut c = WorkloadConfig::small(0);
         c.hosts = 0;
         assert!(generate(&c).is_err());
+    }
+
+    /// Asserts that generation fails with a diagnosable configuration
+    /// error — not a panic — and that the message names the parameter.
+    fn assert_invalid(c: &WorkloadConfig, needle: &str) {
+        match generate(c) {
+            Err(Error::InvalidConfig(msg)) => {
+                assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+            }
+            Err(other) => panic!("expected InvalidConfig, got {other}"),
+            Ok(_) => panic!("degenerate config was accepted"),
+        }
+    }
+
+    #[test]
+    fn rejects_negative_request_sigma() {
+        let mut c = WorkloadConfig::small(1);
+        c.request_sigma = -1.0;
+        assert_invalid(&c, "request_sigma -1");
+    }
+
+    #[test]
+    fn rejects_zero_request_median() {
+        let mut c = WorkloadConfig::small(1);
+        c.ls_cpu_request_median = 0.0;
+        assert_invalid(&c, "ls_cpu_request_median 0");
+    }
+
+    #[test]
+    fn rejects_nan_pareto_alpha() {
+        let mut c = WorkloadConfig::small(1);
+        c.be_tasks_per_job_alpha = f64::NAN;
+        assert_invalid(&c, "be_tasks_per_job_alpha NaN");
+    }
+
+    #[test]
+    fn rejects_inverted_pareto_bounds() {
+        let mut c = WorkloadConfig::small(1);
+        // Duration support must satisfy 0 < lo < hi; a max at or below
+        // the fixed lo of 1.0 inverts it.
+        c.be_duration_max_ticks = 0.5;
+        assert_invalid(&c, "be_duration_max_ticks 0.5");
+    }
+
+    #[test]
+    fn rejects_nan_be_input_sigma() {
+        let mut c = WorkloadConfig::small(1);
+        c.be_input_sigma = f64::NAN;
+        assert_invalid(&c, "be_input_sigma NaN");
+    }
+
+    #[test]
+    fn rejects_nonpositive_replica_mean() {
+        let mut c = WorkloadConfig::small(1);
+        c.ls_mean_replicas = 0.0;
+        assert_invalid(&c, "replica count");
     }
 }

@@ -18,6 +18,7 @@ pub mod ids;
 pub mod node;
 pub mod pod;
 pub mod resources;
+pub mod rng;
 pub mod samples;
 pub mod slo;
 pub mod time;
@@ -29,6 +30,7 @@ pub use ids::{AppId, NodeId, PodId};
 pub use node::NodeSpec;
 pub use pod::{DelayCause, Placement, PodPhase, PodSpec};
 pub use resources::{ResourceKind, Resources};
+pub use rng::SplitMix64;
 pub use samples::{NodeSample, PodSample, PsiWindow};
 pub use slo::SloClass;
 pub use time::{Tick, TICKS_PER_DAY, TICKS_PER_HOUR, TICKS_PER_MINUTE, TICK_SECONDS};

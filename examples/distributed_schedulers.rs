@@ -41,11 +41,12 @@ fn main() {
         schedulers
     );
 
+    let module = DeploymentModule::new();
     let mut round = 0;
     let mut pending = proposals;
     while !pending.is_empty() {
         round += 1;
-        let resolved = DeploymentModule.resolve(pending);
+        let resolved = module.resolve(pending);
         println!(
             "round {round}: accepted {} placements, re-dispatched {}",
             resolved.accepted.len(),

@@ -1,6 +1,8 @@
 //! Golden-figure regression suite: the first 20 lines of the fast-
-//! scale `fig19` and `churn` figure TSV must match the snapshots in
-//! `tests/golden/` byte for byte, at worker-thread counts 1 and 4.
+//! scale `fig19`, `churn` and `degrade` figure TSV must match the
+//! snapshots in `tests/golden/` byte for byte, at worker-thread
+//! counts 1 and 4 — plus checkpoint/resume byte-identity and the
+//! degrade sweep's fig19 anchor.
 //!
 //! This turns two standing claims into CI-enforced tests: the figure
 //! pipeline is deterministic (PR 1/2 verified thread-count invariance
@@ -17,15 +19,20 @@
 //! and justify the diff in the PR.
 
 use optum_platform::experiments::output::head_lines;
-use optum_platform::experiments::{churn, endtoend, ExpConfig, Runner};
+use optum_platform::experiments::{churn, degrade, endtoend, ExpConfig, Runner};
 
 const FIG19_GOLDEN: &str = include_str!("golden/fig19_fast_head.tsv");
 const CHURN_GOLDEN: &str = include_str!("golden/churn_fast_head.tsv");
+const DEGRADE_GOLDEN: &str = include_str!("golden/degrade_fast_head.tsv");
 
 /// Must match `gen_golden.rs`.
 const GOLDEN_LINES: usize = 20;
 /// Must match `gen_golden.rs`: one healthy arm, one stormy arm.
 const CHURN_GRID: [f64; 2] = [f64::INFINITY, 0.5];
+/// Must match `gen_golden.rs`: the fig19 anchor arm plus one lossy
+/// distributed arm (the outage panel always runs).
+const DEGRADE_LOSSES: [f64; 2] = [0.0, 0.2];
+const DEGRADE_SHARDS: [usize; 2] = [1, 4];
 
 /// Worker-thread counts the goldens are asserted at. `set_threads`
 /// takes precedence over `OPTUM_THREADS`, so the test controls the
@@ -45,6 +52,84 @@ fn fig19_fast_matches_golden_at_each_thread_count() {
              (if intentional, regenerate with the gen_golden example)"
         );
     }
+}
+
+#[test]
+fn degrade_fast_matches_golden_at_each_thread_count() {
+    for threads in THREAD_COUNTS {
+        let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+        runner.set_threads(threads);
+        let rendered = degrade::degrade_grid(&mut runner, &DEGRADE_LOSSES, &DEGRADE_SHARDS)
+            .expect("degrade")
+            .render();
+        assert_eq!(
+            head_lines(&rendered, GOLDEN_LINES),
+            DEGRADE_GOLDEN,
+            "degrade drifted from tests/golden/degrade_fast_head.tsv at threads={threads} \
+             (if intentional, regenerate with the gen_golden example)"
+        );
+    }
+}
+
+/// The degrade sweep's loss=0, k=1 arm must report exactly the fig19
+/// `Optum` evaluation arm: the distributed machinery with a reliable
+/// channel and a single replica is the plain scheduler.
+#[test]
+fn degrade_loss_zero_anchor_matches_fig19_optum_arm() {
+    let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+    runner.set_threads(1);
+    let rendered = degrade::degrade_grid(&mut runner, &[0.0], &[1])
+        .expect("degrade")
+        .render();
+    endtoend::fig19(&mut runner).expect("fig19");
+    let optum = &runner.roster_cache[0];
+    assert_eq!(optum.scheduler, "Optum", "roster order changed");
+    let row = rendered
+        .lines()
+        .find(|l| l.starts_with("0.0\t1\tOptum\t"))
+        .expect("degrade output lacks the loss=0 k=1 arm");
+    let rate = row.split('\t').nth(3).expect("placement_rate column");
+    assert_eq!(
+        rate,
+        format!("{:.4}", optum.placement_rate()),
+        "degrade anchor arm drifted from the fig19 Optum arm"
+    );
+}
+
+/// A checkpointed fig19 run, killed and resumed from its last
+/// snapshot, must render a byte-identical figure TSV — and both must
+/// still match the golden head.
+#[test]
+fn fig19_resumed_from_checkpoint_is_byte_identical() {
+    let snap =
+        std::env::temp_dir().join(format!("optum-golden-resume-{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snap);
+
+    let mut checkpointed = Runner::new(ExpConfig::fast()).expect("workload generation");
+    checkpointed.set_threads(1);
+    // Fast scale is 5760 ticks: snapshots land at 2000 and 4000, both
+    // before the mid-window commitment snapshot at 4680, so the
+    // resumed run must reconstruct it identically.
+    checkpointed.set_checkpointing(2000, snap.clone());
+    let uninterrupted = endtoend::fig19(&mut checkpointed).expect("fig19").render();
+    assert_eq!(
+        head_lines(&uninterrupted, GOLDEN_LINES),
+        FIG19_GOLDEN,
+        "checkpoint writing perturbed fig19 output"
+    );
+    assert!(snap.exists(), "no checkpoint was written");
+
+    let mut resumed_runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+    resumed_runner.set_threads(1);
+    resumed_runner.set_resume(snap.clone());
+    let resumed = endtoend::fig19(&mut resumed_runner)
+        .expect("fig19")
+        .render();
+    let _ = std::fs::remove_file(&snap);
+    assert_eq!(
+        resumed, uninterrupted,
+        "fig19 resumed from the tick-4000 checkpoint diverged from the uninterrupted run"
+    );
 }
 
 #[test]

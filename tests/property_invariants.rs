@@ -71,7 +71,7 @@ proptest! {
             })
             .collect();
         let n = proposals.len();
-        let round = DeploymentModule.resolve(proposals);
+        let round = DeploymentModule::new().resolve(proposals);
         prop_assert_eq!(round.accepted.len() + round.redispatched.len(), n);
         let mut hosts = std::collections::HashSet::new();
         for p in &round.accepted {
