@@ -18,6 +18,7 @@
 use optum_types::{sort_fault_plan, FaultEvent, FaultKind, NodeId, Tick, TICKS_PER_DAY};
 
 pub mod control;
+pub mod storm;
 
 pub use control::{
     generate_outages, ChannelChaosConfig, OutageWindow, PredictorChaosConfig, ProposalFate,
@@ -26,6 +27,7 @@ pub use control::{
 /// lives in `optum-types` so dependency-light crates (the simulator's
 /// lossy-channel wrapper) can share the exact stream definition.
 pub use optum_types::SplitMix64;
+pub use storm::{generate_storm, StormPlanConfig};
 
 /// Derives an independent stream for `(seed, node, channel)`.
 fn stream(seed: u64, node: u64, channel: u64) -> SplitMix64 {

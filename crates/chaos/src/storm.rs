@@ -1,0 +1,152 @@
+//! Storm hook: seed-driven generation of arrival-storm windows.
+//!
+//! `optum-trace` owns the storm *mechanism* ([`StormConfig`] windows
+//! composed onto a workload by `apply_storm`); this module owns the
+//! storm *plan* — where the bursts land — following the same
+//! convention as the fault channels: a pure function of
+//! `(seed, config)` drawing from its own SplitMix64 channel
+//! ([`STORM_CHANNEL`] = 5, after the four fault channels), so a storm
+//! layered onto any experiment never perturbs crash/drain/degrade/kill
+//! events and vice versa.
+
+use optum_trace::storm::{ClassMix, StormConfig, StormWindow, STORM_CHANNEL};
+use optum_types::{SplitMix64, TICKS_PER_DAY};
+
+/// Parameters of a storm plan: recurring burst windows with
+/// exponential inter-storm gaps and fixed durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormPlanConfig {
+    /// Seed of the storm stream (kept separate from the fault seed so
+    /// storms can be re-rolled without moving faults).
+    pub seed: u64,
+    /// Plan horizon: no window starts at or after this tick.
+    pub window_ticks: u64,
+    /// Mean gap between storm onsets in ticks (`f64::INFINITY`
+    /// disables storms entirely).
+    pub storm_interval_ticks: f64,
+    /// Fixed burst length in ticks.
+    pub storm_duration_ticks: u64,
+    /// Arrival-rate multiplier inside each burst.
+    pub intensity: f64,
+    /// SLO class mix of the extra arrivals.
+    pub mix: ClassMix,
+}
+
+impl StormPlanConfig {
+    /// A quiet plan: no storms.
+    pub fn quiet(window_ticks: u64) -> StormPlanConfig {
+        StormPlanConfig {
+            seed: 0,
+            window_ticks,
+            storm_interval_ticks: f64::INFINITY,
+            storm_duration_ticks: 120,
+            intensity: 1.0,
+            mix: ClassMix::be_heavy(),
+        }
+    }
+
+    /// A plan with roughly `per_day` storms per day of the given
+    /// intensity, each lasting an hour.
+    pub fn daily(seed: u64, window_ticks: u64, per_day: f64, intensity: f64) -> StormPlanConfig {
+        let interval = if per_day > 0.0 {
+            TICKS_PER_DAY as f64 / per_day
+        } else {
+            f64::INFINITY
+        };
+        StormPlanConfig {
+            seed,
+            window_ticks,
+            storm_interval_ticks: interval,
+            storm_duration_ticks: optum_types::TICKS_PER_HOUR,
+            intensity,
+            mix: ClassMix::be_heavy(),
+        }
+    }
+}
+
+/// Lane of the single plan-level storm stream (windows are not
+/// per-node, so the lane is fixed).
+const STORM_PLAN_LANE: u64 = 0;
+
+/// Generates a storm config from a plan: burst onsets follow an
+/// exponential renewal process, each burst lasting
+/// `storm_duration_ticks`. Deterministic per `(seed, config)`.
+pub fn generate_storm(config: &StormPlanConfig) -> StormConfig {
+    let mut windows = Vec::new();
+    if config.storm_interval_ticks.is_finite()
+        && config.intensity > 1.0
+        && config.storm_duration_ticks > 0
+    {
+        let mut rng = SplitMix64::stream(config.seed, STORM_PLAN_LANE, STORM_CHANNEL);
+        let mut t = tick_gap(rng.exp(config.storm_interval_ticks));
+        while t < config.window_ticks {
+            windows.push(StormWindow {
+                start: t,
+                duration: config.storm_duration_ticks,
+                intensity: config.intensity,
+                mix: config.mix,
+            });
+            t = t
+                .saturating_add(config.storm_duration_ticks)
+                .saturating_add(tick_gap(rng.exp(config.storm_interval_ticks)));
+        }
+    }
+    StormConfig {
+        seed: config.seed,
+        windows,
+    }
+}
+
+/// Converts an exponential draw into a strictly positive tick gap
+/// (mirrors the fault-channel convention).
+fn tick_gap(draw: f64) -> u64 {
+    if !draw.is_finite() {
+        return u64::MAX;
+    }
+    (draw.ceil() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_is_empty() {
+        let storm = generate_storm(&StormPlanConfig::quiet(10_000));
+        assert!(storm.windows.is_empty());
+    }
+
+    #[test]
+    fn unit_intensity_generates_nothing() {
+        let mut plan = StormPlanConfig::daily(4, 4 * TICKS_PER_DAY, 2.0, 1.0);
+        plan.intensity = 1.0;
+        assert!(generate_storm(&plan).windows.is_empty());
+    }
+
+    #[test]
+    fn storms_land_inside_the_horizon_and_replay() {
+        let plan = StormPlanConfig::daily(4, 4 * TICKS_PER_DAY, 2.0, 5.0);
+        let a = generate_storm(&plan);
+        let b = generate_storm(&plan);
+        assert_eq!(a, b);
+        assert!(!a.windows.is_empty());
+        for w in &a.windows {
+            assert!(w.start < plan.window_ticks);
+            assert_eq!(w.duration, plan.storm_duration_ticks);
+            assert_eq!(w.intensity, 5.0);
+        }
+        // ~2/day over 4 days: expect a handful, not hundreds.
+        assert!((2..=30).contains(&a.windows.len()), "{}", a.windows.len());
+    }
+
+    #[test]
+    fn storm_stream_is_independent_of_fault_channels() {
+        // Same seed as a fault plan would use: the storm channel (5)
+        // must produce a different stream than channels 1-4.
+        let mut storm = SplitMix64::stream(9, 0, STORM_CHANNEL);
+        for ch in 1..=4 {
+            let mut fault = SplitMix64::stream(9, 0, ch);
+            assert_ne!(storm.next_u64(), fault.next_u64());
+        }
+    }
+}

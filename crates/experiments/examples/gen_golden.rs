@@ -12,7 +12,7 @@
 use std::path::Path;
 
 use optum_experiments::output::head_lines;
-use optum_experiments::{churn, degrade, endtoend, ExpConfig, Runner};
+use optum_experiments::{churn, degrade, endtoend, overload, ExpConfig, Runner};
 
 /// Lines snapshotted per figure.
 const GOLDEN_LINES: usize = 20;
@@ -26,6 +26,12 @@ const CHURN_GRID: [f64; 2] = [f64::INFINITY, 0.5];
 /// k = 1) plus one lossy distributed arm, and both outage arms.
 const DEGRADE_LOSSES: [f64; 2] = [0.0, 0.2];
 const DEGRADE_SHARDS: [usize; 2] = [1, 4];
+
+/// Reduced grids for the overload golden: the fig19 anchor arm
+/// (intensity 1, unbounded) plus the fully protected extreme (10×
+/// storm, tight cap + decision deadline).
+const OVERLOAD_INTENSITIES: [f64; 2] = [1.0, 10.0];
+const OVERLOAD_CAPS: [Option<usize>; 2] = [None, Some(1000)];
 
 fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
@@ -51,5 +57,12 @@ fn main() {
         .render();
     let path = dir.join("degrade_fast_head.tsv");
     std::fs::write(&path, head_lines(&degrade, GOLDEN_LINES)).expect("write degrade golden");
+    eprintln!("wrote {}", path.display());
+
+    let overload = overload::overload_grid(&mut runner, &OVERLOAD_INTENSITIES, &OVERLOAD_CAPS)
+        .expect("overload")
+        .render();
+    let path = dir.join("overload_fast_head.tsv");
+    std::fs::write(&path, head_lines(&overload, GOLDEN_LINES)).expect("write overload golden");
     eprintln!("wrote {}", path.display());
 }

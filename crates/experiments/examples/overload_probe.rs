@@ -1,0 +1,33 @@
+//! Prints per-scheduler class stats for the overload shape test's
+//! grid — a development aid, not part of the suite.
+
+use optum_experiments::{overload, ExpConfig, Runner};
+use optum_types::SloClass;
+
+fn main() {
+    let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+    runner.set_threads(0);
+    let arms = overload::overload_results(&mut runner, &[1.0, 10.0], &[Some(1000)])
+        .expect("overload results");
+    for arm in &arms {
+        let r = &arm.result;
+        let be = r.overload.class(SloClass::Be);
+        let ls = r.overload.class(SloClass::Ls);
+        let lsr = r.overload.class(SloClass::Lsr);
+        println!(
+            "int={} cap={:?} {:<12} shed be/ls/lsr = {:.4}/{:.4}/{:.4}  (raw shed {} {} {}, thr_end {} {} {}, arrivals {} {} {})  p99 lsr={:.1} ls={:.1} be={:.1}",
+            arm.intensity,
+            arm.cap,
+            r.scheduler,
+            be.shed_rate(),
+            ls.shed_rate(),
+            lsr.shed_rate(),
+            be.shed, ls.shed, lsr.shed,
+            be.throttled_end, ls.throttled_end, lsr.throttled_end,
+            be.arrivals, ls.arrivals, lsr.arrivals,
+            overload::p99_wait(r, SloClass::Lsr),
+            overload::p99_wait(r, SloClass::Ls),
+            overload::p99_wait(r, SloClass::Be),
+        );
+    }
+}

@@ -4,8 +4,13 @@
 //! repro <figure-id>... [--fast] [--hosts N] [--days D] [--seed S] [--threads T]
 //!                      [--trace-summary] [--bench-dir DIR] [--no-bench]
 //!                      [--checkpoint-every N] [--checkpoint-path FILE] [--resume FILE]
+//!                      [--queue-cap N]
 //! repro all [--fast]
 //! ```
+//!
+//! `--queue-cap N` restricts the `overload` experiment to a single
+//! queue-cap arm (`0` = unbounded) instead of its default cap grid;
+//! it has no effect on other figures.
 //!
 //! `--threads` (or the `OPTUM_THREADS` environment variable) sets the
 //! worker count for the parallel fan-out of independent simulations
@@ -30,9 +35,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T] [--trace-summary] [--bench-dir DIR] [--no-bench] [--checkpoint-every N] [--checkpoint-path FILE] [--resume FILE]"
+            "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T] [--trace-summary] [--bench-dir DIR] [--no-bench] [--checkpoint-every N] [--checkpoint-path FILE] [--resume FILE] [--queue-cap N]"
         );
-        eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn + degrade");
+        eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn + degrade + overload");
         std::process::exit(2);
     }
     let mut config = ExpConfig::standard();
@@ -43,6 +48,7 @@ fn main() {
     let mut checkpoint_every: Option<u64> = None;
     let mut checkpoint_path = std::path::PathBuf::from("optum-reference.snap");
     let mut resume_from: Option<std::path::PathBuf> = None;
+    let mut queue_cap: Option<Option<usize>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,6 +75,11 @@ fn main() {
             "--resume" => {
                 i += 1;
                 resume_from = Some(std::path::PathBuf::from(&args[i]));
+            }
+            "--queue-cap" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("--queue-cap takes a pod count");
+                queue_cap = Some(if n == 0 { None } else { Some(n) });
             }
             "--hosts" => {
                 i += 1;
@@ -118,7 +129,16 @@ fn main() {
         // them).
         optum_obs::reset();
         let start = std::time::Instant::now();
-        match run_figure_with(id, &mut runner, &config) {
+        // `--queue-cap` narrows the overload sweep to one cap arm.
+        let outcome = match (id.as_str(), queue_cap) {
+            ("overload", Some(cap)) => optum_experiments::overload::overload_grid(
+                &mut runner,
+                &optum_experiments::overload::INTENSITY_GRID,
+                &[cap],
+            ),
+            _ => run_figure_with(id, &mut runner, &config),
+        };
+        match outcome {
             Ok(fig) => {
                 print!("{}", fig.render());
                 let wall = start.elapsed().as_secs_f64();

@@ -22,6 +22,7 @@ pub mod degrade;
 pub mod endtoend;
 pub mod output;
 pub mod overhead;
+pub mod overload;
 pub mod predictors_eval;
 pub mod profiling_eval;
 pub mod runner;
@@ -73,9 +74,10 @@ pub fn run_figure_with(
         "check" => check::check(runner),
         "churn" => churn::churn(runner),
         "degrade" => degrade::degrade(runner),
+        "overload" => overload::overload(runner),
         "fig22" => overhead::fig22(config),
         other => Err(optum_types::Error::InvalidConfig(format!(
-            "unknown figure id '{other}'; known: {:?} + fig22 + churn + degrade",
+            "unknown figure id '{other}'; known: {:?} + fig22 + churn + degrade + overload",
             ALL_FIGURES
         ))),
     }

@@ -198,6 +198,28 @@ impl Runner {
         run(&self.workload, scheduler, cfg)
     }
 
+    /// Runs an evaluation simulation under a scheduler against an
+    /// explicit workload (e.g. a storm-injected one) with overload
+    /// protection knobs. With the runner's own workload, `queue_cap:
+    /// None` and `decision_cost_budget: None` this is byte-identical
+    /// to [`Runner::run_eval`] — the anchor arms of the overload
+    /// experiment rely on that.
+    pub fn run_eval_overload<S: optum_sim::Scheduler>(
+        &self,
+        workload: &Workload,
+        scheduler: S,
+        queue_cap: Option<usize>,
+        decision_cost_budget: Option<u64>,
+    ) -> Result<SimResult> {
+        let _eval = optum_obs::span!("exp.eval");
+        let mut cfg = self.sim_config();
+        cfg.pods_per_app_sampled = 0;
+        cfg.series_stride = 10;
+        cfg.queue_cap = queue_cap;
+        cfg.decision_cost_budget = decision_cost_budget;
+        run(workload, scheduler, cfg)
+    }
+
     /// Runs one evaluation simulation per scheduler, fanned out across
     /// the configured worker threads over the shared immutable
     /// workload. Results come back in scheduler order and are

@@ -511,24 +511,31 @@ impl OptumScheduler {
     }
 }
 
-impl Scheduler for OptumScheduler {
-    fn name(&self) -> String {
-        if self.config.util_only {
-            "Optum-util".into()
-        } else {
-            "Optum".into()
-        }
-    }
-
-    fn on_tick(&mut self, view: &ClusterView<'_>) {
-        self.probe_predictor(view.tick);
-    }
-
-    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
-        let n = view.nodes.len();
-        let want = ((n as f64 * self.config.sample_rate).ceil() as usize)
+impl OptumScheduler {
+    /// The PPO sample size for an `n`-host cluster.
+    fn sample_size(&self, n: usize) -> usize {
+        ((n as f64 * self.config.sample_rate).ceil() as usize)
             .max(self.config.min_candidates)
-            .min(n);
+            .min(n)
+    }
+
+    /// Decision body. `want_cap` (set only on the budget-degraded
+    /// path) truncates the PPO sample; `None` is the exact legacy
+    /// scan, including its RNG consumption.
+    fn decide(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        want_cap: Option<usize>,
+    ) -> Decision {
+        let n = view.nodes.len();
+        let want = {
+            let want = self.sample_size(n);
+            match want_cap {
+                Some(cap) => want.min(cap.max(1)),
+                None => want,
+            }
+        };
         // PPO sampling: a random host subset per request (§4.3.4).
         // `partial_shuffle` returns the sampled elements as its first
         // tuple component (they live at the *end* of the slice).
@@ -645,6 +652,46 @@ impl Scheduler for OptumScheduler {
     }
 }
 
+impl Scheduler for OptumScheduler {
+    fn name(&self) -> String {
+        if self.config.util_only {
+            "Optum-util".into()
+        } else {
+            "Optum".into()
+        }
+    }
+
+    fn on_tick(&mut self, view: &ClusterView<'_>) {
+        self.probe_predictor(view.tick);
+    }
+
+    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+        self.decide(pod, view, None)
+    }
+
+    /// Under a decision deadline, the candidate filter truncates: the
+    /// PPO sample shrinks to what the remaining budget affords (at
+    /// least one host). When the budget covers the full sample the
+    /// legacy path runs unchanged — including its RNG draws — so an
+    /// unlimited budget is bit-identical to [`Self::select_node`].
+    fn select_node_budgeted(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: &mut optum_sim::DecisionBudget,
+    ) -> Decision {
+        let want = self.sample_size(view.nodes.len());
+        if budget.remaining() >= want as u64 {
+            budget.charge(want as u64);
+            return self.decide(pod, view, None);
+        }
+        optum_obs::counter!("optum.candidates_truncated");
+        let cap = budget.remaining().max(1) as usize;
+        budget.charge(cap as u64);
+        self.decide(pod, view, Some(cap))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,6 +780,41 @@ mod tests {
             limit: Resources::new(0.1, 0.04),
             arrival: Tick(0),
             nominal_duration: Some(20),
+        }
+    }
+
+    #[test]
+    fn budgeted_selection_matches_legacy_when_unpressured() {
+        let mut legacy = scheduler();
+        let mut budgeted = scheduler();
+        let apps = AppStatsStore::new(3);
+        let cluster = ClusterConfig::homogeneous(8);
+        let mut nodes: Vec<NodeRuntime> = cluster.nodes().map(NodeRuntime::new).collect();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.add_pod(resident(i as u32, 2, SloClass::Unknown, 0.1, 0.02));
+        }
+        let view = ClusterView {
+            tick: Tick(0),
+            nodes: &nodes,
+            apps: &apps,
+            cluster: &cluster,
+            history_window: 10,
+            affinity: &[],
+        };
+        // An unlimited budget must not perturb decisions or RNG state:
+        // both schedulers stay in lockstep across repeated calls.
+        for _ in 0..5 {
+            let mut open = optum_sim::DecisionBudget::unlimited();
+            let d_legacy = legacy.select_node(&pod(0, SloClass::Ls), &view);
+            let d_budgeted = budgeted.select_node_budgeted(&pod(0, SloClass::Ls), &view, &mut open);
+            assert_eq!(d_legacy, d_budgeted);
+        }
+        // A nearly spent budget truncates the sample but still decides.
+        let mut tight = optum_sim::DecisionBudget::new(2);
+        let d = budgeted.select_node_budgeted(&pod(0, SloClass::Be), &view, &mut tight);
+        assert_eq!(tight.remaining(), 0);
+        match d {
+            Decision::Place(_) | Decision::Unplaceable(_) => {}
         }
     }
 

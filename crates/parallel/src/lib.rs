@@ -121,6 +121,79 @@ where
         .collect()
 }
 
+/// A unit of work that panicked inside [`parallel_try_map_owned_threads`].
+///
+/// Carries enough to report and retry: the item's index, the caller's
+/// label for it, and the panic payload rendered as text (when it was a
+/// string; the common `panic!`/`assert!` case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitPanic {
+    /// Index of the failed item in the input vector.
+    pub index: usize,
+    /// Caller-supplied label for the unit (e.g. a scheduler name).
+    pub label: String,
+    /// The panic message, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for UnitPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unit #{} ({}) panicked: {}",
+            self.index, self.label, self.message
+        )
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic-isolating variant of [`parallel_map_owned_threads`]: each
+/// labeled unit runs under `catch_unwind`, so one unit blowing up
+/// yields an `Err(UnitPanic)` in its own output slot instead of
+/// tearing down the whole fan-out — the surviving units' results are
+/// still returned in item order and the pool stays usable.
+///
+/// Each caught panic increments the `parallel.unit_panics` counter.
+/// The closure must be unwind-safe in the practical sense: it owns its
+/// item, and shared state must stay coherent if a call unwinds.
+pub fn parallel_try_map_owned_threads<T, R, F>(
+    threads: usize,
+    units: Vec<(String, T)>,
+    f: F,
+) -> Vec<Result<R, UnitPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    parallel_map_owned_threads(
+        threads,
+        units.into_iter().enumerate().collect(),
+        |_, unit| {
+            let (index, (label, item)) = unit;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index, item))).map_err(
+                |payload| {
+                    optum_obs::counter!("parallel.unit_panics");
+                    UnitPanic {
+                        index,
+                        label,
+                        message: panic_message(payload),
+                    }
+                },
+            )
+        },
+    )
+}
+
 /// Like [`parallel_map_threads`], but consumes the items, so `f` can
 /// take ownership (e.g. schedulers that are moved into a simulation
 /// run). Results are returned in item order with the same determinism
@@ -200,6 +273,35 @@ mod tests {
                 t.0 * 2
             });
             assert_eq!(got, (0..41).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_map_isolates_unit_panics() {
+        for threads in [1, 4] {
+            let units: Vec<(String, u32)> = (0..16u32).map(|i| (format!("unit-{i}"), i)).collect();
+            let got = parallel_try_map_owned_threads(threads, units, |_, x| {
+                if x == 7 {
+                    panic!("boom {x}");
+                }
+                x * 10
+            });
+            assert_eq!(got.len(), 16, "threads={threads}");
+            for (i, r) in got.iter().enumerate() {
+                if i == 7 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 7);
+                    assert_eq!(e.label, "unit-7");
+                    assert_eq!(e.message, "boom 7");
+                    assert!(e.to_string().contains("unit-7"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 10);
+                }
+            }
+            // The pool stays usable after a caught panic.
+            let again =
+                parallel_try_map_owned_threads(threads, vec![("ok".to_string(), 1u32)], |_, x| x);
+            assert_eq!(again, vec![Ok(1)]);
         }
     }
 

@@ -17,11 +17,11 @@
 //! Hosts are ranked by the alignment score between the request vector
 //! and the free vector under the applicable policy.
 
-use optum_sim::{ClusterView, Decision, NodeRuntime, Scheduler};
+use optum_sim::{ClusterView, Decision, DecisionBudget, NodeRuntime, Scheduler};
 use optum_trace::hash_noise;
 use optum_types::{PodSpec, Resources, SloClass};
 
-use crate::{alignment, best_node};
+use crate::{alignment, best_node, best_node_budgeted};
 
 /// Tunable policy constants of the reference scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +102,61 @@ impl AlibabaLike {
         let mem_ok = node.requested.mem + request.mem <= self.params.ls_mem_overcommit * cap.mem;
         (cpu_ok, mem_ok)
     }
+
+    /// Shared decision body; `budget` selects the budget-degraded scan.
+    /// The candidate sampling and affinity filters are identical in
+    /// both modes — only the scan strategy degrades under pressure.
+    fn decide(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: Option<&mut DecisionBudget>,
+    ) -> Decision {
+        if pod.slo == SloClass::Be && self.be_paused {
+            return Decision::Unplaceable(optum_types::DelayCause::CpuAndMemory);
+        }
+        let request = pod.request;
+        // Deterministic per-(pod, tick) candidate subset: the same pod
+        // sees fresh candidates each retry round.
+        let frac = (self.params.candidates as f64 / view.nodes.len().max(1) as f64).min(1.0);
+        let in_sample = |n: &NodeRuntime| {
+            frac >= 1.0
+                || hash_noise(
+                    0xA11B,
+                    pod.id.0 as u64 ^ (view.tick.0 << 20),
+                    n.spec.id.0 as u64,
+                ) < frac
+        };
+        let result = if pod.slo == SloClass::Be {
+            let feas = |n: &NodeRuntime| {
+                if !in_sample(n) || !view.allows(pod.app, n.spec.id) {
+                    return None;
+                }
+                Some(self.be_fit(n, &request))
+            };
+            let score = |n: &NodeRuntime| alignment(&request, &n.usage, &n.spec.capacity);
+            match budget {
+                None => best_node(view.nodes, feas, score),
+                Some(b) => best_node_budgeted(view.nodes, b, feas, score),
+            }
+        } else {
+            let feas = |n: &NodeRuntime| {
+                if !in_sample(n) || !view.allows(pod.app, n.spec.id) {
+                    return None;
+                }
+                Some(self.ls_fit(n, &request))
+            };
+            let score = |n: &NodeRuntime| alignment(&request, &n.requested, &n.spec.capacity);
+            match budget {
+                None => best_node(view.nodes, feas, score),
+                Some(b) => best_node_budgeted(view.nodes, b, feas, score),
+            }
+        };
+        match result {
+            Ok(node) => Decision::Place(node),
+            Err(cause) => Decision::Unplaceable(cause),
+        }
+    }
 }
 
 impl Scheduler for AlibabaLike {
@@ -127,48 +182,16 @@ impl Scheduler for AlibabaLike {
     }
 
     fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
-        if pod.slo == SloClass::Be && self.be_paused {
-            return Decision::Unplaceable(optum_types::DelayCause::CpuAndMemory);
-        }
-        let request = pod.request;
-        // Deterministic per-(pod, tick) candidate subset: the same pod
-        // sees fresh candidates each retry round.
-        let frac = (self.params.candidates as f64 / view.nodes.len().max(1) as f64).min(1.0);
-        let in_sample = |n: &NodeRuntime| {
-            frac >= 1.0
-                || hash_noise(
-                    0xA11B,
-                    pod.id.0 as u64 ^ (view.tick.0 << 20),
-                    n.spec.id.0 as u64,
-                ) < frac
-        };
-        let result = if pod.slo == SloClass::Be {
-            best_node(
-                view.nodes,
-                |n| {
-                    if !in_sample(n) || !view.allows(pod.app, n.spec.id) {
-                        return None;
-                    }
-                    Some(self.be_fit(n, &request))
-                },
-                |n| alignment(&request, &n.usage, &n.spec.capacity),
-            )
-        } else {
-            best_node(
-                view.nodes,
-                |n| {
-                    if !in_sample(n) || !view.allows(pod.app, n.spec.id) {
-                        return None;
-                    }
-                    Some(self.ls_fit(n, &request))
-                },
-                |n| alignment(&request, &n.requested, &n.spec.capacity),
-            )
-        };
-        match result {
-            Ok(node) => Decision::Place(node),
-            Err(cause) => Decision::Unplaceable(cause),
-        }
+        self.decide(pod, view, None)
+    }
+
+    fn select_node_budgeted(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: &mut DecisionBudget,
+    ) -> Decision {
+        self.decide(pod, view, Some(budget))
     }
 
     // Policy constants are construction-time configuration; the only

@@ -1,10 +1,10 @@
 //! Borg-like scheduler: request-sum prediction with λ = 0.9.
 
 use optum_predictors::BorgDefault;
-use optum_sim::{ClusterView, Decision, Scheduler};
+use optum_sim::{ClusterView, Decision, DecisionBudget, NodeRuntime, Scheduler};
 use optum_types::PodSpec;
 
-use crate::{alignment, best_node};
+use crate::{alignment, best_node, best_node_budgeted};
 
 /// Places a pod wherever `λ·(Σ requests + request)` fits the
 /// capacity, ranking hosts by alignment against the λ-scaled free
@@ -29,6 +29,35 @@ impl BorgLike {
             predictor: BorgDefault { lambda },
         }
     }
+
+    fn decide(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: Option<&mut DecisionBudget>,
+    ) -> Decision {
+        let lambda = self.predictor.lambda;
+        let request = pod.request;
+        let feas = |n: &NodeRuntime| {
+            if !view.allows(pod.app, n.spec.id) {
+                return None;
+            }
+            let cap = n.spec.capacity;
+            let pred_cpu = lambda * (n.requested.cpu + request.cpu);
+            let pred_mem = lambda * (n.requested.mem + request.mem);
+            Some((pred_cpu <= cap.cpu, pred_mem <= cap.mem))
+        };
+        let score =
+            |n: &NodeRuntime| alignment(&request, &(n.requested * lambda), &n.spec.capacity);
+        let result = match budget {
+            None => best_node(view.nodes, feas, score),
+            Some(b) => best_node_budgeted(view.nodes, b, feas, score),
+        };
+        match result {
+            Ok(node) => Decision::Place(node),
+            Err(cause) => Decision::Unplaceable(cause),
+        }
+    }
 }
 
 impl Scheduler for BorgLike {
@@ -37,25 +66,16 @@ impl Scheduler for BorgLike {
     }
 
     fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
-        let lambda = self.predictor.lambda;
-        let request = pod.request;
-        let result = best_node(
-            view.nodes,
-            |n| {
-                if !view.allows(pod.app, n.spec.id) {
-                    return None;
-                }
-                let cap = n.spec.capacity;
-                let pred_cpu = lambda * (n.requested.cpu + request.cpu);
-                let pred_mem = lambda * (n.requested.mem + request.mem);
-                Some((pred_cpu <= cap.cpu, pred_mem <= cap.mem))
-            },
-            |n| alignment(&request, &(n.requested * lambda), &n.spec.capacity),
-        );
-        match result {
-            Ok(node) => Decision::Place(node),
-            Err(cause) => Decision::Unplaceable(cause),
-        }
+        self.decide(pod, view, None)
+    }
+
+    fn select_node_budgeted(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: &mut DecisionBudget,
+    ) -> Decision {
+        self.decide(pod, view, Some(budget))
     }
 }
 

@@ -27,7 +27,7 @@ pub use medea::Medea;
 pub use nsigma::NSigmaSched;
 pub use rc::RcLike;
 
-use optum_sim::NodeRuntime;
+use optum_sim::{DecisionBudget, NodeRuntime};
 use optum_types::{DelayCause, Resources};
 
 /// Alignment score of a request against a host's *commitment* vector
@@ -115,6 +115,46 @@ pub fn best_node(
     }
 }
 
+/// Budget-aware variant of [`best_node`], the shared degraded decision
+/// mode for full-scan schedulers under a per-tick decision deadline.
+///
+/// When the remaining budget covers a full scan, it charges one unit
+/// per host and behaves exactly like [`best_node`] (so an unlimited
+/// budget is bit-identical to the un-budgeted path). Otherwise it
+/// falls back to **first-fit over the prefix of the host list the
+/// budget still affords** (at least one host): scoring is skipped and
+/// the scan stops at the first feasible host, trading placement
+/// quality for bounded decision cost while overloaded.
+pub fn best_node_budgeted(
+    nodes: &[NodeRuntime],
+    budget: &mut DecisionBudget,
+    mut feasibility: impl FnMut(&NodeRuntime) -> Option<(bool, bool)>,
+    score: impl FnMut(&NodeRuntime) -> f64,
+) -> Result<optum_types::NodeId, DelayCause> {
+    let n = nodes.len() as u64;
+    if budget.remaining() >= n {
+        budget.charge(n);
+        return best_node(nodes, feasibility, score);
+    }
+    optum_obs::counter!("sched.firstfit_fallback");
+    let limit = budget.remaining().max(1) as usize;
+    let mut tracker = CauseTracker::default();
+    for (i, node) in nodes.iter().enumerate().take(limit) {
+        budget.charge(1);
+        if !node.is_schedulable() {
+            continue;
+        }
+        let Some((cpu_ok, mem_ok)) = feasibility(node) else {
+            continue;
+        };
+        tracker.record(cpu_ok, mem_ok);
+        if cpu_ok && mem_ok {
+            return Ok(optum_types::NodeId(i as u32));
+        }
+    }
+    Err(tracker.cause())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +185,52 @@ mod tests {
         let busy = Resources::new(0.6, 0.3);
         let idle = Resources::new(0.05, 0.05);
         assert!(alignment(&req, &busy, &cap) > alignment(&req, &idle, &cap));
+    }
+
+    fn test_nodes(n: u32) -> Vec<NodeRuntime> {
+        (0..n)
+            .map(|i| NodeRuntime::new(optum_types::NodeSpec::standard(optum_types::NodeId(i))))
+            .collect()
+    }
+
+    #[test]
+    fn budgeted_scan_matches_full_scan_when_unpressured() {
+        let nodes = test_nodes(8);
+        // Highest score at the last node: a first-fit fallback would
+        // pick node 0 instead, so agreement proves the full scan ran.
+        let full = best_node(&nodes, |_| Some((true, true)), |n| n.spec.id.0 as f64).unwrap();
+        let mut budget = DecisionBudget::new(100);
+        let picked = best_node_budgeted(
+            &nodes,
+            &mut budget,
+            |_| Some((true, true)),
+            |n| n.spec.id.0 as f64,
+        )
+        .unwrap();
+        assert_eq!(picked, full);
+        assert_eq!(picked, optum_types::NodeId(7));
+        assert_eq!(budget.spent(), 8, "one unit per host scanned");
+    }
+
+    #[test]
+    fn exhausted_budget_first_fits_a_prefix() {
+        let nodes = test_nodes(8);
+        let mut budget = DecisionBudget::new(3);
+        let picked = best_node_budgeted(
+            &nodes,
+            &mut budget,
+            |_| Some((true, true)),
+            |n| n.spec.id.0 as f64,
+        )
+        .unwrap();
+        // First feasible host wins; scoring is skipped.
+        assert_eq!(picked, optum_types::NodeId(0));
+        assert!(budget.spent() <= 3);
+
+        // Fully spent budget still examines one host (no livelock) and
+        // still reports a cause when that host is infeasible.
+        let mut empty = DecisionBudget::new(0);
+        let err = best_node_budgeted(&nodes, &mut empty, |_| Some((false, true)), |_| 0.0);
+        assert_eq!(err, Err(DelayCause::Cpu));
     }
 }

@@ -13,10 +13,10 @@
 
 use std::collections::HashMap;
 
-use optum_sim::{ClusterView, Decision, Scheduler};
+use optum_sim::{ClusterView, Decision, DecisionBudget, Scheduler};
 use optum_types::{DelayCause, NodeId, PodId, PodSpec, Resources};
 
-use crate::{alignment, best_node};
+use crate::{alignment, best_node, best_node_budgeted};
 
 /// Branch-and-bound placement: assign each pod a host (or skip),
 /// maximizing `(placed count, total dot-score)` under per-host
@@ -140,17 +140,13 @@ impl Default for Medea {
     }
 }
 
-impl Scheduler for Medea {
-    fn name(&self) -> String {
-        "Medea".into()
-    }
-
-    fn on_tick(&mut self, view: &ClusterView<'_>) {
-        if self.batch.is_empty() {
+impl Medea {
+    /// Runs one batch solve over the first `take` queued pods.
+    fn run_batch(&mut self, view: &ClusterView<'_>, take: usize) {
+        if take == 0 {
             return;
         }
         let _solve = optum_obs::span!("sched.medea.solve");
-        let take = self.batch.len().min(self.max_batch);
         let queued: Vec<(PodId, optum_types::AppId, Resources)> =
             self.batch.drain(..take).collect();
         // Candidate hosts: the busiest hosts with any remaining budget
@@ -204,9 +200,20 @@ impl Scheduler for Medea {
         }
     }
 
-    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+    /// Shared decision body; `budget` selects the budget-degraded
+    /// short-running scan (the long-running path is cheap — a single
+    /// validate against a pre-solved assignment — and charges 1).
+    fn decide(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: Option<&mut DecisionBudget>,
+    ) -> Decision {
         if pod.slo.is_long_running() {
             let _validate = optum_obs::span!("sched.medea.validate");
+            if let Some(b) = budget {
+                b.charge(1);
+            }
             if let Some(node) = self.assignments.remove(&pod.id) {
                 // Validate against drift since the solve.
                 let n = &view.nodes[node.index()];
@@ -223,24 +230,73 @@ impl Scheduler for Medea {
         }
         // Short-running path: fast Borg-style placement.
         let request = pod.request;
-        let result = best_node(
-            view.nodes,
-            |n| {
-                if !view.allows(pod.app, n.spec.id) {
-                    return None;
-                }
-                let cap = n.spec.capacity;
-                Some((
-                    0.9 * (n.requested.cpu + request.cpu) <= cap.cpu,
-                    0.9 * (n.requested.mem + request.mem) <= cap.mem,
-                ))
-            },
-            |n| alignment(&request, &n.requested, &n.spec.capacity),
-        );
+        let feas = |n: &optum_sim::NodeRuntime| {
+            if !view.allows(pod.app, n.spec.id) {
+                return None;
+            }
+            let cap = n.spec.capacity;
+            Some((
+                0.9 * (n.requested.cpu + request.cpu) <= cap.cpu,
+                0.9 * (n.requested.mem + request.mem) <= cap.mem,
+            ))
+        };
+        let score =
+            |n: &optum_sim::NodeRuntime| alignment(&request, &n.requested, &n.spec.capacity);
+        let result = match budget {
+            None => best_node(view.nodes, feas, score),
+            Some(b) => best_node_budgeted(view.nodes, b, feas, score),
+        };
         match result {
             Ok(node) => Decision::Place(node),
             Err(cause) => Decision::Unplaceable(cause),
         }
+    }
+}
+
+impl Scheduler for Medea {
+    fn name(&self) -> String {
+        "Medea".into()
+    }
+
+    fn on_tick(&mut self, view: &ClusterView<'_>) {
+        let take = self.batch.len().min(self.max_batch);
+        self.run_batch(view, take);
+    }
+
+    /// Under a decision deadline the batch solve shrinks: each solved
+    /// pod costs up to `max_hosts` candidate examinations, so the batch
+    /// is capped at what the remaining budget affords (never below one
+    /// pod, so the batch cannot stall forever).
+    fn on_tick_budgeted(&mut self, view: &ClusterView<'_>, budget: &mut DecisionBudget) {
+        let full = self.batch.len().min(self.max_batch);
+        if full == 0 {
+            return;
+        }
+        let per_pod = self.max_hosts.max(1) as u64;
+        let take = if budget.is_limited() {
+            let affordable = (budget.remaining() / per_pod).max(1) as usize;
+            if affordable < full {
+                optum_obs::counter!("sched.medea_batch_shrunk");
+            }
+            full.min(affordable)
+        } else {
+            full
+        };
+        budget.charge(take as u64 * per_pod);
+        self.run_batch(view, take);
+    }
+
+    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+        self.decide(pod, view, None)
+    }
+
+    fn select_node_budgeted(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: &mut DecisionBudget,
+    ) -> Decision {
+        self.decide(pod, view, Some(budget))
     }
 }
 
@@ -350,6 +406,42 @@ mod scheduler_tests {
             Decision::Place(_) => {}
             d => panic!("expected placement after solve, got {d:?}"),
         }
+    }
+
+    #[test]
+    fn budgeted_batch_solve_shrinks_under_pressure() {
+        let mut sched = Medea::default();
+        let apps = AppStatsStore::new(1);
+        let cluster = ClusterConfig::homogeneous(3);
+        let nodes: Vec<NodeRuntime> = cluster.nodes().map(NodeRuntime::new).collect();
+        let view = ClusterView {
+            tick: Tick(0),
+            nodes: &nodes,
+            apps: &apps,
+            cluster: &cluster,
+            history_window: 16,
+            affinity: &[],
+        };
+        for i in 0..3 {
+            let p = pod(i, SloClass::Ls, 0.1);
+            assert_eq!(
+                sched.select_node(&p, &view),
+                Decision::Unplaceable(DelayCause::Other)
+            );
+        }
+        // Budget affords exactly one pod's worth of host examinations:
+        // the solve shrinks to a single pod instead of all three.
+        let mut budget = optum_sim::DecisionBudget::new(sched.max_hosts as u64);
+        sched.on_tick_budgeted(&view, &mut budget);
+        assert_eq!(sched.assignments.len(), 1);
+        assert_eq!(sched.batch.len(), 2);
+        assert_eq!(budget.remaining(), 0);
+
+        // An unlimited budget solves the whole batch, like on_tick.
+        let mut open = optum_sim::DecisionBudget::unlimited();
+        sched.on_tick_budgeted(&view, &mut open);
+        assert_eq!(sched.assignments.len(), 3);
+        assert!(sched.batch.is_empty());
     }
 
     #[test]

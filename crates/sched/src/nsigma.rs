@@ -1,9 +1,9 @@
 //! N-sigma scheduler: Gaussian host-usage prediction.
 
-use optum_sim::{ClusterView, Decision, Scheduler};
+use optum_sim::{ClusterView, Decision, DecisionBudget, NodeRuntime, Scheduler};
 use optum_types::PodSpec;
 
-use crate::{alignment, best_node};
+use crate::{alignment, best_node, best_node_budgeted};
 
 /// Predicts each host's *CPU* usage as `μ + Nσ` over its recent
 /// history (N = 5 in production; §5.1 describes the model over "the
@@ -22,15 +22,16 @@ impl Default for NSigmaSched {
     }
 }
 
-impl Scheduler for NSigmaSched {
-    fn name(&self) -> String {
-        "N-sigma".into()
-    }
-
-    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+impl NSigmaSched {
+    fn decide(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: Option<&mut DecisionBudget>,
+    ) -> Decision {
         let request = pod.request;
         let n_mult = self.n;
-        let predict_cpu = |node: &optum_sim::NodeRuntime| {
+        let predict_cpu = |node: &NodeRuntime| {
             let (cm, cs) = node.cpu_stats();
             // Empty history: fall back to requests (fresh node).
             if node.cpu_window(1).is_empty() {
@@ -39,27 +40,47 @@ impl Scheduler for NSigmaSched {
                 cm + n_mult * cs
             }
         };
-        let result = best_node(
-            view.nodes,
-            |n| {
-                if !view.allows(pod.app, n.spec.id) {
-                    return None;
-                }
-                let cap = n.spec.capacity;
-                Some((
-                    predict_cpu(n) + request.cpu <= cap.cpu,
-                    n.requested.mem + request.mem <= cap.mem,
-                ))
-            },
-            |n| {
-                let pred = optum_types::Resources::new(predict_cpu(n), n.requested.mem);
-                alignment(&request, &pred, &n.spec.capacity)
-            },
-        );
+        let feas = |n: &NodeRuntime| {
+            if !view.allows(pod.app, n.spec.id) {
+                return None;
+            }
+            let cap = n.spec.capacity;
+            Some((
+                predict_cpu(n) + request.cpu <= cap.cpu,
+                n.requested.mem + request.mem <= cap.mem,
+            ))
+        };
+        let score = |n: &NodeRuntime| {
+            let pred = optum_types::Resources::new(predict_cpu(n), n.requested.mem);
+            alignment(&request, &pred, &n.spec.capacity)
+        };
+        let result = match budget {
+            None => best_node(view.nodes, feas, score),
+            Some(b) => best_node_budgeted(view.nodes, b, feas, score),
+        };
         match result {
             Ok(node) => Decision::Place(node),
             Err(cause) => Decision::Unplaceable(cause),
         }
+    }
+}
+
+impl Scheduler for NSigmaSched {
+    fn name(&self) -> String {
+        "N-sigma".into()
+    }
+
+    fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+        self.decide(pod, view, None)
+    }
+
+    fn select_node_budgeted(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: &mut DecisionBudget,
+    ) -> Decision {
+        self.decide(pod, view, Some(budget))
     }
 }
 

@@ -1,10 +1,10 @@
 //! Resource-Central-like scheduler.
 
 use optum_predictors::ProfileSource;
-use optum_sim::{ClusterView, Decision, NodeRuntime, Scheduler};
+use optum_sim::{ClusterView, Decision, DecisionBudget, NodeRuntime, Scheduler};
 use optum_types::{PodSpec, Resources};
 
-use crate::{alignment, best_node};
+use crate::{alignment, best_node, best_node_budgeted};
 
 /// Azure's Resource-Central-style policy (§5.1): a host is feasible
 /// for a pod when the sum of the 99th-percentile usage of all resident
@@ -43,6 +43,39 @@ impl RcLike {
         }
         total
     }
+
+    fn decide(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: Option<&mut DecisionBudget>,
+    ) -> Decision {
+        let request = pod.request;
+        let feas = |n: &NodeRuntime| {
+            if !view.allows(pod.app, n.spec.id) {
+                return None;
+            }
+            let cap = n.spec.capacity;
+            let pred = self.p99_sum(n, view, pod);
+            let cpu_ok = pred.cpu <= self.usage_cap * cap.cpu
+                && n.requested.cpu + request.cpu <= self.overcommit_cap * cap.cpu;
+            let mem_ok = pred.mem <= self.usage_cap * cap.mem
+                && n.requested.mem + request.mem <= self.overcommit_cap * cap.mem;
+            Some((cpu_ok, mem_ok))
+        };
+        let score = |n: &NodeRuntime| {
+            let pred = self.p99_sum(n, view, pod);
+            alignment(&request, &pred, &n.spec.capacity)
+        };
+        let result = match budget {
+            None => best_node(view.nodes, feas, score),
+            Some(b) => best_node_budgeted(view.nodes, b, feas, score),
+        };
+        match result {
+            Ok(node) => Decision::Place(node),
+            Err(cause) => Decision::Unplaceable(cause),
+        }
+    }
 }
 
 impl Scheduler for RcLike {
@@ -51,30 +84,16 @@ impl Scheduler for RcLike {
     }
 
     fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
-        let request = pod.request;
-        let result = best_node(
-            view.nodes,
-            |n| {
-                if !view.allows(pod.app, n.spec.id) {
-                    return None;
-                }
-                let cap = n.spec.capacity;
-                let pred = self.p99_sum(n, view, pod);
-                let cpu_ok = pred.cpu <= self.usage_cap * cap.cpu
-                    && n.requested.cpu + request.cpu <= self.overcommit_cap * cap.cpu;
-                let mem_ok = pred.mem <= self.usage_cap * cap.mem
-                    && n.requested.mem + request.mem <= self.overcommit_cap * cap.mem;
-                Some((cpu_ok, mem_ok))
-            },
-            |n| {
-                let pred = self.p99_sum(n, view, pod);
-                alignment(&request, &pred, &n.spec.capacity)
-            },
-        );
-        match result {
-            Ok(node) => Decision::Place(node),
-            Err(cause) => Decision::Unplaceable(cause),
-        }
+        self.decide(pod, view, None)
+    }
+
+    fn select_node_budgeted(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        budget: &mut DecisionBudget,
+    ) -> Decision {
+        self.decide(pod, view, Some(budget))
     }
 }
 

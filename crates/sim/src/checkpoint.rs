@@ -29,7 +29,7 @@ pub const SNAP_MAGIC: [u8; 8] = *b"OPTSNP\x00\x01";
 /// Current snapshot format version. Bumped on any layout change; old
 /// versions are rejected (snapshots are short-lived restart artifacts,
 /// not archives, so no migration path is kept).
-pub const SNAP_VERSION: u64 = 1;
+pub const SNAP_VERSION: u64 = 2;
 
 /// FNV-1a over a byte stream (the trailer checksum).
 pub fn fnv1a(bytes: &[u8]) -> u64 {

@@ -71,6 +71,19 @@ pub struct SimConfig {
     pub evict_backoff_base: u64,
     /// Upper bound of the eviction restart backoff, in ticks.
     pub evict_backoff_cap: u64,
+    /// Bound on the pending queue (`--queue-cap`). When the queue
+    /// exceeds the cap after an admission round, the admission
+    /// controller sheds pods in strict SLO-priority order — BE first,
+    /// LSR last, newest arrival first within a class — and throttles
+    /// BE admission once depth crosses the high-water mark
+    /// (3/4 of the cap). `None` (the default) is an unbounded queue:
+    /// bit-identical to the pre-overload engine.
+    pub queue_cap: Option<usize>,
+    /// Per-tick scheduling decision deadline in deterministic virtual
+    /// cost units (one unit ≈ one candidate host examined); see
+    /// [`crate::DecisionBudget`]. `None` (the default) means no
+    /// deadline: bit-identical to the pre-overload engine.
+    pub decision_cost_budget: Option<u64>,
     /// Write a crash-consistent engine snapshot every this many ticks
     /// (requires `checkpoint_path` and a scheduler that implements
     /// [`crate::Scheduler::save_state`]).
@@ -99,6 +112,8 @@ impl SimConfig {
             fault_events: Vec::new(),
             evict_backoff_base: 2,
             evict_backoff_cap: 120,
+            queue_cap: None,
+            decision_cost_budget: None,
             checkpoint_every: None,
             checkpoint_path: None,
         }
@@ -117,5 +132,7 @@ mod tests {
         assert!(c.predictor_eval.is_none());
         assert!(c.fault_events.is_empty());
         assert!(c.evict_backoff_base <= c.evict_backoff_cap);
+        assert!(c.queue_cap.is_none());
+        assert!(c.decision_cost_budget.is_none());
     }
 }

@@ -13,9 +13,9 @@ use crate::checkpoint::{self, Fingerprint, SnapReader, SnapWriter, SNAP_VERSION}
 use crate::config::SimConfig;
 use crate::node::{NodeRuntime, ResidentPod};
 use crate::result::{
-    ChurnStats, ClusterTickStats, PodOutcome, PodPoint, SimResult, ViolationStats,
+    ChurnStats, ClusterTickStats, OverloadStats, PodOutcome, PodPoint, SimResult, ViolationStats,
 };
-use crate::scheduler::{Decision, Scheduler};
+use crate::scheduler::{Decision, DecisionBudget, Scheduler};
 use crate::training::{
     normalize_ct, AppUsageProfile, CtSample, PsiSample, TrainingData, TripleEroTable,
 };
@@ -134,6 +134,20 @@ pub struct Simulator<'w, S: Scheduler> {
     nodes: Vec<NodeRuntime>,
     apps: AppStatsStore,
     pending: Vec<PodId>,
+    /// Whether `pending` is currently sorted by the SLO-priority key.
+    /// Pushes that keep the key order preserve the flag, so quiet
+    /// ticks (and storm ticks whose arrivals happen to land in order)
+    /// skip the per-round re-sort entirely; the sort key is total
+    /// (pod id tiebreak), so sorting only when dirty yields exactly
+    /// the order the previous unconditional re-sort produced.
+    pending_sorted: bool,
+    /// BE pods deferred by admission backpressure (queue depth over
+    /// the high-water mark), in arrival order, awaiting release.
+    throttled: std::collections::VecDeque<PodId>,
+    /// Pending-queue depth per SLO class (in [`SloClass::ALL`] order),
+    /// maintained incrementally for the overload max-depth stats.
+    class_depth: [u64; SloClass::ALL.len()],
+    overload: OverloadStats,
     running: Vec<Option<RunningState>>,
     /// Remaining work of preempted BE pods awaiting re-placement.
     suspended_work: Vec<Option<f64>>,
@@ -267,6 +281,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 evictions: 0,
                 rank_by_usage: None,
                 rank_by_request: None,
+                shed_at: None,
             })
             .collect();
         let faults = std::mem::take(&mut config.fault_events);
@@ -303,6 +318,10 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             nodes,
             apps: AppStatsStore::new(n_apps),
             pending: Vec::new(),
+            pending_sorted: true,
+            throttled: std::collections::VecDeque::new(),
+            class_depth: [0; SloClass::ALL.len()],
+            overload: OverloadStats::default(),
             running: vec![None; n_pods],
             suspended_work: vec![None; n_pods],
             outcomes,
@@ -373,8 +392,14 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             // stale decisions only arise from pre-fault state a
             // scheduler cached itself.
             self.apply_faults(t);
-            self.tick_hook(t);
-            self.schedule_round(t);
+            // One decision deadline per tick, shared between the
+            // scheduler's tick hook and the placement round.
+            let mut cost = match self.config.decision_cost_budget {
+                Some(limit) => DecisionBudget::new(limit),
+                None => DecisionBudget::unlimited(),
+            };
+            self.tick_hook(t, &mut cost);
+            self.schedule_round(t, &mut cost);
             self.physics_pass(t, sub_be, sub_ls);
             if self.config.snapshot_tick == Some(t) {
                 self.node_snapshot = self.take_snapshot(t);
@@ -405,6 +430,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             pod_series: self.pod_series,
             violations: self.violations,
             churn: self.churn,
+            overload: self.overload,
             predictor_errors: self.eval_errors,
             training,
             node_snapshot: self.node_snapshot,
@@ -443,25 +469,160 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             .collect()
     }
 
+    /// Position of an SLO class in the [`SloClass::ALL`] order (the
+    /// layout of `class_depth` and [`OverloadStats::per_class`]).
+    fn class_idx(slo: SloClass) -> usize {
+        SloClass::ALL.iter().position(|&c| c == slo).unwrap_or(0)
+    }
+
+    /// BE-throttle threshold: 3/4 of the queue cap, at least one.
+    fn high_water(cap: usize) -> usize {
+        (cap / 4 * 3).max(1)
+    }
+
+    /// Pending-queue sort key: highest SLO priority first, FIFO within
+    /// a class, pod id as a total tiebreak (total order, so a lazy
+    /// re-sort reproduces the eager per-round sort bit-identically).
+    fn queue_key(&self, id: PodId) -> (std::cmp::Reverse<u8>, Tick, PodId) {
+        let spec = &self.workload.pods[id.index()].spec;
+        (std::cmp::Reverse(spec.slo.priority()), spec.arrival, id)
+    }
+
+    /// Pushes onto the pending queue, clearing the sorted flag only
+    /// when the push actually breaks the key order.
+    fn queue_push(&mut self, pid: PodId) {
+        if self.pending_sorted {
+            if let Some(&last) = self.pending.last() {
+                if self.queue_key(pid) < self.queue_key(last) {
+                    self.pending_sorted = false;
+                }
+            }
+        }
+        self.pending.push(pid);
+    }
+
+    /// Re-sorts the pending queue if (and only if) it is dirty.
+    fn ensure_sorted(&mut self) {
+        if self.pending_sorted {
+            return;
+        }
+        let workload = self.workload;
+        self.pending.sort_by_key(|&id| {
+            let spec = &workload.pods[id.index()].spec;
+            (std::cmp::Reverse(spec.slo.priority()), spec.arrival, id)
+        });
+        self.pending_sorted = true;
+    }
+
+    /// Sheds a pod (at arrival or from the queue): records the shed
+    /// tick and a censored waiting time, and settles the recovery
+    /// bookkeeping a pending eviction would otherwise leave dangling.
+    fn shed_pod(&mut self, pid: PodId, t: Tick) {
+        let ev = self.evicted_at[pid.index()].take();
+        let o = &mut self.outcomes[pid.index()];
+        o.shed_at = Some(t);
+        if o.placed_at.is_none() {
+            o.wait_ticks = t.saturating_since(o.arrival);
+        } else if let Some(ev) = ev {
+            o.wait_ticks += t.saturating_since(ev);
+        }
+        let slo = o.slo;
+        if self.fault_evicted[pid.index()] {
+            // An evicted pod shed before re-placement permanently
+            // failed its recovery (mirrors `finalize`).
+            self.fault_evicted[pid.index()] = false;
+            self.churn.class_mut(slo).failed += 1;
+        }
+        self.overload.class_mut(slo).shed += 1;
+        optum_obs::counter!("sim.shed");
+    }
+
+    /// Enforces the queue cap by shedding from the sorted back of the
+    /// queue: lowest SLO priority first, newest arrival first within a
+    /// class — an LSR pod is never shed while any BE pod is queued.
+    fn enforce_queue_cap(&mut self, t: Tick) {
+        let Some(cap) = self.config.queue_cap else {
+            return;
+        };
+        if self.pending.len() <= cap {
+            return;
+        }
+        self.ensure_sorted();
+        while self.pending.len() > cap {
+            let pid = self.pending.pop().expect("len > cap >= 0");
+            let slo = self.outcomes[pid.index()].slo;
+            self.class_depth[Self::class_idx(slo)] -= 1;
+            // Shed pods were admitted; the admission ledger is net.
+            self.overload.class_mut(slo).admitted -= 1;
+            self.shed_pod(pid, t);
+        }
+    }
+
     fn admit_arrivals(&mut self, t: Tick) -> (usize, usize) {
         let mut be = 0;
         let mut ls = 0;
+        let cap = self.config.queue_cap;
+        // Backpressure release: readmit throttled BE pods (oldest
+        // first) while the queue sits below the high-water mark.
+        if let Some(cap) = cap {
+            if cap > 0 {
+                let high = Self::high_water(cap);
+                while !self.throttled.is_empty() && self.pending.len() < high {
+                    let pid = self.throttled.pop_front().expect("non-empty");
+                    self.queue_push(pid);
+                    let slo = self.outcomes[pid.index()].slo;
+                    self.class_depth[Self::class_idx(slo)] += 1;
+                    let c = self.overload.class_mut(slo);
+                    c.admitted += 1;
+                    c.requeued += 1;
+                }
+            }
+        }
         while self.next_arrival < self.workload.pods.len()
             && self.workload.pods[self.next_arrival].spec.arrival <= t
         {
             let pod = &self.workload.pods[self.next_arrival];
-            self.pending.push(pod.spec.id);
-            match pod.spec.slo {
+            let pid = pod.spec.id;
+            let slo = pod.spec.slo;
+            match slo {
                 SloClass::Be => be += 1,
                 SloClass::Ls | SloClass::Lsr => ls += 1,
                 _ => {}
             }
             self.next_arrival += 1;
+            self.overload.class_mut(slo).arrivals += 1;
+            match cap {
+                // Degenerate cap: nothing is ever admitted.
+                Some(0) => self.shed_pod(pid, t),
+                Some(c) if slo == SloClass::Be && self.pending.len() >= Self::high_water(c) => {
+                    self.throttled.push_back(pid);
+                    optum_obs::counter!("sim.throttled");
+                }
+                _ => {
+                    self.queue_push(pid);
+                    self.class_depth[Self::class_idx(slo)] += 1;
+                    self.overload.class_mut(slo).admitted += 1;
+                }
+            }
+        }
+        self.enforce_queue_cap(t);
+        // Depth peaks, observed once per tick after admission settles
+        // (transient mid-round depths are not meaningful).
+        if cap.is_some() || self.config.decision_cost_budget.is_some() {
+            for (i, &d) in self.class_depth.iter().enumerate() {
+                let c = &mut self.overload.per_class[i];
+                c.max_depth = c.max_depth.max(d);
+            }
+            self.overload.max_depth = self.overload.max_depth.max(self.pending.len() as u64);
+            self.overload.throttled_peak = self
+                .overload
+                .throttled_peak
+                .max(self.throttled.len() as u64);
         }
         (be, ls)
     }
 
-    fn tick_hook(&mut self, t: Tick) {
+    fn tick_hook(&mut self, t: Tick, cost: &mut DecisionBudget) {
         let view = ClusterView {
             tick: t,
             nodes: &self.nodes,
@@ -470,7 +631,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             history_window: self.config.history_window,
             affinity: &self.affinity_fractions,
         };
-        self.scheduler.on_tick(&view);
+        self.scheduler.on_tick_budgeted(&view, cost);
     }
 
     /// Applies every fault event due at or before `t` (the plan is
@@ -540,18 +701,17 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         }
     }
 
-    fn schedule_round(&mut self, t: Tick) {
+    fn schedule_round(&mut self, t: Tick, cost: &mut DecisionBudget) {
         if self.pending.is_empty() {
             return;
         }
         let _round = optum_obs::span!("sim.schedule_round");
-        // Highest SLO priority first, FIFO within a class.
-        let workload = self.workload;
-        self.pending.sort_by_key(|&id| {
-            let spec = &workload.pods[id.index()].spec;
-            (std::cmp::Reverse(spec.slo.priority()), spec.arrival, id)
-        });
+        // Highest SLO priority first, FIFO within a class (lazily: the
+        // queue is only re-sorted when a push broke the order).
+        self.ensure_sorted();
         let mut budget = self.config.schedule_budget_per_tick;
+        let mut decided = false;
+        let mut starved = false;
         // Swap the queue with a persistent scratch buffer instead of
         // `mem::take`, so the capacity of both vectors survives the
         // tick and steady-state rounds allocate nothing.
@@ -561,14 +721,25 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             // Restart backoff after a fault eviction: not offered to
             // the scheduler yet, and costs no budget.
             if self.not_before[pid.index()] > t {
-                self.pending.push(pid);
+                self.queue_push(pid);
                 continue;
             }
             if budget == 0 {
-                self.pending.push(pid);
+                self.queue_push(pid);
+                continue;
+            }
+            // Decision deadline: once the virtual-cost budget is
+            // spent, the rest of the queue waits for the next tick.
+            // The first decision of a round always runs even if it
+            // overdraws, so a budget smaller than one decision still
+            // makes progress every tick rather than livelocking.
+            if cost.exhausted() && decided {
+                starved = true;
+                self.queue_push(pid);
                 continue;
             }
             budget -= 1;
+            decided = true;
             let spec = &self.workload.pods[pid.index()].spec;
             let view = ClusterView {
                 tick: t,
@@ -582,7 +753,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             // scheduling-latency distribution (fig22) in BENCH exports.
             let decision = {
                 let _d = optum_obs::span!("sched.decide");
-                self.scheduler.select_node(spec, &view)
+                self.scheduler.select_node_budgeted(spec, &view, cost)
             };
             match decision {
                 Decision::Place(node) if node.index() < self.nodes.len() => {
@@ -596,14 +767,14 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                         self.churn.stale_rejections += 1;
                         optum_obs::counter!("sim.stale_rejections");
                         self.outcomes[pid.index()].delay_cause = Some(DelayCause::Other);
-                        self.pending.push(pid);
+                        self.queue_push(pid);
                     }
                 }
                 Decision::Place(_) => {
                     // A scheduler bug: out-of-range node. Treat as
                     // unplaceable rather than corrupting state.
                     self.outcomes[pid.index()].delay_cause = Some(optum_types::DelayCause::Other);
-                    self.pending.push(pid);
+                    self.queue_push(pid);
                 }
                 Decision::Unplaceable(cause) => {
                     self.outcomes[pid.index()].delay_cause = Some(cause);
@@ -613,11 +784,15 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                             continue;
                         }
                     }
-                    self.pending.push(pid);
+                    self.queue_push(pid);
                 }
             }
         }
         self.pending_scratch.clear();
+        if starved {
+            self.overload.budget_exhausted_rounds += 1;
+            optum_obs::counter!("sim.budget_exhausted_rounds");
+        }
     }
 
     /// Preempts BE pods to make room for an LSR pod (§3.1.3: LSR pods
@@ -737,7 +912,8 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             self.not_before[pid.index()] = Tick(t.0.saturating_add(backoff));
             self.churn.class_mut(slo).evictions += 1;
         }
-        self.pending.push(pid);
+        self.queue_push(pid);
+        self.class_depth[Self::class_idx(slo)] += 1;
     }
 
     fn place(&mut self, pid: PodId, node: NodeId, t: Tick) {
@@ -749,6 +925,11 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         if self.fault_evicted[pid.index()] {
             optum_obs::counter!("sim.reschedules");
         }
+        // The pod leaves the pending queue (it was pulled out of this
+        // round's scratch buffer, counted as queued until placed).
+        let depth =
+            &mut self.class_depth[Self::class_idx(self.workload.pods[pid.index()].spec.slo)];
+        *depth = depth.saturating_sub(1);
         let gen = &self.workload.pods[pid.index()];
         let spec = &gen.spec;
         let rescheduled_after = self.evicted_at[pid.index()].take();
@@ -1240,6 +1421,17 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 self.churn.class_mut(slo).failed += 1;
             }
         }
+        // Pods still in the BE throttle buffer: never admitted, so
+        // they wait (censored) from arrival to the end of the run.
+        for k in 0..self.throttled.len() {
+            let pid = self.throttled[k];
+            let o = &mut self.outcomes[pid.index()];
+            if o.placed_at.is_none() {
+                o.wait_ticks = end.saturating_since(o.arrival);
+            }
+            let slo = o.slo;
+            self.overload.class_mut(slo).throttled_end += 1;
+        }
         // Pods still running: flush their peaks into outcomes.
         for pid in 0..self.running.len() {
             if let Some(state) = self.running[pid].take() {
@@ -1283,6 +1475,8 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         fp.fold_f64(self.config.preempt_request_cap);
         fp.fold(self.config.evict_backoff_base);
         fp.fold(self.config.evict_backoff_cap);
+        fp.fold(self.config.queue_cap.map(|c| c as u64).unwrap_or(u64::MAX));
+        fp.fold(self.config.decision_cost_budget.unwrap_or(u64::MAX));
         fp.fold(self.faults.len() as u64);
         for ev in &self.faults {
             fp.fold(ev.at.0);
@@ -1352,6 +1546,11 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         for p in &self.pending {
             w.put_u64(p.0 as u64);
         }
+        w.put_bool(self.pending_sorted);
+        w.put_u64(self.throttled.len() as u64);
+        for p in &self.throttled {
+            w.put_u64(p.0 as u64);
+        }
         // Cluster and application state.
         w.put_u64(self.nodes.len() as u64);
         for n in &self.nodes {
@@ -1402,9 +1601,11 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             w.put_u64(o.evictions as u64);
             w.put_opt_u64(o.rank_by_usage.map(u64::from));
             w.put_opt_u64(o.rank_by_request.map(u64::from));
+            w.put_opt_u64(o.shed_at.map(|t| t.0));
         }
         self.churn.snap_save(&mut w);
         self.violations.snap_save(&mut w);
+        self.overload.snap_save(&mut w);
         // Recorded series.
         w.put_u64(self.cluster_series.len() as u64);
         for s in &self.cluster_series {
@@ -1521,6 +1722,24 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         for _ in 0..r.get_len()? {
             self.pending.push(PodId(r.get_u64()? as u32));
         }
+        self.pending_sorted = r.get_bool()?;
+        self.throttled.clear();
+        for _ in 0..r.get_len()? {
+            self.throttled.push_back(PodId(r.get_u64()? as u32));
+        }
+        // Per-class queue depths are derived state: rebuild them from
+        // the restored queue instead of serializing them.
+        self.class_depth = [0; SloClass::ALL.len()];
+        for k in 0..self.pending.len() {
+            let pid = self.pending[k];
+            if pid.index() >= self.workload.pods.len() {
+                return Err(Error::InvalidData(
+                    "snapshot corrupt: pending pod id out of range".into(),
+                ));
+            }
+            let slo = self.workload.pods[pid.index()].spec.slo;
+            self.class_depth[Self::class_idx(slo)] += 1;
+        }
         // Cluster and application state.
         let n_nodes = r.get_len()?;
         if n_nodes != self.nodes.len() {
@@ -1582,9 +1801,11 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             o.evictions = r.get_u64()? as u32;
             o.rank_by_usage = r.get_opt_u64()?.map(|x| x as u32);
             o.rank_by_request = r.get_opt_u64()?.map(|x| x as u32);
+            o.shed_at = r.get_opt_u64()?.map(Tick);
         }
         self.churn = ChurnStats::snap_load(&mut r)?;
         self.violations = ViolationStats::snap_load(&mut r)?;
+        self.overload = OverloadStats::snap_load(&mut r)?;
         // Recorded series.
         self.cluster_series.clear();
         for _ in 0..r.get_len()? {
@@ -1959,5 +2180,160 @@ mod tests {
         cfg.checkpoint_every = Some(0);
         cfg.checkpoint_path = Some(snap_path("zero"));
         assert!(Simulator::new(&w, FirstFit, cfg).is_err());
+    }
+
+    // --- Overload protection ------------------------------------------
+
+    #[test]
+    fn queue_cap_zero_sheds_every_arrival() {
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let mut cfg = SimConfig::new(40);
+        cfg.queue_cap = Some(0);
+        let r = crate::run(&w, FirstFit, cfg).unwrap();
+        // Nothing is ever admitted, so nothing runs and every arrival
+        // is shed at the door (no throttling under a zero cap).
+        assert!(r.outcomes.iter().all(|o| o.placed_at.is_none()));
+        assert!(r.overload.conserved(), "{:?}", r.overload);
+        let arrivals: u64 = r.overload.per_class.iter().map(|c| c.arrivals).sum();
+        assert!(arrivals > 0);
+        assert_eq!(r.overload.total_shed(), arrivals);
+        for c in &r.overload.per_class {
+            assert_eq!(c.admitted, 0);
+            assert_eq!(c.throttled_end, 0);
+        }
+        // Shed pods carry a shed tick and a censored waiting time of
+        // zero (shed at the arrival tick).
+        let shed = r.outcomes.iter().find(|o| o.shed_at.is_some()).unwrap();
+        assert_eq!(shed.shed_at, Some(shed.arrival));
+        assert_eq!(shed.wait_ticks, 0);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_lowest_priority_newest_first() {
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let mut cfg = SimConfig::new(40);
+        cfg.queue_cap = Some(8);
+        // A refusing scheduler keeps the queue permanently over the
+        // cap, exercising the shed path continuously.
+        let r = crate::run(&w, Refuser, cfg).unwrap();
+        assert!(r.overload.conserved(), "{:?}", r.overload);
+        assert!(r.overload.total_shed() > 0);
+        assert_eq!(r.overload.max_depth as usize, 8);
+        // Shedding strictly respects SLO priority: BE is always hit
+        // at least as hard as LS, and LS at least as hard as LSR.
+        let be = r.overload.class(SloClass::Be);
+        let ls = r.overload.class(SloClass::Ls);
+        let lsr = r.overload.class(SloClass::Lsr);
+        assert!(be.shed_rate() >= ls.shed_rate(), "{be:?} vs {ls:?}");
+        assert!(ls.shed_rate() >= lsr.shed_rate(), "{ls:?} vs {lsr:?}");
+    }
+
+    #[test]
+    fn non_binding_overload_limits_do_not_change_outcomes() {
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let baseline = crate::run(&w, FirstFit, SimConfig::new(40)).unwrap();
+        let mut cfg = SimConfig::new(40);
+        cfg.queue_cap = Some(usize::MAX / 2);
+        cfg.decision_cost_budget = Some(u64::MAX / 2);
+        let r = crate::run(&w, FirstFit, cfg).unwrap();
+        assert_eq!(r.outcomes, baseline.outcomes);
+        assert_eq!(r.violations, baseline.violations);
+        assert!(r.overload.conserved());
+        assert_eq!(r.overload.total_shed(), 0);
+        assert_eq!(r.overload.budget_exhausted_rounds, 0);
+    }
+
+    #[test]
+    fn tiny_decision_budget_progresses_without_livelock() {
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let mut cfg = SimConfig::new(40);
+        // Far below one full host scan (40 units): no decision "fits",
+        // yet the first decision of every round is still allowed, so
+        // the queue drains one pod per tick instead of livelocking.
+        cfg.decision_cost_budget = Some(1);
+        let r = crate::run(&w, FirstFit, cfg).unwrap();
+        assert!(r.overload.budget_exhausted_rounds > 0);
+        assert!(
+            r.outcomes.iter().filter(|o| o.scheduled()).count() > 100,
+            "starved scheduler placed almost nothing"
+        );
+        assert!(r.outcomes.iter().any(|o| o.completed_at.is_some()));
+        assert!(r.overload.conserved());
+    }
+
+    #[test]
+    fn storm_over_fault_window_stays_conserved() {
+        use optum_types::{FaultEvent, FaultKind};
+        let base = generate(&WorkloadConfig::small(7)).unwrap();
+        // A 6x BE-heavy storm overlapping a drain and a crash window.
+        let w =
+            optum_trace::apply_storm(&base, &optum_trace::StormConfig::single(9, 100, 200, 6.0))
+                .unwrap();
+        let mut cfg = SimConfig::new(40);
+        cfg.queue_cap = Some(64);
+        cfg.decision_cost_budget = Some(400);
+        let mut plan = vec![
+            FaultEvent {
+                at: Tick(120),
+                node: NodeId(3),
+                kind: FaultKind::DrainStart,
+            },
+            FaultEvent {
+                at: Tick(260),
+                node: NodeId(3),
+                kind: FaultKind::DrainEnd,
+            },
+            FaultEvent {
+                at: Tick(150),
+                node: NodeId(5),
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                at: Tick(400),
+                node: NodeId(5),
+                kind: FaultKind::Recover,
+            },
+        ];
+        optum_types::sort_fault_plan(&mut plan);
+        cfg.fault_events = plan;
+        let r = crate::run(&w, FirstFit, cfg).unwrap();
+        assert!(r.overload.conserved(), "{:?}", r.overload);
+        assert!(r.overload.total_shed() > 0);
+        assert!(r.placement_rate() > 0.1);
+        // Fault-churn accounting still balances: every fault eviction
+        // is either rescheduled, failed, or permanently shed.
+        let ch = &r.churn;
+        for c in &ch.per_class {
+            assert!(c.rescheduled + c.failed <= c.evictions + 1);
+        }
+    }
+
+    #[test]
+    fn overload_checkpoint_resume_is_bit_identical() {
+        let path = snap_path("overload");
+        let w = generate(&WorkloadConfig::small(7)).unwrap();
+        let overload_cfg = || {
+            let mut cfg = SimConfig::new(40);
+            cfg.queue_cap = Some(32);
+            cfg.decision_cost_budget = Some(200);
+            cfg
+        };
+        let baseline = crate::run(&w, FirstFit, overload_cfg()).unwrap();
+        assert!(baseline.overload.total_shed() > 0 || baseline.overload.throttled_peak > 0);
+
+        let mut ck = overload_cfg();
+        ck.checkpoint_every = Some(250);
+        ck.checkpoint_path = Some(path.clone());
+        crate::run(&w, FirstFit, ck).unwrap();
+
+        let bytes = crate::checkpoint::read_snapshot_file(&path).unwrap();
+        let resumed = Simulator::resume(&w, FirstFit, overload_cfg(), &bytes)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(resumed.outcomes, baseline.outcomes);
+        assert_eq!(resumed.overload, baseline.overload);
+        assert_eq!(resumed.churn, baseline.churn);
+        let _ = std::fs::remove_file(&path);
     }
 }

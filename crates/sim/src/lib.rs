@@ -36,10 +36,10 @@ pub use config::{PredictorEval, SimConfig};
 pub use engine::Simulator;
 pub use node::{NodeRuntime, ResidentPod};
 pub use result::{
-    ChurnStats, ClassChurn, ClusterTickStats, NodeSnapshot, PodOutcome, PodPoint, SimResult,
-    ViolationStats,
+    ChurnStats, ClassChurn, ClassOverload, ClusterTickStats, NodeSnapshot, OverloadStats,
+    PodOutcome, PodPoint, SimResult, ViolationStats,
 };
-pub use scheduler::{Decision, Scheduler};
+pub use scheduler::{Decision, DecisionBudget, Scheduler};
 pub use training::{AppUsageProfile, CtSample, EroTable, PsiSample, TrainingData, TripleEroTable};
 pub use view::ClusterView;
 

@@ -59,6 +59,10 @@ pub struct PodOutcome {
     pub rank_by_usage: Option<u32>,
     /// Alignment-score rank under request-based availability.
     pub rank_by_request: Option<u32>,
+    /// Tick the admission controller shed this pod (dropped from a
+    /// full pending queue), if it was shed. Shed pods are never
+    /// placed; their `wait_ticks` is censored at the shed tick.
+    pub shed_at: Option<Tick>,
 }
 
 impl PodOutcome {
@@ -435,6 +439,143 @@ impl ChurnStats {
     }
 }
 
+/// Admission accounting for one SLO class under overload protection.
+///
+/// The ledger is conserved by construction: a pod that reaches the
+/// controller lands in exactly one of `admitted`, `shed`, or (for BE
+/// pods still parked in the throttle buffer when the window closes)
+/// `throttled_end`, so
+/// `admitted + shed + throttled_end == arrivals`
+/// holds per class at all times. Shedding a pod that was previously
+/// admitted moves it from `admitted` to `shed` (the `admitted` counter
+/// is net of sheds, not a monotone event count).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassOverload {
+    /// Pods of this class that reached the admission controller.
+    pub arrivals: u64,
+    /// Pods currently accounted as admitted (accepted into the pending
+    /// queue and not subsequently shed).
+    pub admitted: u64,
+    /// Pods dropped by class-aware load shedding (queue over cap).
+    pub shed: u64,
+    /// Throttle-buffer releases: BE pods deferred by backpressure and
+    /// later admitted when the queue drained below the high-water
+    /// mark. Each release is also counted in `admitted`.
+    pub requeued: u64,
+    /// Pods still parked in the BE throttle buffer when the window
+    /// closed (neither admitted nor shed).
+    pub throttled_end: u64,
+    /// Peak number of this class's pods in the pending queue.
+    pub max_depth: u64,
+}
+
+impl ClassOverload {
+    /// Denied-service rate: the fraction of this class's arrivals the
+    /// overload protection kept out — shed outright, or still parked
+    /// in the throttle buffer when the window closed (backpressure
+    /// that never released is denial too, not a technicality; under a
+    /// refusing or saturated scheduler most BE pods end there).
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        (self.shed + self.throttled_end) as f64 / self.arrivals as f64
+    }
+}
+
+/// Overload-protection accounting for one run: the admission
+/// controller's per-class ledger plus decision-deadline pressure.
+/// All-zero except `arrivals`/`admitted`/depths when the queue is
+/// unbounded and no decision budget is set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OverloadStats {
+    /// Per-class admission ledger, indexed in [`SloClass::ALL`] order.
+    pub per_class: [ClassOverload; SloClass::ALL.len()],
+    /// Peak pending-queue depth (all classes).
+    pub max_depth: u64,
+    /// Peak BE throttle-buffer occupancy.
+    pub throttled_peak: u64,
+    /// Scheduling rounds that ran out of decision budget with pods
+    /// still waiting.
+    pub budget_exhausted_rounds: u64,
+}
+
+impl OverloadStats {
+    fn class_index(slo: SloClass) -> usize {
+        SloClass::ALL
+            .iter()
+            .position(|&c| c == slo)
+            .expect("every class is in ALL")
+    }
+
+    /// Admission ledger of one class.
+    pub fn class(&self, slo: SloClass) -> &ClassOverload {
+        &self.per_class[Self::class_index(slo)]
+    }
+
+    /// Mutable admission ledger of one class.
+    pub fn class_mut(&mut self, slo: SloClass) -> &mut ClassOverload {
+        &mut self.per_class[Self::class_index(slo)]
+    }
+
+    /// Total pods shed across classes.
+    pub fn total_shed(&self) -> u64 {
+        self.per_class.iter().map(|c| c.shed).sum()
+    }
+
+    /// Whether the per-class conservation invariant holds:
+    /// `admitted + shed + throttled_end == arrivals` for every class.
+    pub fn conserved(&self) -> bool {
+        self.per_class
+            .iter()
+            .all(|c| c.admitted + c.shed + c.throttled_end == c.arrivals)
+    }
+
+    /// Serializes the accounting for a checkpoint.
+    pub(crate) fn snap_save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        w.put_u64(self.max_depth);
+        w.put_u64(self.throttled_peak);
+        w.put_u64(self.budget_exhausted_rounds);
+        w.put_u64(self.per_class.len() as u64);
+        for c in &self.per_class {
+            w.put_u64(c.arrivals);
+            w.put_u64(c.admitted);
+            w.put_u64(c.shed);
+            w.put_u64(c.requeued);
+            w.put_u64(c.throttled_end);
+            w.put_u64(c.max_depth);
+        }
+    }
+
+    /// Restores the accounting from a checkpoint section.
+    pub(crate) fn snap_load(
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> optum_types::Result<OverloadStats> {
+        let mut overload = OverloadStats {
+            max_depth: r.get_u64()?,
+            throttled_peak: r.get_u64()?,
+            budget_exhausted_rounds: r.get_u64()?,
+            ..OverloadStats::default()
+        };
+        let n = r.get_len()?;
+        if n != overload.per_class.len() {
+            return Err(optum_types::Error::InvalidData(format!(
+                "snapshot corrupt: {n} overload classes, expected {}",
+                overload.per_class.len()
+            )));
+        }
+        for c in overload.per_class.iter_mut() {
+            c.arrivals = r.get_u64()?;
+            c.admitted = r.get_u64()?;
+            c.shed = r.get_u64()?;
+            c.requeued = r.get_u64()?;
+            c.throttled_end = r.get_u64()?;
+            c.max_depth = r.get_u64()?;
+        }
+        Ok(overload)
+    }
+}
+
 /// Everything a simulation run produces.
 pub struct SimResult {
     /// Scheduler display name.
@@ -450,6 +591,9 @@ pub struct SimResult {
     /// Fault-injection and recovery accounting (all-zero for healthy
     /// runs).
     pub churn: ChurnStats,
+    /// Overload-protection accounting (admission ledger, shed counts,
+    /// decision-budget pressure).
+    pub overload: OverloadStats,
     /// Predictor-accuracy results (when enabled).
     pub predictor_errors: Vec<(String, PredictionErrors)>,
     /// Offline-profiling dataset (when enabled).
@@ -516,6 +660,7 @@ mod tests {
             evictions: 0,
             rank_by_usage: None,
             rank_by_request: None,
+            shed_at: None,
         }
     }
 
@@ -536,6 +681,24 @@ mod tests {
         };
         assert!((v.rate() - 0.01).abs() < 1e-12);
         assert_eq!(ViolationStats::default().rate(), 0.0);
+    }
+
+    #[test]
+    fn overload_class_accounting_and_conservation() {
+        let mut o = OverloadStats::default();
+        let be = o.class_mut(SloClass::Be);
+        be.arrivals = 10;
+        be.admitted = 6;
+        be.shed = 3;
+        be.throttled_end = 1;
+        be.max_depth = 7;
+        assert!(o.conserved());
+        // Denied-service rate: 3 shed + 1 still throttled of 10.
+        assert!((o.class(SloClass::Be).shed_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(o.total_shed(), 3);
+        o.class_mut(SloClass::Ls).shed = 1;
+        assert!(!o.conserved(), "LS shed without an arrival must trip");
+        assert_eq!(o.class(SloClass::Lsr).shed_rate(), 0.0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
 }
 
 /// Builds the pod spec shared by every pod of `app`.
-fn spec_for(app: &AppProfile, id: u32, arrival: Tick, duration: Option<u64>) -> PodSpec {
+pub(crate) fn spec_for(app: &AppProfile, id: u32, arrival: Tick, duration: Option<u64>) -> PodSpec {
     PodSpec {
         id: PodId(id),
         app: app.id,

@@ -46,6 +46,10 @@ mod tests {
     use crate::{generate, WorkloadConfig};
 
     #[test]
+    #[cfg_attr(
+        offline_stubs,
+        ignore = "offline serde_json stub errors on every call by design; see offline/README.md"
+    )]
     fn json_round_trip_is_lossless() {
         let w = generate(&WorkloadConfig::sized(10, 1, 5)).unwrap();
         let json = to_json(&w).unwrap();
@@ -54,6 +58,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        offline_stubs,
+        ignore = "offline serde_json stub errors on every call by design; see offline/README.md"
+    )]
     fn file_round_trip() {
         let w = generate(&WorkloadConfig::sized(10, 1, 6)).unwrap();
         let dir = std::env::temp_dir().join("optum_io_test");

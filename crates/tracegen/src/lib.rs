@@ -28,11 +28,13 @@ pub mod arrivals;
 pub mod config;
 pub mod physics;
 pub mod population;
+pub mod storm;
 pub mod workload;
 
 pub use config::WorkloadConfig;
 pub use physics::{affinity_allows, hash_noise};
 pub use population::{AppKind, AppProfile, BeParams, LsParams};
+pub use storm::{apply_storm, ClassMix, StormConfig, StormWindow, STORM_CHANNEL};
 pub use workload::{generate, GeneratedPod, Workload};
 
 pub mod io;

@@ -393,6 +393,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        offline_stubs,
+        ignore = "asserts absolutes calibrated to crates-io rand's number stream; see offline/README.md"
+    )]
     fn be_requests_are_small_and_heavy_tailed_durations() {
         let w = small();
         let be: Vec<&GeneratedPod> = w

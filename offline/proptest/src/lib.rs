@@ -120,6 +120,31 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use super::Strategy;
+
+    /// Option strategy (see [`of`]).
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> Option<S::Value> {
+            use rand::Rng;
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `Option` of `inner`'s values: `None` about a quarter of the
+    /// time, mirroring upstream's default `None` weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
 /// Per-block test configuration (`#![proptest_config(...)]`).
 #[derive(Clone, Copy)]
 pub struct ProptestConfig {

@@ -1,8 +1,8 @@
 //! Golden-figure regression suite: the first 20 lines of the fast-
-//! scale `fig19`, `churn` and `degrade` figure TSV must match the
-//! snapshots in `tests/golden/` byte for byte, at worker-thread
-//! counts 1 and 4 — plus checkpoint/resume byte-identity and the
-//! degrade sweep's fig19 anchor.
+//! scale `fig19`, `churn`, `degrade` and `overload` figure TSV must
+//! match the snapshots in `tests/golden/` byte for byte, at
+//! worker-thread counts 1 and 4 — plus checkpoint/resume
+//! byte-identity and the degrade/overload sweeps' fig19 anchors.
 //!
 //! This turns two standing claims into CI-enforced tests: the figure
 //! pipeline is deterministic (PR 1/2 verified thread-count invariance
@@ -19,11 +19,13 @@
 //! and justify the diff in the PR.
 
 use optum_platform::experiments::output::head_lines;
-use optum_platform::experiments::{churn, degrade, endtoend, ExpConfig, Runner};
+use optum_platform::experiments::{churn, degrade, endtoend, overload, ExpConfig, Runner};
+use optum_platform::types::SloClass;
 
 const FIG19_GOLDEN: &str = include_str!("golden/fig19_fast_head.tsv");
 const CHURN_GOLDEN: &str = include_str!("golden/churn_fast_head.tsv");
 const DEGRADE_GOLDEN: &str = include_str!("golden/degrade_fast_head.tsv");
+const OVERLOAD_GOLDEN: &str = include_str!("golden/overload_fast_head.tsv");
 
 /// Must match `gen_golden.rs`.
 const GOLDEN_LINES: usize = 20;
@@ -33,6 +35,10 @@ const CHURN_GRID: [f64; 2] = [f64::INFINITY, 0.5];
 /// distributed arm (the outage panel always runs).
 const DEGRADE_LOSSES: [f64; 2] = [0.0, 0.2];
 const DEGRADE_SHARDS: [usize; 2] = [1, 4];
+/// Must match `gen_golden.rs`: the fig19 anchor arm plus the fully
+/// protected extreme (10× storm, tight cap + decision deadline).
+const OVERLOAD_INTENSITIES: [f64; 2] = [1.0, 10.0];
+const OVERLOAD_CAPS: [Option<usize>; 2] = [None, Some(1000)];
 
 /// Worker-thread counts the goldens are asserted at. `set_threads`
 /// takes precedence over `OPTUM_THREADS`, so the test controls the
@@ -130,6 +136,94 @@ fn fig19_resumed_from_checkpoint_is_byte_identical() {
         resumed, uninterrupted,
         "fig19 resumed from the tick-4000 checkpoint diverged from the uninterrupted run"
     );
+}
+
+#[test]
+fn overload_fast_matches_golden_at_each_thread_count() {
+    for threads in THREAD_COUNTS {
+        let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+        runner.set_threads(threads);
+        let rendered = overload::overload_grid(&mut runner, &OVERLOAD_INTENSITIES, &OVERLOAD_CAPS)
+            .expect("overload")
+            .render();
+        assert_eq!(
+            head_lines(&rendered, GOLDEN_LINES),
+            OVERLOAD_GOLDEN,
+            "overload drifted from tests/golden/overload_fast_head.tsv at threads={threads} \
+             (if intentional, regenerate with the gen_golden example)"
+        );
+    }
+}
+
+/// The overload sweep's intensity=1, cap=∞ arm must reproduce the
+/// fig19 `Optum` evaluation arm byte for byte: a unit-intensity storm
+/// leaves the workload untouched and disabled protection leaves the
+/// engine's hot paths untouched, so the overload subsystem costs
+/// nothing when off.
+#[test]
+fn overload_calm_unprotected_arm_matches_fig19_optum_arm() {
+    let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+    // Fan-out is bit-identical at every thread count (the golden test
+    // above asserts it), so use auto threads for wall time.
+    runner.set_threads(0);
+    let arms = overload::overload_results(&mut runner, &[1.0], &[None]).expect("overload results");
+    endtoend::fig19(&mut runner).expect("fig19");
+    let optum = &runner.roster_cache[0];
+    assert_eq!(optum.scheduler, "Optum", "fig19 roster order changed");
+    let arm = &arms[5].result;
+    assert_eq!(arm.scheduler, "Optum", "overload roster order changed");
+    assert_eq!(
+        arm.outcomes, optum.outcomes,
+        "overload anchor arm's pod outcomes drifted from the fig19 Optum arm"
+    );
+    assert_eq!(
+        arm.cluster_series, optum.cluster_series,
+        "overload anchor arm's cluster series drifted from the fig19 Optum arm"
+    );
+    assert_eq!(arm.overload.total_shed(), 0);
+}
+
+/// Under a 10× storm with the bounded queue, shedding must be
+/// class-aware — best-effort absorbs denial first, the reserved tier
+/// last — and the protection must keep the reserved tier's waiting
+/// tail near its calm-weather value.
+#[test]
+fn overload_storm_sheds_in_class_order_and_protects_lsr_tail() {
+    let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+    runner.set_threads(0);
+    let arms = overload::overload_results(&mut runner, &[1.0, 10.0], &[Some(1000)])
+        .expect("overload results");
+    let (calm, storm) = arms.split_at(6);
+    for (calm_arm, storm_arm) in calm.iter().zip(storm) {
+        let r = &storm_arm.result;
+        let be = r.overload.class(SloClass::Be);
+        let ls = r.overload.class(SloClass::Ls);
+        let lsr = r.overload.class(SloClass::Lsr);
+        assert!(
+            be.shed_rate() >= ls.shed_rate() && ls.shed_rate() >= lsr.shed_rate(),
+            "{}: shedding not in class order (BE {:.4} / LS {:.4} / LSR {:.4})",
+            r.scheduler,
+            be.shed_rate(),
+            ls.shed_rate(),
+            lsr.shed_rate()
+        );
+        assert!(
+            be.shed_rate() > 0.0,
+            "{}: a 10x storm over a bounded queue must shed best-effort work",
+            r.scheduler
+        );
+        // Calm-weather LSR p99 is ~0 ticks at fast scale, so the 2×
+        // criterion needs an absolute floor: allow up to an hour (120
+        // ticks) of reserved-tier tail — the unprotected classes' tails
+        // explode past 3000 ticks under the same storm.
+        let p99_calm = overload::p99_wait(&calm_arm.result, SloClass::Lsr);
+        let p99_storm = overload::p99_wait(r, SloClass::Lsr);
+        assert!(
+            p99_storm <= (2.0 * p99_calm).max(120.0),
+            "{}: LSR p99 wait exploded under protection ({p99_storm:.1} ticks vs {p99_calm:.1} calm)",
+            r.scheduler
+        );
+    }
 }
 
 #[test]

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use optum_platform::optum::deployment::{DeploymentModule, ProposedPlacement};
 use optum_platform::sched::AlibabaLike;
 use optum_platform::sim::{run, SimConfig};
-use optum_platform::tracegen::{generate, WorkloadConfig};
-use optum_platform::types::{NodeId, PodId};
+use optum_platform::tracegen::{apply_storm, generate, StormConfig, WorkloadConfig};
+use optum_platform::types::{NodeId, PodId, SloClass};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -86,5 +86,86 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Admission accounting balances for any seed, queue cap, and
+    /// decision budget under a storm: every arrival is admitted, shed,
+    /// or still throttled at window end; shed pods are never placed;
+    /// the queue never exceeds its cap.
+    #[test]
+    fn overload_accounting_conserves_arrivals(
+        seed in 0u64..200,
+        cap in proptest::option::of(0usize..300),
+        budget in proptest::option::of(1u64..2000),
+    ) {
+        let w = generate(&WorkloadConfig::sized(20, 1, seed)).unwrap();
+        let storm = apply_storm(&w, &StormConfig::single(seed, 960, 480, 4.0)).unwrap();
+        let mut cfg = SimConfig::new(20);
+        cfg.queue_cap = cap;
+        cfg.decision_cost_budget = budget;
+        let r = run(&storm, AlibabaLike::default(), cfg).unwrap();
+        prop_assert!(r.overload.conserved(), "admission ledger out of balance");
+        let arrivals: u64 = r.overload.per_class.iter().map(|c| c.arrivals).sum();
+        prop_assert_eq!(arrivals, storm.pods.len() as u64);
+        if let Some(c) = cap {
+            prop_assert!(r.overload.max_depth <= c as u64);
+        } else {
+            prop_assert_eq!(r.overload.total_shed(), 0);
+        }
+        for o in &r.outcomes {
+            if o.shed_at.is_some() {
+                prop_assert!(o.node.is_none(), "shed pod {:?} was placed", o.id);
+                prop_assert!(o.placed_at.is_none());
+            }
+        }
+    }
+
+    /// Protection that never binds is invisible: a unit-intensity
+    /// storm leaves the workload bit-identical, and a cap/budget too
+    /// large to ever trigger leaves every outcome and cluster sample
+    /// bit-identical to the unprotected run — the budgeted scheduler
+    /// paths must make exactly the decisions of the unbudgeted ones
+    /// when unpressured.
+    #[test]
+    fn overload_protection_that_never_binds_is_invisible(seed in 0u64..200) {
+        let w = generate(&WorkloadConfig::sized(20, 1, seed)).unwrap();
+        let calm = apply_storm(&w, &StormConfig::single(seed, 960, 480, 1.0)).unwrap();
+        prop_assert_eq!(&calm, &w, "unit-intensity storm must be the identity");
+        let base = run(&w, AlibabaLike::default(), SimConfig::new(20)).unwrap();
+        let mut cfg = SimConfig::new(20);
+        cfg.queue_cap = Some(usize::MAX);
+        cfg.decision_cost_budget = Some(u64::MAX);
+        let guarded = run(&w, AlibabaLike::default(), cfg).unwrap();
+        prop_assert_eq!(&guarded.outcomes, &base.outcomes);
+        prop_assert_eq!(&guarded.cluster_series, &base.cluster_series);
+        prop_assert_eq!(guarded.overload.total_shed(), 0);
+    }
+
+    /// Shedding is class-aware for any seed: under a storm with a
+    /// tight queue cap, denied service lands on best-effort work
+    /// first and the reserved tier last. The storm runs to the end of
+    /// the window so denial is measured at the height of overload —
+    /// after a mid-window storm the throttled best-effort backlog
+    /// drains back in, which can legitimately erase BE's cumulative
+    /// denied-service count while peak-time LS sheds remain.
+    #[test]
+    fn overload_shedding_respects_class_order(seed in 0u64..200) {
+        let w = generate(&WorkloadConfig::sized(20, 1, seed)).unwrap();
+        let storm = apply_storm(&w, &StormConfig::single(seed, 2400, 480, 6.0)).unwrap();
+        let mut cfg = SimConfig::new(20);
+        cfg.queue_cap = Some(40);
+        cfg.decision_cost_budget = Some(20 * 256);
+        let r = run(&storm, AlibabaLike::default(), cfg).unwrap();
+        let be = r.overload.class(SloClass::Be).shed_rate();
+        let ls = r.overload.class(SloClass::Ls).shed_rate();
+        let lsr = r.overload.class(SloClass::Lsr).shed_rate();
+        prop_assert!(
+            be >= ls && ls >= lsr,
+            "shed rates out of class order: BE {be:.4} / LS {ls:.4} / LSR {lsr:.4}"
+        );
     }
 }
