@@ -1,0 +1,731 @@
+//! `repro bench-check`: the CI perf-regression gate.
+//!
+//! Compares a fresh run of each fast-scale figure against the
+//! committed reference snapshot in `tests/bench_baselines/` and fails
+//! when the hot path regressed — the way goldens catch output
+//! regressions, this catches speed regressions.
+//!
+//! # Gate semantics (machine-noise-aware)
+//!
+//! Wall-clock on shared CI machines is noisy, so a single slow run is
+//! not a verdict:
+//!
+//! * **Best-of-N.** When the first run breaches the tolerance the
+//!   figure is re-run (fresh [`Runner`], fresh metrics window) up to
+//!   `retries` more times and the *fastest* run is judged. Transient
+//!   noise inflates individual runs; it never deflates them.
+//! * **Absolute floor.** Regressions smaller than
+//!   [`WALL_FLOOR_S`] are ignored outright — tiny figures sit inside
+//!   timer and scheduler jitter.
+//! * **Wide latency tolerance.** The decision-latency histogram uses
+//!   power-of-two buckets, so quantiles move in discrete doublings; a
+//!   p99 verdict therefore only fails beyond [`LATENCY_RATIO_LIMIT`]
+//!   (two full buckets), not at the wall tolerance.
+//! * **Determinism cross-check.** Span *counts* are deterministic
+//!   (identical across thread counts and machines). If the fresh
+//!   decision count differs from the baseline the comparison is
+//!   meaningless — the workload or scheduler changed — and the gate
+//!   fails with a "stale baseline" message asking for a baseline
+//!   regeneration, not a perf verdict.
+//!
+//! The smoke hook `OPTUM_BENCH_SMOKE_SLOWDOWN=<factor>` multiplies the
+//! measured wall time before judging, letting CI (and reviewers)
+//! confirm the gate actually fails on an artificial 2× slowdown
+//! without de-optimizing the binary.
+
+use std::path::{Path, PathBuf};
+
+use optum_types::{Error, Result};
+
+use crate::runner::{ExpConfig, Runner};
+use crate::snapshot;
+
+/// Wall regressions below this many seconds are timer noise, never a
+/// failure.
+pub const WALL_FLOOR_S: f64 = 0.25;
+
+/// Decision-latency p99 may grow by up to this factor (two log2
+/// histogram buckets) before the gate fails.
+pub const LATENCY_RATIO_LIMIT: f64 = 4.0;
+
+/// Peak RSS may grow by up to this factor before the gate fails.
+pub const RSS_RATIO_LIMIT: f64 = 1.5;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser.
+//
+// The offline build stubs `serde_json`, and the BENCH schema is our
+// own (written by `optum_obs::JsonWriter`), so a small recursive-
+// descent parser is all bench-check needs.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    pub fn parse(s: &str) -> Result<Json> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(Error::InvalidData(format!(
+                "trailing bytes at offset {pos} in JSON document"
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::InvalidData(format!(
+            "expected '{lit}' at offset {pos}"
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::InvalidData("unexpected end of JSON".into())),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut xs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(xs));
+            }
+            loop {
+                xs.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(xs));
+                    }
+                    _ => return Err(Error::InvalidData(format!("bad array at offset {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let k = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let v = parse_value(b, pos)?;
+                members.push((k, v));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(Error::InvalidData(format!("bad object at offset {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    expect(b, pos, "\"")?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b
+                    .get(*pos)
+                    .ok_or_else(|| Error::InvalidData("truncated escape".into()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error::InvalidData("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).unwrap_or("x"), 16)
+                            .map_err(|_| Error::InvalidData("bad \\u escape".into()))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    other => {
+                        return Err(Error::InvalidData(format!(
+                            "bad escape '\\{}'",
+                            other as char
+                        )))
+                    }
+                }
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err(Error::InvalidData("unterminated string".into()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::InvalidData(format!("bad number at offset {start}")))
+}
+
+// ---------------------------------------------------------------------------
+// BENCH document model.
+// ---------------------------------------------------------------------------
+
+/// The subset of a `BENCH_<figure>.json` document bench-check judges.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// Figure id the snapshot covers.
+    pub figure: String,
+    /// Wall time of the figure in seconds.
+    pub wall_s: f64,
+    /// Decisions recorded by the `sched.decide` span (deterministic).
+    pub decision_count: u64,
+    /// Decision-latency p50 in nanoseconds.
+    pub decision_p50_ns: f64,
+    /// Decision-latency p99 in nanoseconds.
+    pub decision_p99_ns: f64,
+    /// Peak RSS in bytes, when the platform reports one.
+    pub peak_rss_bytes: Option<f64>,
+    /// `(name, self_ms)` per recorded span, heaviest first.
+    pub phases: Vec<(String, f64)>,
+}
+
+impl BenchDoc {
+    /// Parses a BENCH JSON document.
+    pub fn from_json(text: &str) -> Result<BenchDoc> {
+        let v = Json::parse(text)?;
+        let num = |key: &str| -> Result<f64> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| Error::InvalidData(format!("BENCH document missing '{key}'")))
+        };
+        let lat = v
+            .get("decision_latency_ns")
+            .ok_or_else(|| Error::InvalidData("BENCH document missing latency histogram".into()))?;
+        let lat_num = |key: &str| lat.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let mut phases: Vec<(String, f64)> = v
+            .get("phases")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|p| {
+                Some((
+                    p.get("name")?.as_str()?.to_string(),
+                    p.get("self_ms")?.as_f64()?,
+                ))
+            })
+            .collect();
+        phases.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(BenchDoc {
+            figure: v
+                .get("figure")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            wall_s: num("wall_s")?,
+            decision_count: lat_num("count") as u64,
+            decision_p50_ns: lat_num("p50_ns"),
+            decision_p99_ns: lat_num("p99_ns"),
+            peak_rss_bytes: v.get("peak_rss_bytes").and_then(Json::as_f64),
+            phases,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison.
+// ---------------------------------------------------------------------------
+
+/// One judged metric in the comparison report.
+#[derive(Debug, Clone)]
+pub struct MetricVerdict {
+    /// Metric label.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// Highest acceptable fresh/baseline ratio.
+    pub limit: f64,
+    /// Whether the metric passed.
+    pub pass: bool,
+    /// Short note (how the verdict was reached).
+    pub note: String,
+}
+
+/// Result of judging one figure.
+#[derive(Debug, Clone)]
+pub struct FigureVerdict {
+    /// Figure id.
+    pub figure: String,
+    /// Runs taken (1 + retries actually used).
+    pub runs: usize,
+    /// Per-metric verdicts.
+    pub metrics: Vec<MetricVerdict>,
+    /// Baseline is stale (deterministic counts drifted).
+    pub stale: bool,
+    /// The fresh document of the fastest run (for the phase table).
+    pub fresh: BenchDoc,
+}
+
+impl FigureVerdict {
+    /// Whether every metric passed and the baseline was comparable.
+    pub fn pass(&self) -> bool {
+        !self.stale && self.metrics.iter().all(|m| m.pass)
+    }
+}
+
+fn ratio(fresh: f64, base: f64) -> f64 {
+    if base > 0.0 {
+        fresh / base
+    } else if fresh > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    }
+}
+
+/// Judges a fresh BENCH document against its baseline.
+pub fn compare(base: &BenchDoc, fresh: &BenchDoc, tolerance: f64) -> FigureVerdict {
+    let mut metrics = Vec::new();
+    let stale = base.decision_count != fresh.decision_count;
+
+    let wall_ratio = ratio(fresh.wall_s, base.wall_s);
+    let wall_delta = fresh.wall_s - base.wall_s;
+    let wall_pass = wall_ratio <= 1.0 + tolerance || wall_delta < WALL_FLOOR_S;
+    metrics.push(MetricVerdict {
+        metric: "wall_s",
+        baseline: base.wall_s,
+        fresh: fresh.wall_s,
+        limit: 1.0 + tolerance,
+        pass: wall_pass,
+        note: if wall_pass && wall_ratio > 1.0 + tolerance {
+            format!("within {WALL_FLOOR_S}s noise floor")
+        } else {
+            format!("ratio {wall_ratio:.2}")
+        },
+    });
+
+    for (metric, base_v, fresh_v) in [
+        (
+            "decision_p50_ns",
+            base.decision_p50_ns,
+            fresh.decision_p50_ns,
+        ),
+        (
+            "decision_p99_ns",
+            base.decision_p99_ns,
+            fresh.decision_p99_ns,
+        ),
+    ] {
+        let r = ratio(fresh_v, base_v);
+        metrics.push(MetricVerdict {
+            metric,
+            baseline: base_v,
+            fresh: fresh_v,
+            limit: LATENCY_RATIO_LIMIT,
+            pass: base.decision_count == 0 || r <= LATENCY_RATIO_LIMIT,
+            note: format!("ratio {r:.2} (log2 buckets)"),
+        });
+    }
+
+    if let (Some(b), Some(f)) = (base.peak_rss_bytes, fresh.peak_rss_bytes) {
+        let r = ratio(f, b);
+        metrics.push(MetricVerdict {
+            metric: "peak_rss_bytes",
+            baseline: b,
+            fresh: f,
+            limit: RSS_RATIO_LIMIT,
+            pass: r <= RSS_RATIO_LIMIT,
+            note: format!("ratio {r:.2}"),
+        });
+    }
+
+    FigureVerdict {
+        figure: base.figure.clone(),
+        runs: 1,
+        metrics,
+        stale,
+        fresh: fresh.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+/// Options for [`bench_check`].
+#[derive(Debug, Clone)]
+pub struct BenchCheckOptions {
+    /// Directory holding the committed `BENCH_<figure>.json` baselines.
+    pub baseline_dir: PathBuf,
+    /// Figures to check (empty = every baseline present).
+    pub figures: Vec<String>,
+    /// Acceptable fractional wall regression (0.25 = +25%).
+    pub tolerance: f64,
+    /// Extra runs taken (best-of) when the first run fails.
+    pub retries: usize,
+    /// Where to write the markdown comparison report.
+    pub report: PathBuf,
+}
+
+impl Default for BenchCheckOptions {
+    fn default() -> BenchCheckOptions {
+        BenchCheckOptions {
+            baseline_dir: PathBuf::from("tests/bench_baselines"),
+            figures: Vec::new(),
+            tolerance: 0.25,
+            retries: 2,
+            report: PathBuf::from("bench_report.md"),
+        }
+    }
+}
+
+fn baseline_figures(dir: &Path) -> Result<Vec<String>> {
+    let mut figs = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| {
+        Error::InvalidConfig(format!("cannot read baseline dir {}: {e}", dir.display()))
+    })?;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(fig) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        {
+            figs.push(fig.to_string());
+        }
+    }
+    figs.sort();
+    Ok(figs)
+}
+
+/// The artificial-slowdown smoke hook (see module docs).
+fn smoke_slowdown() -> f64 {
+    std::env::var("OPTUM_BENCH_SMOKE_SLOWDOWN")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|f: &f64| f.is_finite() && *f > 0.0)
+        .unwrap_or(1.0)
+}
+
+fn run_once(fig: &str, config: &ExpConfig) -> Result<BenchDoc> {
+    let mut runner = Runner::new(config.clone())?;
+    optum_obs::reset();
+    let start = std::time::Instant::now();
+    crate::run_figure_with(fig, &mut runner, config)?;
+    let wall = start.elapsed().as_secs_f64() * smoke_slowdown();
+    let snap = optum_obs::snapshot();
+    BenchDoc::from_json(&snapshot::bench_json(fig, config, wall, &snap))
+}
+
+/// Runs the gate: fresh figures vs committed baselines. Returns the
+/// verdicts (the caller renders the report and sets the exit code).
+pub fn bench_check(config: &ExpConfig, opts: &BenchCheckOptions) -> Result<Vec<FigureVerdict>> {
+    let figures = if opts.figures.is_empty() {
+        baseline_figures(&opts.baseline_dir)?
+    } else {
+        opts.figures.clone()
+    };
+    if figures.is_empty() {
+        return Err(Error::InvalidConfig(format!(
+            "no BENCH_*.json baselines in {}",
+            opts.baseline_dir.display()
+        )));
+    }
+    let mut verdicts = Vec::new();
+    for fig in &figures {
+        let path = opts.baseline_dir.join(format!("BENCH_{fig}.json"));
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            Error::InvalidConfig(format!("cannot read baseline {}: {e}", path.display()))
+        })?;
+        let base = BenchDoc::from_json(&text)?;
+        let mut best = run_once(fig, config)?;
+        let mut runs = 1;
+        // Best-of-N: only spend retries when the first run looks bad.
+        while runs <= opts.retries && !compare(&base, &best, opts.tolerance).pass() {
+            eprintln!(
+                "# bench-check: {fig} over tolerance, re-running ({runs}/{})",
+                opts.retries
+            );
+            let again = run_once(fig, config)?;
+            if again.wall_s < best.wall_s {
+                best = again;
+            }
+            runs += 1;
+        }
+        let mut verdict = compare(&base, &best, opts.tolerance);
+        verdict.runs = runs;
+        verdicts.push(verdict);
+    }
+    Ok(verdicts)
+}
+
+/// Renders the markdown comparison report.
+pub fn render_report(verdicts: &[FigureVerdict], config: &ExpConfig, tolerance: f64) -> String {
+    let mut out = String::new();
+    let all_pass = verdicts.iter().all(FigureVerdict::pass);
+    out.push_str("# bench-check report\n\n");
+    out.push_str(&format!(
+        "Scale: {} hosts, {} days, seed {}. Wall tolerance: +{:.0}% \
+         (noise floor {WALL_FLOOR_S}s, best-of-N on failure). Verdict: **{}**.\n\n",
+        config.hosts,
+        config.days,
+        config.seed,
+        tolerance * 100.0,
+        if all_pass { "PASS" } else { "FAIL" }
+    ));
+    if smoke_slowdown() != 1.0 {
+        out.push_str(&format!(
+            "> **Smoke mode:** wall times were multiplied by \
+             OPTUM_BENCH_SMOKE_SLOWDOWN={} before judging.\n\n",
+            smoke_slowdown()
+        ));
+    }
+    for v in verdicts {
+        out.push_str(&format!(
+            "## {} — {} ({} run{})\n\n",
+            v.figure,
+            if v.pass() { "PASS" } else { "FAIL" },
+            v.runs,
+            if v.runs == 1 { "" } else { "s" }
+        ));
+        if v.stale {
+            out.push_str(&format!(
+                "**Stale baseline:** the deterministic decision count drifted \
+                 (baseline recorded a different workload/scheduler). Regenerate \
+                 the baseline with `repro {} --fast --bench-dir tests/bench_baselines`.\n\n",
+                v.figure
+            ));
+        }
+        out.push_str("| metric | baseline | fresh | max ratio | verdict | note |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for m in &v.metrics {
+            out.push_str(&format!(
+                "| {} | {:.3} | {:.3} | {:.2} | {} | {} |\n",
+                m.metric,
+                m.baseline,
+                m.fresh,
+                m.limit,
+                if m.pass { "pass" } else { "FAIL" },
+                m.note
+            ));
+        }
+        out.push_str("\nTop phases by self time (fresh run):\n\n");
+        out.push_str("| span | self ms |\n|---|---|\n");
+        for (name, self_ms) in v.fresh.phases.iter().take(8) {
+            out.push_str(&format!("| {name} | {self_ms:.1} |\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_bench_schema() {
+        let text = r#"{"schema_version":1,"figure":"fig19","wall_s":4.25,
+            "threads":1,"scale":{"hosts":60,"days":2,"seed":42},
+            "peak_rss_bytes":36139008,
+            "phases":[{"name":"sim.tick","count":34560,"total_ms":4048.9,
+                       "self_ms":205.6,"mean_us":117.2,"p50_us":98.3,
+                       "p99_us":393.2,"max_us":4191.9}],
+            "decision_latency_ns":{"count":1047437,"sum_ns":1,"min_ns":1,
+                "max_ns":9,"mean_ns":1.0,"p50_ns":383,"p99_ns":6143,
+                "buckets":[{"le_ns":511,"count":7}]},
+            "counters":{"sim.placements":27420},"gauges":{}}"#;
+        let doc = BenchDoc::from_json(text).unwrap();
+        assert_eq!(doc.figure, "fig19");
+        assert_eq!(doc.decision_count, 1047437);
+        assert_eq!(doc.decision_p99_ns, 6143.0);
+        assert_eq!(doc.peak_rss_bytes, Some(36139008.0));
+        assert_eq!(doc.phases, vec![("sim.tick".to_string(), 205.6)]);
+    }
+
+    #[test]
+    fn json_handles_null_rss_and_escapes() {
+        let v = Json::parse(r#"{"peak_rss_bytes":null,"s":"a\"b\nc","e":-1.5e3}"#).unwrap();
+        assert_eq!(v.get("peak_rss_bytes"), Some(&Json::Null));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\nc"));
+        assert_eq!(v.get("e").unwrap().as_f64(), Some(-1500.0));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,").is_err());
+        assert!(Json::parse("{}x").is_err());
+        assert!(Json::parse("nope").is_err());
+    }
+
+    fn doc(wall: f64, count: u64, p99: f64, rss: f64) -> BenchDoc {
+        BenchDoc {
+            figure: "fig19".into(),
+            wall_s: wall,
+            decision_count: count,
+            decision_p50_ns: 400.0,
+            decision_p99_ns: p99,
+            peak_rss_bytes: Some(rss),
+            phases: vec![],
+        }
+    }
+
+    #[test]
+    fn equal_runs_pass() {
+        let base = doc(4.0, 100, 6000.0, 3.0e7);
+        let v = compare(&base, &base.clone(), 0.25);
+        assert!(v.pass(), "{v:?}");
+    }
+
+    #[test]
+    fn wall_regression_fails_beyond_tolerance_and_floor() {
+        let base = doc(4.0, 100, 6000.0, 3.0e7);
+        // 2x slowdown: clearly out.
+        let v = compare(&base, &doc(8.0, 100, 6000.0, 3.0e7), 0.25);
+        assert!(!v.pass());
+        // +20%: inside the 25% tolerance.
+        let v = compare(&base, &doc(4.8, 100, 6000.0, 3.0e7), 0.25);
+        assert!(v.pass());
+    }
+
+    #[test]
+    fn tiny_absolute_regressions_are_noise() {
+        // 3x ratio but only 0.2s absolute: under the noise floor.
+        let base = doc(0.1, 100, 6000.0, 3.0e7);
+        let v = compare(&base, &doc(0.3, 100, 6000.0, 3.0e7), 0.25);
+        assert!(v.pass(), "{v:?}");
+    }
+
+    #[test]
+    fn latency_needs_two_buckets_to_fail() {
+        let base = doc(4.0, 100, 6000.0, 3.0e7);
+        // One bucket (2x): pass. Beyond two buckets (>4x): fail.
+        assert!(compare(&base, &doc(4.0, 100, 12000.0, 3.0e7), 0.25).pass());
+        assert!(!compare(&base, &doc(4.0, 100, 25000.0, 3.0e7), 0.25).pass());
+    }
+
+    #[test]
+    fn count_drift_is_stale_not_perf() {
+        let base = doc(4.0, 100, 6000.0, 3.0e7);
+        let v = compare(&base, &doc(4.0, 101, 6000.0, 3.0e7), 0.25);
+        assert!(v.stale);
+        assert!(!v.pass());
+        let report = render_report(
+            &[v],
+            &ExpConfig {
+                hosts: 60,
+                days: 2,
+                seed: 42,
+            },
+            0.25,
+        );
+        assert!(report.contains("Stale baseline"));
+        assert!(report.contains("FAIL"));
+    }
+
+    #[test]
+    fn rss_growth_fails() {
+        let base = doc(4.0, 100, 6000.0, 3.0e7);
+        let v = compare(&base, &doc(4.0, 100, 6000.0, 6.0e7), 0.25);
+        assert!(!v.pass());
+    }
+
+    #[test]
+    fn report_renders_pass_table() {
+        let base = doc(4.0, 100, 6000.0, 3.0e7);
+        let v = compare(&base, &base.clone(), 0.25);
+        let report = render_report(
+            &[v],
+            &ExpConfig {
+                hosts: 60,
+                days: 2,
+                seed: 42,
+            },
+            0.25,
+        );
+        assert!(report.contains("**PASS**"));
+        assert!(report.contains("| wall_s |"));
+    }
+}

@@ -29,13 +29,16 @@
 //! `optum-reference.snap`); after a kill, `--resume FILE` continues
 //! from the last snapshot and produces byte-identical figure TSVs.
 
-use optum_experiments::{run_figure_with, snapshot, ExpConfig, Runner, ALL_FIGURES};
+use optum_experiments::{benchcheck, run_figure_with, snapshot, ExpConfig, Runner, ALL_FIGURES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
             "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T] [--trace-summary] [--bench-dir DIR] [--no-bench] [--checkpoint-every N] [--checkpoint-path FILE] [--resume FILE] [--queue-cap N]"
+        );
+        eprintln!(
+            "       repro bench-check [figure-id...] [--fast] [--baselines DIR] [--report FILE] [--tolerance-pct N] [--retries N]"
         );
         eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn + degrade + overload");
         std::process::exit(2);
@@ -49,9 +52,27 @@ fn main() {
     let mut checkpoint_path = std::path::PathBuf::from("optum-reference.snap");
     let mut resume_from: Option<std::path::PathBuf> = None;
     let mut queue_cap: Option<Option<usize>> = None;
+    let mut gate = benchcheck::BenchCheckOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--baselines" => {
+                i += 1;
+                gate.baseline_dir = std::path::PathBuf::from(&args[i]);
+            }
+            "--report" => {
+                i += 1;
+                gate.report = std::path::PathBuf::from(&args[i]);
+            }
+            "--tolerance-pct" => {
+                i += 1;
+                let pct: f64 = args[i].parse().expect("--tolerance-pct takes a percentage");
+                gate.tolerance = pct / 100.0;
+            }
+            "--retries" => {
+                i += 1;
+                gate.retries = args[i].parse().expect("--retries takes a count");
+            }
             "--fast" => {
                 config = ExpConfig {
                     seed: config.seed,
@@ -107,6 +128,30 @@ fn main() {
     }
     if figures.iter().any(|f| f == "all") {
         figures = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
+    }
+    // The perf-regression gate runs its own fresh runners (one per
+    // attempt) so retries are comparable to the committed baseline.
+    if figures.first().is_some_and(|f| f == "bench-check") {
+        gate.figures = figures[1..].to_vec();
+        match benchcheck::bench_check(&config, &gate) {
+            Ok(verdicts) => {
+                let report = benchcheck::render_report(&verdicts, &config, gate.tolerance);
+                eprint!("{report}");
+                if let Err(e) = std::fs::write(&gate.report, &report) {
+                    eprintln!("# bench-check: cannot write {}: {e}", gate.report.display());
+                    std::process::exit(1);
+                }
+                eprintln!("# wrote {}", gate.report.display());
+                if verdicts.iter().all(benchcheck::FigureVerdict::pass) {
+                    return;
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("# bench-check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     eprintln!(
         "# scale: {} hosts, {} days, seed {}, {} worker threads",

@@ -14,6 +14,7 @@
 //! crossovers sit) are the reproduction target. EXPERIMENTS.md records
 //! paper-vs-measured values for every figure.
 
+pub mod benchcheck;
 pub mod characterization;
 pub mod check;
 pub mod churn;

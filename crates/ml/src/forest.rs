@@ -124,14 +124,58 @@ impl RandomForest {
     /// the per-row loop and rows fanned out across the configured
     /// worker threads. Output order always matches row order.
     pub fn predict_matrix(&self, x: &Matrix) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_into(x, &mut out);
+        out
+    }
+
+    /// Batched prediction into a caller-owned buffer, the allocation-
+    /// free core of [`RandomForest::predict_matrix`]: `out` is resized
+    /// to `x.rows()` and overwritten, so one scratch vector can be
+    /// reused across calls. Rows are accumulated tree-outer — every
+    /// row walks one tree's contiguous node arrays while they are hot
+    /// in cache — which adds each row's tree predictions in forest
+    /// order, exactly the per-row `sum()` order, so results are
+    /// bit-identical to [`Regressor::predict_row`] per row for any
+    /// thread count.
+    pub fn predict_into(&self, x: &Matrix, out: &mut Vec<f64>) {
         let _predict = optum_obs::span!("ml.forest.predict");
         assert!(!self.trees.is_empty(), "fit before predict");
-        let inv = self.inv_tree_count;
-        let rows: Vec<usize> = (0..x.rows()).collect();
-        optum_parallel::parallel_map_threads(self.threads, &rows, |_, &r| {
-            let row = x.row(r);
-            self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() * inv
-        })
+        let n = x.rows();
+        out.clear();
+        out.resize(n, 0.0);
+        let threads = optum_parallel::resolve_threads(self.threads).min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            Self::predict_range(&self.trees, self.inv_tree_count, x, 0, out);
+            return;
+        }
+        // Contiguous row chunks, one per worker; chunk outputs are
+        // copied back in row order, so the result is chunk-invariant.
+        let chunk = n.div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let parts = optum_parallel::parallel_map_threads(threads, &ranges, |_, &(lo, hi)| {
+            let mut part = vec![0.0; hi - lo];
+            Self::predict_range(&self.trees, self.inv_tree_count, x, lo, &mut part);
+            part
+        });
+        for (&(lo, hi), part) in ranges.iter().zip(parts) {
+            out[lo..hi].copy_from_slice(&part);
+        }
+    }
+
+    /// Tree-outer prediction of rows `lo..lo + out.len()` of `x`.
+    fn predict_range(trees: &[DecisionTree], inv: f64, x: &Matrix, lo: usize, out: &mut [f64]) {
+        for t in trees {
+            for (k, acc) in out.iter_mut().enumerate() {
+                *acc += t.predict_row(x.row(lo + k));
+            }
+        }
+        for acc in out.iter_mut() {
+            *acc *= inv;
+        }
     }
 }
 
@@ -177,6 +221,10 @@ impl Regressor for RandomForest {
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
         self.predict_matrix(x)
+    }
+
+    fn predict_into(&self, x: &Matrix, out: &mut Vec<f64>) {
+        RandomForest::predict_into(self, x, out);
     }
 }
 
@@ -265,6 +313,27 @@ mod tests {
         let single: Vec<f64> = (0..x.rows()).map(|i| rf.predict_row(x.row(i))).collect();
         assert_eq!(batch, single);
         assert_eq!(Regressor::predict(&rf, &x), batch);
+    }
+
+    #[test]
+    fn predict_into_reuses_buffer_across_thread_counts() {
+        let rows: Vec<Vec<f64>> = (0..37).map(|i| vec![i as f64, (i % 4) as f64]).collect();
+        let y: Vec<f64> = (0..37).map(|i| (i % 4) as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut rf = RandomForest::default_params(6);
+        rf.fit(&x, &y).unwrap();
+        let serial: Vec<f64> = (0..x.rows()).map(|i| rf.predict_row(x.row(i))).collect();
+        // One scratch buffer reused across calls, stale contents and
+        // wrong length included.
+        let mut buf = vec![f64::NAN; 3];
+        for threads in [1, 2, 4, 8] {
+            rf.set_threads(threads);
+            rf.predict_into(&x, &mut buf);
+            assert_eq!(buf.len(), x.rows());
+            for (a, b) in buf.iter().zip(&serial) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub use linear::{LinearRegression, RidgeRegression};
 pub use metrics::r2_score;
 pub use mlp::MlpRegressor;
 pub use svr::LinearSvr;
+#[doc(hidden)]
+pub use tree::BoxedTree;
 pub use tree::{DecisionTree, TreeParams};
 
 use optum_types::Result;
@@ -58,5 +60,14 @@ pub trait Regressor {
     /// Predicts targets for every row of a matrix.
     fn predict(&self, x: &Matrix) -> Vec<f64> {
         (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Predicts targets for every row of `x` into a caller-owned
+    /// buffer (cleared and refilled), so batch callers can reuse one
+    /// scratch vector across calls. Bit-identical to
+    /// [`Regressor::predict`].
+    fn predict_into(&self, x: &Matrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..x.rows()).map(|i| self.predict_row(x.row(i))));
     }
 }

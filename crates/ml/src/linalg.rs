@@ -81,6 +81,13 @@ impl Matrix {
         Ok(Matrix { rows, cols, data })
     }
 
+    /// Consumes the matrix, returning its flat row-major buffer, so a
+    /// scratch vector round-tripped through [`Matrix::from_vec`] can
+    /// be reclaimed without reallocating.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -3,6 +3,19 @@
 //! The building block of the Random Forest the paper's Interference
 //! Profiler adopts (§4.2.1). Supports per-split feature subsampling so
 //! the forest can decorrelate its trees.
+//!
+//! # Layout
+//!
+//! Fitting still uses the natural recursive builder ([`BoxedTree`], a
+//! pointer-chasing `enum` of boxed nodes), but the fitted tree is
+//! *lowered* into a flattened struct-of-arrays layout: contiguous
+//! `feature`/`threshold`/`left`/`right` arrays for the internal nodes
+//! plus a `leaf_value` array, with leaves marked by a sentinel bit in
+//! the child index. Prediction then walks a handful of dense arrays
+//! that stay resident in L1 instead of chasing heap pointers, which is
+//! what makes the batched forest predictions cheap. The lowering is a
+//! pure structural copy in deterministic preorder, so predictions are
+//! bit-identical to walking the boxed builder's output.
 
 use optum_types::{Error, Result};
 use rand::rngs::StdRng;
@@ -46,6 +59,12 @@ enum Node {
     },
 }
 
+/// High bit of a child index: set when the index refers into
+/// `leaf_value` rather than the internal-node arrays.
+const LEAF_BIT: u32 = 1 << 31;
+/// Root sentinel of an unfitted tree.
+const UNFITTED: u32 = u32::MAX;
+
 /// A CART regression tree.
 ///
 /// # Examples
@@ -64,8 +83,20 @@ enum Node {
 pub struct DecisionTree {
     params: TreeParams,
     seed: u64,
-    root: Option<Node>,
     n_features: usize,
+    /// Encoded root: an internal-node index, a `LEAF_BIT`-tagged leaf
+    /// index, or [`UNFITTED`].
+    root: u32,
+    /// Split feature per internal node.
+    feature: Vec<u16>,
+    /// Split threshold per internal node.
+    threshold: Vec<f64>,
+    /// Left child per internal node (`LEAF_BIT`-tagged when a leaf).
+    left: Vec<u32>,
+    /// Right child per internal node (`LEAF_BIT`-tagged when a leaf).
+    right: Vec<u32>,
+    /// Leaf predictions.
+    leaf_value: Vec<f64>,
 }
 
 impl DecisionTree {
@@ -84,8 +115,13 @@ impl DecisionTree {
         Ok(DecisionTree {
             params,
             seed,
-            root: None,
             n_features: 0,
+            root: UNFITTED,
+            feature: Vec::new(),
+            threshold: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            leaf_value: Vec::new(),
         })
     }
 
@@ -96,13 +132,51 @@ impl DecisionTree {
 
     /// Number of leaves in the fitted tree (0 when unfitted).
     pub fn leaf_count(&self) -> usize {
-        fn count(node: &Node) -> usize {
-            match node {
-                Node::Leaf { .. } => 1,
-                Node::Split { left, right, .. } => count(left) + count(right),
+        self.leaf_value.len()
+    }
+
+    /// Number of internal (split) nodes in the fitted tree.
+    pub fn split_count(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Lowers a boxed node into the flat arrays in preorder, returning
+    /// its encoded index.
+    fn lower(&mut self, node: &Node) -> u32 {
+        match node {
+            Node::Leaf { value } => {
+                let j = self.leaf_value.len() as u32;
+                self.leaf_value.push(*value);
+                LEAF_BIT | j
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let i = self.feature.len();
+                self.feature.push(*feature as u16);
+                self.threshold.push(*threshold);
+                self.left.push(UNFITTED);
+                self.right.push(UNFITTED);
+                let l = self.lower(left);
+                let r = self.lower(right);
+                self.left[i] = l;
+                self.right[i] = r;
+                i as u32
             }
         }
-        self.root.as_ref().map_or(0, count)
+    }
+
+    fn install(&mut self, root: Node, n_features: usize) {
+        self.n_features = n_features;
+        self.feature.clear();
+        self.threshold.clear();
+        self.left.clear();
+        self.right.clear();
+        self.leaf_value.clear();
+        self.root = self.lower(&root);
     }
 
     fn build(
@@ -203,10 +277,30 @@ impl DecisionTree {
         if indices.iter().any(|&i| i >= x.rows()) {
             return Err(Error::InvalidData("sample index out of bounds".into()));
         }
+        if x.cols() > u16::MAX as usize {
+            return Err(Error::InvalidData(
+                "flattened trees support at most 65535 features".into(),
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.n_features = x.cols();
-        self.root = Some(Self::build(x, y, indices, 0, &self.params, &mut rng));
+        let root = Self::build(x, y, indices, 0, &self.params, &mut rng);
+        self.install(root, x.cols());
         Ok(())
+    }
+
+    /// Accumulates this tree's prediction for every row of `x` into
+    /// `out` (`out[r] += tree(x.row(r))`).
+    ///
+    /// This is the batched kernel of `RandomForest::predict_matrix`:
+    /// all rows walk one tree while its (small, contiguous) node
+    /// arrays stay hot in cache, instead of every row re-touching
+    /// every tree. Addition order per row is exactly "trees in forest
+    /// order", so forest sums stay bit-identical to the per-row loop.
+    pub fn predict_add(&self, x: &Matrix, out: &mut [f64]) {
+        assert_eq!(x.rows(), out.len(), "output length must match rows");
+        for (r, acc) in out.iter_mut().enumerate() {
+            *acc += self.predict_row(x.row(r));
+        }
     }
 }
 
@@ -217,7 +311,60 @@ impl Regressor for DecisionTree {
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        let mut node = self.root.as_ref().expect("fit before predict");
+        assert!(self.root != UNFITTED, "fit before predict");
+        let mut idx = self.root;
+        while idx & LEAF_BIT == 0 {
+            let i = idx as usize;
+            idx = if row[self.feature[i] as usize] <= self.threshold[i] {
+                self.left[i]
+            } else {
+                self.right[i]
+            };
+        }
+        self.leaf_value[(idx & !LEAF_BIT) as usize]
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let mut out = vec![0.0; x.rows()];
+        self.predict_add(x, &mut out);
+        out
+    }
+}
+
+/// The recursive boxed builder exposed as a reference implementation.
+///
+/// Fits the exact same tree as [`DecisionTree`] (they share the
+/// builder) but *keeps* the pointer-chasing boxed nodes and predicts
+/// by walking them. Exists so tests and benches can check the
+/// flattened layout bit-for-bit against the original representation;
+/// production code should always use [`DecisionTree`].
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxedTree {
+    root: Node,
+}
+
+impl BoxedTree {
+    /// Fits a boxed reference tree (same builder, no lowering).
+    pub fn fit(params: TreeParams, seed: u64, x: &Matrix, y: &[f64]) -> Result<BoxedTree> {
+        // Reuse DecisionTree's validation.
+        DecisionTree::new(params, seed)?;
+        if x.rows() != y.len() {
+            return Err(Error::InvalidData("feature/target length mismatch".into()));
+        }
+        if x.rows() == 0 {
+            return Err(Error::InvalidData("empty training set".into()));
+        }
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(BoxedTree {
+            root: DecisionTree::build(x, y, &indices, 0, &params, &mut rng),
+        })
+    }
+
+    /// Predicts one row by walking the boxed nodes.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut node = &self.root;
         loop {
             match node {
                 Node::Leaf { value } => return *value,
@@ -235,6 +382,17 @@ impl Regressor for DecisionTree {
                 }
             }
         }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
     }
 }
 
@@ -263,6 +421,7 @@ mod tests {
         let mut t = DecisionTree::default_params(0);
         t.fit(&x, &[4.0, 4.0, 4.0]).unwrap();
         assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.split_count(), 0);
         assert_eq!(t.predict_row(&[9.9]), 4.0);
     }
 
@@ -352,6 +511,56 @@ mod tests {
         let mut t = DecisionTree::default_params(0);
         assert!(t.fit_sample(&x, &y, &[]).is_err());
         assert!(t.fit_sample(&x, &y, &[2]).is_err());
+    }
+
+    #[test]
+    fn refit_replaces_previous_tree() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y1: Vec<f64> = (0..50).map(|i| if i < 25 { 1.0 } else { 9.0 }).collect();
+        let y2 = vec![3.5; 50];
+        let mut t = DecisionTree::default_params(0);
+        t.fit(&x, &y1).unwrap();
+        assert!(t.leaf_count() > 1);
+        t.fit(&x, &y2).unwrap();
+        assert_eq!(t.leaf_count(), 1, "refit must clear the old arrays");
+        assert_eq!(t.predict_row(&[0.0]), 3.5);
+    }
+
+    #[test]
+    fn flat_matches_boxed_reference() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i * 13 % 17) as f64, (i % 5) as f64, i as f64])
+            .collect();
+        let y: Vec<f64> = (0..60).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let params = TreeParams {
+            max_depth: 6,
+            min_samples_leaf: 2,
+            max_features: Some(2),
+        };
+        let mut flat = DecisionTree::new(params, 42).unwrap();
+        flat.fit(&x, &y).unwrap();
+        let boxed = BoxedTree::fit(params, 42, &x, &y).unwrap();
+        assert_eq!(flat.leaf_count(), boxed.leaf_count());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            assert_eq!(flat.predict_row(row), boxed.predict_row(row));
+        }
+    }
+
+    #[test]
+    fn predict_add_accumulates_in_order() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i % 3) as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut t = DecisionTree::default_params(0);
+        t.fit(&x, &y).unwrap();
+        let mut out = vec![1.0; x.rows()];
+        t.predict_add(&x, &mut out);
+        for (r, &v) in out.iter().enumerate() {
+            assert_eq!(v, 1.0 + t.predict_row(x.row(r)));
+        }
     }
 
     proptest! {

@@ -1,0 +1,123 @@
+//! Bit-identity of the flattened tree layout against the boxed builder.
+//!
+//! The flattened struct-of-arrays `DecisionTree` must be an exact
+//! structural copy of the recursive boxed tree it is lowered from:
+//! every prediction bit-identical, every leaf preserved. These tests
+//! sweep a seed × params grid with random data (proptest) so the
+//! equivalence holds across tree shapes, not just the goldens' shapes.
+
+use optum_ml::{BoxedTree, DecisionTree, Matrix, Regressor, TreeParams};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random feature value from a cheap hash, so
+/// the grid test needs no RNG plumbing.
+fn feat(seed: u64, r: usize, c: usize) -> f64 {
+    let mut z = seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (c as u64) << 17;
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^= z >> 33;
+    (z % 1000) as f64 / 100.0
+}
+
+fn grid_data(seed: u64, rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|r| (0..cols).map(|c| feat(seed, r, c)).collect())
+        .collect();
+    let y: Vec<f64> = (0..rows)
+        .map(|r| feat(seed.wrapping_add(1), r, cols) - 5.0)
+        .collect();
+    (Matrix::from_rows(&data).unwrap(), y)
+}
+
+fn assert_flat_matches_boxed(params: TreeParams, seed: u64, x: &Matrix, y: &[f64]) {
+    let mut flat = DecisionTree::new(params, seed).unwrap();
+    flat.fit(x, y).unwrap();
+    let boxed = BoxedTree::fit(params, seed, x, y).unwrap();
+    assert_eq!(
+        flat.leaf_count(),
+        boxed.leaf_count(),
+        "leaf count must survive lowering (params {params:?}, seed {seed})"
+    );
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        assert_eq!(
+            flat.predict_row(row).to_bits(),
+            boxed.predict_row(row).to_bits(),
+            "prediction diverged at row {r} (params {params:?}, seed {seed})"
+        );
+    }
+    // Probe off-distribution rows too: traversal must agree everywhere,
+    // not just on training points.
+    for probe in 0..50 {
+        let row: Vec<f64> = (0..x.cols())
+            .map(|c| feat(seed.wrapping_add(2), probe, c) - 2.5)
+            .collect();
+        assert_eq!(
+            flat.predict_row(&row).to_bits(),
+            boxed.predict_row(&row).to_bits()
+        );
+    }
+}
+
+#[test]
+fn seed_params_grid_is_bit_identical() {
+    for seed in [0u64, 1, 7, 42, 0xDEAD_BEEF] {
+        for max_depth in [1, 3, 10] {
+            for min_samples_leaf in [1, 2, 5] {
+                for max_features in [None, Some(1), Some(2), Some(64)] {
+                    let params = TreeParams {
+                        max_depth,
+                        min_samples_leaf,
+                        max_features,
+                    };
+                    let (x, y) = grid_data(seed, 80, 4);
+                    assert_flat_matches_boxed(params, seed, &x, &y);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_heavy_targets_are_bit_identical() {
+    // Constant and few-valued targets exercise the single-leaf and
+    // early-stop paths of the builder.
+    let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 3) as f64]).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let params = TreeParams::default();
+    assert_flat_matches_boxed(params, 5, &x, &vec![2.5; 30]);
+    let few: Vec<f64> = (0..30).map(|i| (i % 2) as f64).collect();
+    assert_flat_matches_boxed(params, 5, &x, &few);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_fits_are_bit_identical(
+        seed in any::<u64>(),
+        max_depth in 1usize..12,
+        min_samples_leaf in 1usize..6,
+        // 0 encodes `None` (all features) — the offline proptest
+        // stand-in has no option strategy.
+        max_features_raw in 0usize..5,
+        points in proptest::collection::vec(
+            (-50f64..50.0, -50f64..50.0, -50f64..50.0, -10f64..10.0),
+            6..80,
+        ),
+    ) {
+        let rows: Vec<Vec<f64>> = points.iter().map(|p| vec![p.0, p.1, p.2]).collect();
+        let y: Vec<f64> = points.iter().map(|p| p.3).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let max_features = if max_features_raw == 0 { None } else { Some(max_features_raw) };
+        let params = TreeParams { max_depth, min_samples_leaf, max_features };
+        let mut flat = DecisionTree::new(params, seed).unwrap();
+        flat.fit(&x, &y).unwrap();
+        let boxed = BoxedTree::fit(params, seed, &x, &y).unwrap();
+        prop_assert_eq!(flat.leaf_count(), boxed.leaf_count());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            prop_assert_eq!(flat.predict_row(row).to_bits(), boxed.predict_row(row).to_bits());
+        }
+    }
+}

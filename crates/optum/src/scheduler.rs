@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use optum_ml::Matrix;
 use optum_predictors::{OptumPredictor, PodInfo, UsagePredictor};
 use optum_sim::{ClusterView, Decision, NodeRuntime, Scheduler, TrainingData};
 use optum_types::{AppId, PodSpec, Resources, SloClass};
@@ -147,6 +148,19 @@ struct ScoredCandidate {
     be_ri: f64,
 }
 
+/// Per-candidate state from the fused assembly pass of `decide`: the
+/// utilization predictions (the expensive half of scoring), computed
+/// once and shared by the interference prefetch and the scoring pass.
+#[derive(Clone, Copy)]
+struct CandidateEval {
+    /// Predicted (cpu, mem) host utilization before the placement.
+    before: (f64, f64),
+    /// Predicted (cpu, mem) host utilization with the pod added.
+    after: (f64, f64),
+    cpu_ok: bool,
+    mem_ok: bool,
+}
+
 /// The Optum unified scheduler.
 pub struct OptumScheduler {
     config: OptumConfig,
@@ -157,6 +171,12 @@ pub struct OptumScheduler {
     ri_cache: Arc<RwLock<HashMap<RiKey, f64>>>,
     scratch: Vec<PodInfo>,
     candidate_scratch: Vec<usize>,
+    eval_scratch: Vec<(usize, CandidateEval)>,
+    ri_key_scratch: Vec<RiKey>,
+    ri_feat_scratch: Vec<f64>,
+    ri_out_scratch: Vec<f64>,
+    prefetch_backoff: u32,
+    prefetch_interval: u32,
     health: crate::profiler::PredictorHealth,
     breaker: BreakerState,
     consecutive_failures: u32,
@@ -191,6 +211,12 @@ impl OptumScheduler {
             ri_cache: Arc::new(RwLock::new(HashMap::new())),
             scratch: Vec::new(),
             candidate_scratch: Vec::new(),
+            eval_scratch: Vec::new(),
+            ri_key_scratch: Vec::new(),
+            ri_feat_scratch: Vec::new(),
+            ri_out_scratch: Vec::new(),
+            prefetch_backoff: 0,
+            prefetch_interval: 0,
             health: crate::profiler::PredictorHealth::healthy(),
             breaker: BreakerState::Closed,
             consecutive_failures: 0,
@@ -414,6 +440,22 @@ impl OptumScheduler {
         view: &ClusterView<'_>,
         buf: &mut Vec<PodInfo>,
     ) -> Option<ScoredCandidate> {
+        let eval = self.eval_candidate(pod, node, view, buf);
+        Some(self.score_eval(pod, node, &eval))
+    }
+
+    /// The predictor half of scoring: before/after host-utilization
+    /// predictions and the feasibility guards for one candidate.
+    /// `decide` runs this once per candidate in a fused assembly pass
+    /// so the interference models can be warmed with batched
+    /// evaluations before the scoring pass.
+    fn eval_candidate(
+        &self,
+        pod: &PodSpec,
+        node: &NodeRuntime,
+        view: &ClusterView<'_>,
+        buf: &mut Vec<PodInfo>,
+    ) -> CandidateEval {
         let extra = PodInfo {
             app: pod.app,
             request: pod.request,
@@ -431,16 +473,35 @@ impl OptumScheduler {
         let pred: Resources = self.predictor.predict(&obs, self.usage_profiles.as_ref());
         let poc_util = pred.cpu / cap.cpu;
         let pom_util = pred.mem / cap.mem;
-        let cpu_ok = poc_util <= self.config.cpu_guard;
-        let mem_ok = pom_util <= self.config.memory_guard;
+        CandidateEval {
+            before,
+            after: (poc_util, pom_util),
+            cpu_ok: poc_util <= self.config.cpu_guard,
+            mem_ok: pom_util <= self.config.memory_guard,
+        }
+    }
+
+    /// The scoring half: Eq. 11 from a candidate's precomputed
+    /// utilization predictions. Interference lookups go through
+    /// `ri_of`, which `decide`'s batched prefetch has already warmed
+    /// on the hot path.
+    fn score_eval(
+        &self,
+        pod: &PodSpec,
+        node: &NodeRuntime,
+        eval: &CandidateEval,
+    ) -> ScoredCandidate {
+        let before = eval.before;
+        let (poc_util, pom_util) = eval.after;
+        let (cpu_ok, mem_ok) = (eval.cpu_ok, eval.mem_ok);
         if !cpu_ok || !mem_ok {
-            return Some(ScoredCandidate {
+            return ScoredCandidate {
                 score: f64::NEG_INFINITY,
                 cpu_ok,
                 mem_ok,
                 ls_ri: 0.0,
                 be_ri: 0.0,
-            });
+            };
         }
         // Utilization-only scoring (the Optum-util ablation, also the
         // breaker's fallback while the trained predictors are down):
@@ -452,13 +513,13 @@ impl OptumScheduler {
                 ScoringMode::Absolute => poc_util * pom_util,
                 ScoringMode::Marginal => poc_util * pom_util - before.0 * before.1,
             };
-            return Some(ScoredCandidate {
+            return ScoredCandidate {
                 score,
                 cpu_ok: true,
                 mem_ok: true,
                 ls_ri: 0.0,
                 be_ri: 0.0,
-            });
+            };
         }
         // Resident pods grouped per app (small vectors; avoid hashing).
         let mut groups: Vec<(AppId, SloClass, f64)> = Vec::with_capacity(8);
@@ -483,13 +544,13 @@ impl OptumScheduler {
         // Hard PSI constraint: refuse to push any LS application past
         // the guard (reported as a CPU-pressure cause).
         if worst_ls > self.config.psi_guard {
-            return Some(ScoredCandidate {
+            return ScoredCandidate {
                 score: f64::NEG_INFINITY,
                 cpu_ok: false,
                 mem_ok: true,
                 ls_ri,
                 be_ri,
-            });
+            };
         }
         let score = match self.config.scoring {
             ScoringMode::Absolute => {
@@ -501,13 +562,128 @@ impl OptumScheduler {
                     - self.config.omega_b * (be_ri - be_before)
             }
         };
-        Some(ScoredCandidate {
+        ScoredCandidate {
             score,
             cpu_ok: true,
             mem_ok: true,
             ls_ri,
             be_ri,
-        })
+        }
+    }
+
+    /// Warms `ri_cache` with every (app, utilization-bucket) pair the
+    /// scoring pass will look up, batching cache misses into one model
+    /// evaluation per (app, class) instead of two scalar tree walks
+    /// per resident app per candidate. Values are bit-identical to
+    /// `ri_of`'s on-demand path — identical feature rows, clamp, and
+    /// baseline correction — so the scoring pass is unchanged and
+    /// simply hits the cache.
+    fn prefetch_ri(
+        &mut self,
+        pod: &PodSpec,
+        view: &ClusterView<'_>,
+        evals: &[(usize, CandidateEval)],
+    ) -> usize {
+        let _prefetch = optum_obs::span!("optum.prefetch");
+        let bucket = |u: f64| (u.clamp(0.0, 1.0) * 25.0).min(24.0) as u16;
+        let center = |b: u16| (b as f64 + 0.5) / 25.0;
+        let mut keys = std::mem::take(&mut self.ri_key_scratch);
+        keys.clear();
+        // Same key space as the scoring pass: resident apps at the
+        // before-utilization, residents plus the incoming pod at the
+        // after-utilization. Guard-failing candidates score no models.
+        for &(i, eval) in evals {
+            if !eval.cpu_ok || !eval.mem_ok {
+                continue;
+            }
+            let before_b = (bucket(eval.before.0), bucket(eval.before.1));
+            let after_b = (bucket(eval.after.0), bucket(eval.after.1));
+            let mut push = |app: AppId, slo: SloClass, resident: bool| {
+                let is_ls = if slo.is_latency_sensitive() {
+                    true
+                } else if slo == SloClass::Be {
+                    false
+                } else {
+                    return;
+                };
+                if resident {
+                    keys.push((app.0, before_b.0, before_b.1, is_ls));
+                }
+                keys.push((app.0, after_b.0, after_b.1, is_ls));
+            };
+            for rp in &view.nodes[i].pods {
+                push(rp.app, rp.slo, true);
+            }
+            push(pod.app, pod.slo, false);
+        }
+        // Group by (app, class) so each run is one batched predict.
+        keys.sort_unstable_by_key(|k| (k.0, k.3, k.1, k.2));
+        keys.dedup();
+        {
+            let cache = self.ri_cache.read();
+            keys.retain(|k| !cache.contains_key(k));
+        }
+        let misses = keys.len();
+        let mut feats = std::mem::take(&mut self.ri_feat_scratch);
+        let mut out = std::mem::take(&mut self.ri_out_scratch);
+        let mut start = 0;
+        while start < keys.len() {
+            let (app_raw, is_ls) = (keys[start].0, keys[start].3);
+            let mut end = start + 1;
+            while end < keys.len() && keys[end].0 == app_raw && keys[end].3 == is_ls {
+                end += 1;
+            }
+            let run = &keys[start..end];
+            start = end;
+            let app = AppId(app_raw);
+            let Some(profile) = self.usage_profiles.profile(app) else {
+                // `raw_ri` reads 0.0 for unprofiled apps; cache the
+                // corrected value it would produce.
+                let mut cache = self.ri_cache.write();
+                for k in run {
+                    cache.insert(*k, 0.0);
+                }
+                continue;
+            };
+            let dims = if is_ls { 5 } else { 4 };
+            feats.clear();
+            for k in run {
+                let pom_center = center(k.2);
+                // Two rows per key: the uncontended 0.26 baseline of
+                // `ri_of`, then the POC bucket center.
+                for host_cpu in [0.26, center(k.1)] {
+                    feats.push(profile.max_cpu_util);
+                    feats.push(profile.max_mem_util);
+                    feats.push(host_cpu);
+                    feats.push(pom_center);
+                    if is_ls {
+                        feats.push(profile.max_qps_norm);
+                    }
+                }
+            }
+            let x = Matrix::from_vec(run.len() * 2, dims, feats).expect("well-formed feature rows");
+            let modeled = if is_ls {
+                self.interference.predict_psi_raw_batch(app, &x, &mut out)
+            } else {
+                self.interference.predict_ct_raw_batch(app, &x, &mut out)
+            };
+            feats = x.into_vec();
+            let mut cache = self.ri_cache.write();
+            if modeled {
+                for (j, k) in run.iter().enumerate() {
+                    let value = (out[2 * j + 1] - out[2 * j]).max(0.0);
+                    cache.insert(*k, value);
+                }
+            } else {
+                for k in run {
+                    cache.insert(*k, 0.0);
+                }
+            }
+        }
+        self.ri_feat_scratch = feats;
+        self.ri_out_scratch = out;
+        self.ri_key_scratch = keys;
+        misses
     }
 }
 
@@ -559,25 +735,56 @@ impl OptumScheduler {
         }
 
         let _score = optum_obs::span!("optum.score");
+        // Fused assembly: one pass computes every candidate's
+        // before/after utilization predictions (the predictor half of
+        // scoring) into a reusable scratch buffer, so the interference
+        // models can be warmed with batched evaluations below instead
+        // of two scalar tree walks per resident app per candidate.
+        let mut evals = std::mem::take(&mut self.eval_scratch);
+        evals.clear();
+        {
+            let mut buf = std::mem::take(&mut self.scratch);
+            evals.extend(
+                candidates
+                    .iter()
+                    .map(|&i| (i, self.eval_candidate(pod, &view.nodes[i], view, &mut buf))),
+            );
+            self.scratch = buf;
+        }
+        // Prefetch with exponential backoff: once the RI cache is
+        // warm, prefetches find nothing to do, so skip up to 64
+        // decisions between probes and reset on any miss. Values are
+        // bit-identical either way — `ri_of` still computes misses on
+        // demand — so this only trims overhead, never changes scores.
+        if !self.is_degraded() {
+            if self.prefetch_backoff > 0 {
+                self.prefetch_backoff -= 1;
+            } else {
+                if self.prefetch_ri(pod, view, &evals) == 0 {
+                    self.prefetch_interval = (self.prefetch_interval.max(1) * 2).min(64);
+                } else {
+                    self.prefetch_interval = 0;
+                }
+                self.prefetch_backoff = self.prefetch_interval;
+            }
+        }
         // Score all candidates, across worker threads when the set is
         // large enough to amortize spawning (§4.3.4: the Online
         // Scheduler's components run multi-threaded, each thread
         // scoring a few candidate hosts).
-        let scored: Vec<(usize, Option<ScoredCandidate>)> = if self.config.threads > 1
+        let scored: Vec<(usize, ScoredCandidate)> = if self.config.threads > 1
             && candidates.len() >= 4 * self.config.threads
         {
             let this = &*self;
+            let evals = &evals;
             let chunk = candidates.len().div_ceil(self.config.threads);
             crossbeam::scope(|scope| {
-                let handles: Vec<_> = candidates
+                let handles: Vec<_> = evals
                     .chunks(chunk)
                     .map(|part| {
                         scope.spawn(move |_| {
-                            let mut buf = Vec::new();
                             part.iter()
-                                .map(|&i| {
-                                    (i, this.score_candidate(pod, &view.nodes[i], view, &mut buf))
-                                })
+                                .map(|(i, eval)| (*i, this.score_eval(pod, &view.nodes[*i], eval)))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -589,14 +796,12 @@ impl OptumScheduler {
             })
             .expect("crossbeam scope")
         } else {
-            let mut buf = std::mem::take(&mut self.scratch);
-            let out = candidates
+            evals
                 .iter()
-                .map(|&i| (i, self.score_candidate(pod, &view.nodes[i], view, &mut buf)))
-                .collect();
-            self.scratch = buf;
-            out
+                .map(|(i, eval)| (*i, self.score_eval(pod, &view.nodes[*i], eval)))
+                .collect()
         };
+        self.eval_scratch = evals;
 
         // Idle hosts are a last resort: waking one forfeits the
         // consolidation the objective is chasing, so an empty candidate
@@ -609,31 +814,28 @@ impl OptumScheduler {
         let mut any_cpu_ok = false;
         let mut any_mem_ok = false;
         for (i, sc) in scored {
-            if let Some(sc) = sc {
-                let (score, cpu_ok, mem_ok) = (sc.score, sc.cpu_ok, sc.mem_ok);
-                any_cpu_ok |= cpu_ok;
-                any_mem_ok |= mem_ok;
-                if score == f64::NEG_INFINITY {
-                    continue;
+            let (score, cpu_ok, mem_ok) = (sc.score, sc.cpu_ok, sc.mem_ok);
+            any_cpu_ok |= cpu_ok;
+            any_mem_ok |= mem_ok;
+            if score == f64::NEG_INFINITY {
+                continue;
+            }
+            let count = view.nodes[i].pod_count();
+            if count == 0 {
+                if best_empty.is_none_or(|(bi, _)| i < bi) {
+                    best_empty = Some((i, score));
                 }
-                let count = view.nodes[i].pod_count();
-                if count == 0 {
-                    if best_empty.is_none_or(|(bi, _)| i < bi) {
-                        best_empty = Some((i, score));
-                    }
-                    continue;
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bi, bs, bc)) => {
+                    score > bs + 1e-12
+                        || ((score - bs).abs() <= 1e-12 && (count > bc || (count == bc && i < bi)))
                 }
-                let better = match best {
-                    None => true,
-                    Some((bi, bs, bc)) => {
-                        score > bs + 1e-12
-                            || ((score - bs).abs() <= 1e-12
-                                && (count > bc || (count == bc && i < bi)))
-                    }
-                };
-                if better {
-                    best = Some((i, score, count));
-                }
+            };
+            if better {
+                best = Some((i, score, count));
             }
         }
         match best.map(|(i, _, _)| i).or(best_empty.map(|(i, _)| i)) {

@@ -6,7 +6,7 @@ use optum_types::{
     Result, SloClass, Tick,
 };
 
-use optum_trace::{hash_noise, Workload};
+use optum_trace::{hash_noise, AppProfile, PsiShape, TickTerms, Workload};
 
 use crate::appstats::AppStatsStore;
 use crate::checkpoint::{self, Fingerprint, SnapReader, SnapWriter, SNAP_VERSION};
@@ -185,6 +185,14 @@ pub struct Simulator<'w, S: Scheduler> {
     usage_scratch: Vec<(PodId, Resources, f64)>,
     app_group_scratch: Vec<(u32, f64, f64)>,
     completion_scratch: Vec<(PodId, usize)>,
+    /// Per-app physics terms hoisted once per tick (indexed by app).
+    tick_terms_scratch: Vec<TickTerms>,
+    /// Static per-app PSI sigmoid parameters (indexed by app).
+    psi_shapes: Vec<PsiShape>,
+    /// Per-node memo of host-contention sigmoids, keyed by the
+    /// `(beta, threshold)` bit patterns (apps sharing a sigmoid share
+    /// the value; the distinct-shape count per node is tiny).
+    contention_scratch: Vec<(u64, u64, f64)>,
     pending_scratch: Vec<PodId>,
     affinity_fractions: Vec<f64>,
     end_tick: Tick,
@@ -346,6 +354,9 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             usage_scratch: Vec::new(),
             app_group_scratch: Vec::new(),
             completion_scratch: Vec::new(),
+            tick_terms_scratch: Vec::new(),
+            psi_shapes: workload.apps.iter().map(|a| a.psi_shape()).collect(),
+            contention_scratch: Vec::new(),
             pending_scratch: Vec::new(),
             affinity_fractions: workload.apps.iter().map(|a| a.affinity_fraction).collect(),
             end_tick,
@@ -1050,6 +1061,14 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         let mut completions = std::mem::take(&mut self.completion_scratch);
         debug_assert!(completions.is_empty());
 
+        // Hoist the per-(app, tick) physics terms once: the diurnal
+        // curve reads and app-level factor products are shared by
+        // every pod of an app within this tick, and the cached
+        // variants are bit-identical to the scalar physics.
+        self.tick_terms_scratch.clear();
+        self.tick_terms_scratch
+            .extend(self.workload.apps.iter().map(|a| a.tick_terms(t)));
+
         for node_idx in 0..self.nodes.len() {
             // A down node contributes no capacity and hosts no pods;
             // it still pushes (zero) usage into its history so
@@ -1068,10 +1087,12 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 for rp in &node.pods {
                     let gen = &self.workload.pods[rp.id.index()];
                     let app = self.workload.app_of(gen);
-                    let usage =
-                        Resources::new(app.pod_cpu_usage(gen, t), app.pod_mem_usage(gen, t));
-                    let qps_norm = app.qps_norm(t);
-                    self.usage_scratch.push((rp.id, usage, qps_norm));
+                    let terms = &self.tick_terms_scratch[gen.spec.app.index()];
+                    let usage = Resources::new(
+                        app.pod_cpu_usage_cached(gen, t, terms),
+                        app.pod_mem_usage_cached(gen, t, terms),
+                    );
+                    self.usage_scratch.push((rp.id, usage, terms.qps_norm));
                 }
             }
             let raw: Resources = self.usage_scratch.iter().map(|(_, u, _)| *u).sum();
@@ -1108,6 +1129,11 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             // profile source predictors read, so they are always on.
             let collect_ero = t.0.is_multiple_of(ERO_STRIDE);
             self.app_group_scratch.clear();
+            // Node-level hoists: the memory-pressure base is
+            // app-independent, and pods whose PSI sigmoids share
+            // (beta, threshold) share the host-contention factor.
+            let mem_psi_node_base = AppProfile::mem_psi_base(host_util.mem);
+            self.contention_scratch.clear();
             for i in 0..self.usage_scratch.len() {
                 let (pid, raw_usage, qps_norm) = self.usage_scratch[i];
                 let usage = Resources::new(raw_usage.cpu * cpu_scale, raw_usage.mem * mem_scale);
@@ -1146,6 +1172,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                     }
                 }
 
+                let terms = self.tick_terms_scratch[gen.spec.app.index()];
                 let is_ls = gen.spec.slo.is_latency_sensitive();
                 let is_be = gen.spec.slo == SloClass::Be;
                 if is_be {
@@ -1154,15 +1181,31 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 } else if is_ls {
                     ls_util_sum += pod_cpu_util;
                     ls_count += 1;
-                    ls_qps_sum += app.pod_qps(pid, t);
+                    ls_qps_sum += app.pod_qps_cached(pid, t, &terms);
                 }
 
+                let shape = self.psi_shapes[gen.spec.app.index()];
+                let contention = match self.contention_scratch.iter().find(|(b, th, _)| {
+                    *b == shape.beta.to_bits() && *th == shape.threshold.to_bits()
+                }) {
+                    Some(&(_, _, c)) => c,
+                    None => {
+                        let c = shape.contention(host_util.cpu);
+                        self.contention_scratch.push((
+                            shape.beta.to_bits(),
+                            shape.threshold.to_bits(),
+                            c,
+                        ));
+                        c
+                    }
+                };
                 let state = self.running[pid.index()]
                     .as_mut()
                     .expect("resident pod must have running state");
-                let psi_inst = app.psi_instant(gen, pod_cpu_util, host_util.cpu, t);
+                let psi_inst =
+                    app.psi_instant_cached(pid, pod_cpu_util, &shape, contention, t, &terms);
                 state.cpu_psi = PsiWindow::step(state.cpu_psi, psi_inst);
-                let mem_psi_inst = app.mem_psi_instant(pid, host_util.mem, t);
+                let mem_psi_inst = app.mem_psi_instant_cached(pid, mem_psi_node_base, t);
                 state.mem_psi = PsiWindow::step(state.mem_psi, mem_psi_inst);
                 state.worst_psi = state.worst_psi.max(state.cpu_psi.avg60);
                 state.max_pod_cpu_util = state.max_pod_cpu_util.max(pod_cpu_util);
@@ -1192,7 +1235,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 // Recorded series for sampled pods.
                 if record_series && self.sampled[pid.index()] {
                     let rt = app.response_time(gen, state.cpu_psi.avg60, t);
-                    let qps = app.pod_qps(pid, t);
+                    let qps = app.pod_qps_cached(pid, t, &terms);
                     let noise = hash_noise(0xF00D, pid.0 as u64, t.0);
                     let (rx, tx) = if is_be {
                         (

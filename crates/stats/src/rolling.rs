@@ -84,14 +84,20 @@ impl RollingWindow {
 
     /// The p-th percentile (`p` in `[0, 100]`, nearest rank);
     /// `None` when empty.
+    ///
+    /// Uses O(n) selection rather than a full sort: the nearest-rank
+    /// definition only needs the k-th order statistic, and selection
+    /// returns the same value a sort would put at that rank.
     pub fn percentile(&self, p: f64) -> Option<f64> {
         if self.buf.is_empty() {
             return None;
         }
         let mut xs = self.as_slice();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("windows never hold NaN"));
         let rank = ((p / 100.0).clamp(0.0, 1.0) * (xs.len() as f64 - 1.0)).round() as usize;
-        Some(xs[rank])
+        let (_, at_rank, _) = xs.select_nth_unstable_by(rank, |a, b| {
+            a.partial_cmp(b).expect("windows never hold NaN")
+        });
+        Some(*at_rank)
     }
 }
 
@@ -134,6 +140,21 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn percentile_matches_full_sort(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..200),
+            p in 0f64..100.0,
+        ) {
+            let mut w = RollingWindow::new(xs.len());
+            for &x in &xs {
+                w.push(x);
+            }
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((p / 100.0).clamp(0.0, 1.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+            prop_assert_eq!(w.percentile(p), Some(sorted[rank]));
+        }
+
         #[test]
         fn never_exceeds_capacity(
             xs in proptest::collection::vec(-1e3f64..1e3, 0..100),

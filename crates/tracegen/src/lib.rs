@@ -33,7 +33,7 @@ pub mod workload;
 
 pub use config::WorkloadConfig;
 pub use physics::{affinity_allows, hash_noise};
-pub use population::{AppKind, AppProfile, BeParams, LsParams};
+pub use population::{AppKind, AppProfile, BeParams, LsParams, PsiShape, TickTerms};
 pub use storm::{apply_storm, ClassMix, StormConfig, StormWindow, STORM_CHANNEL};
 pub use workload::{generate, GeneratedPod, Workload};
 

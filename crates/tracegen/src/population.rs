@@ -132,6 +132,53 @@ pub struct AppProfile {
     pub seed: u64,
 }
 
+/// Per-(app, tick) physics terms, hoisted out of the per-pod hot loops
+/// by [`AppProfile::tick_terms`]. Every field is an intermediate value
+/// of the scalar physics methods, grouped exactly as those methods
+/// group their multiplications, so the `*_cached` variants are
+/// bit-identical to the originals.
+#[derive(Debug, Clone, Copy)]
+pub struct TickTerms {
+    /// [`AppProfile::qps_at`] — the app-level QPS curve value.
+    pub qps_at: f64,
+    /// [`AppProfile::qps_norm`].
+    pub qps_norm: f64,
+    /// The PSI QPS factor `0.4 + 0.6 * qps_norm`.
+    pub qps_term: f64,
+    /// CPU-usage base — the per-app factors of `pod_cpu_usage` left of
+    /// the per-pod ones (`cpu_request * load` for LS, `cpu_request *
+    /// cpu_ratio * centered` for BE, `cpu_request * cpu_util` for
+    /// background).
+    pub cpu_base: f64,
+    /// Memory-usage base (`mem_request * utilization_ratio`).
+    pub mem_base: f64,
+}
+
+/// The static parameters of an app's PSI sigmoid, extracted once so
+/// the host-contention factor can be memoized per node instead of
+/// recomputed per pod ([`AppProfile::psi_shape`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsiShape {
+    /// Peak pressure the app can experience.
+    pub sens: f64,
+    /// Host CPU utilization where pressure starts rising fast.
+    pub threshold: f64,
+    /// Steepness of the rise.
+    pub beta: f64,
+    /// Denominator of the pod-relative-utilization term,
+    /// `(2 * usage_mid).max(1e-9)`.
+    pub denom: f64,
+}
+
+impl PsiShape {
+    /// The host-contention sigmoid — a pure function of the host CPU
+    /// utilization and `(beta, threshold)`, so pods sharing a shape on
+    /// one host share the value.
+    pub fn contention(&self, host_cpu_util: f64) -> f64 {
+        sigmoid(self.beta * (host_cpu_util - self.threshold))
+    }
+}
+
 impl AppProfile {
     /// Whether this application's affinity admits a node.
     pub fn allows_node(&self, node: optum_types::NodeId) -> bool {
@@ -171,6 +218,138 @@ impl AppProfile {
     pub fn pod_qps(&self, pod: PodId, t: Tick) -> f64 {
         let noise = hash_noise_signed(self.seed, pod.0 as u64, t.0, 0.05);
         (self.qps_at(t) * (1.0 + noise)).max(0.0)
+    }
+
+    /// Hoists the per-tick terms of this app's physics: the diurnal
+    /// curve reads (one `sin` each) and the app-level factor products,
+    /// shared by every pod of the app within one tick. The `*_cached`
+    /// methods consume the result and are bit-identical to their
+    /// scalar counterparts.
+    pub fn tick_terms(&self, t: Tick) -> TickTerms {
+        let qps_at = self.qps_at(t);
+        let max = self.max_qps();
+        let qps_norm = if max > 0.0 { qps_at / max } else { 0.0 };
+        let (cpu_base, mem_base) = match &self.kind {
+            AppKind::Ls(p) => {
+                let load = p.cpu_floor + p.cpu_span * qps_norm;
+                (self.cpu_request * load, self.mem_request * p.mem_util)
+            }
+            AppKind::Be(p) => {
+                let peak = p.job_rate.base * (1.0 + p.job_rate.amp);
+                let activity = if peak > 0.0 {
+                    p.job_rate.at(t.hour_of_day()) / peak
+                } else {
+                    1.0
+                };
+                let centered = 1.0 + 0.7 * (activity - 1.0 / (1.0 + p.job_rate.amp));
+                (
+                    self.cpu_request * p.cpu_ratio * centered,
+                    self.mem_request * p.mem_ratio,
+                )
+            }
+            AppKind::Other(p) => (self.cpu_request * p.cpu_util, self.mem_request * p.mem_util),
+        };
+        TickTerms {
+            qps_at,
+            qps_norm,
+            qps_term: 0.4 + 0.6 * qps_norm,
+            cpu_base,
+            mem_base,
+        }
+    }
+
+    /// The static PSI sigmoid parameters of this app (see
+    /// [`PsiShape`]); BE and background pods share generic ones.
+    pub fn psi_shape(&self) -> PsiShape {
+        let (sens, threshold, beta, usage_mid) = match &self.kind {
+            AppKind::Ls(p) => (
+                p.psi_sens,
+                p.psi_threshold,
+                p.psi_beta,
+                p.cpu_floor + p.cpu_span / 2.0,
+            ),
+            AppKind::Be(_) | AppKind::Other(_) => (0.8, 0.8, 12.0, 0.3),
+        };
+        PsiShape {
+            sens,
+            threshold,
+            beta,
+            denom: (2.0 * usage_mid).max(1e-9),
+        }
+    }
+
+    /// [`AppProfile::pod_qps`] from hoisted terms.
+    pub fn pod_qps_cached(&self, pod: PodId, t: Tick, terms: &TickTerms) -> f64 {
+        let noise = hash_noise_signed(self.seed, pod.0 as u64, t.0, 0.05);
+        (terms.qps_at * (1.0 + noise)).max(0.0)
+    }
+
+    /// [`AppProfile::pod_cpu_usage`] from hoisted terms: only the
+    /// per-pod noise and factors remain.
+    pub fn pod_cpu_usage_cached(&self, pod: &GeneratedPod, t: Tick, terms: &TickTerms) -> f64 {
+        let id = pod.spec.id.0 as u64;
+        let raw = match &self.kind {
+            AppKind::Ls(_) => {
+                let noise = 1.0 + hash_noise_signed(self.seed, id, t.0, 0.08);
+                terms.cpu_base * pod.input_factor * noise
+            }
+            AppKind::Be(_) => {
+                let noise = 1.0 + hash_noise_signed(self.seed, id, t.0, 0.1);
+                terms.cpu_base * pod.input_factor * noise
+            }
+            AppKind::Other(_) => {
+                let noise = 1.0 + hash_noise_signed(self.seed, id, t.0, 0.05);
+                terms.cpu_base * noise
+            }
+        };
+        raw.clamp(0.0, self.cpu_request * self.limit_factor)
+    }
+
+    /// [`AppProfile::pod_mem_usage`] from hoisted terms.
+    pub fn pod_mem_usage_cached(&self, pod: &GeneratedPod, t: Tick, terms: &TickTerms) -> f64 {
+        let id = pod.spec.id.0 as u64;
+        let raw = match &self.kind {
+            AppKind::Ls(_) => {
+                let noise = 1.0 + hash_noise_signed(self.seed.wrapping_add(1), id, t.0, 0.005);
+                terms.mem_base * noise
+            }
+            AppKind::Be(_) | AppKind::Other(_) => {
+                let noise = 1.0 + hash_noise_signed(self.seed.wrapping_add(1), id, t.0, 0.01);
+                terms.mem_base * noise
+            }
+        };
+        raw.clamp(0.0, self.mem_request * self.limit_factor)
+    }
+
+    /// [`AppProfile::psi_instant`] from hoisted terms and a memoized
+    /// host-contention factor (`shape.contention(host_cpu_util)` for
+    /// this app's [`PsiShape`]).
+    pub fn psi_instant_cached(
+        &self,
+        pod: PodId,
+        pod_cpu_util: f64,
+        shape: &PsiShape,
+        contention: f64,
+        t: Tick,
+        terms: &TickTerms,
+    ) -> f64 {
+        let pod_rel = (pod_cpu_util / shape.denom).clamp(0.0, 1.0);
+        let demand = 0.25 + 0.75 * pod_rel;
+        let noise = hash_noise(self.seed.wrapping_add(2), pod.0 as u64, t.0) * 0.006;
+        (shape.sens * contention * demand * terms.qps_term + noise).clamp(0.0, 1.0)
+    }
+
+    /// Node-level memory-pressure base of [`AppProfile::
+    /// mem_psi_instant`] — a pure function of the host memory
+    /// utilization, identical for every pod on the host.
+    pub fn mem_psi_base(host_mem_util: f64) -> f64 {
+        0.08 * sigmoid(25.0 * (host_mem_util - 0.92))
+    }
+
+    /// [`AppProfile::mem_psi_instant`] from the hoisted node base.
+    pub fn mem_psi_instant_cached(&self, pod: PodId, base: f64, t: Tick) -> f64 {
+        let noise = hash_noise(self.seed.wrapping_add(3), pod.0 as u64, t.0) * 0.01;
+        (base + noise).clamp(0.0, 1.0)
     }
 
     /// Actual CPU usage of a pod at `t` (normalized cores), before
@@ -480,6 +659,74 @@ mod tests {
         assert!(busy < 0.5);
         // Non-BE pods never slow down.
         assert_eq!(ls_profile().be_progress_rate(0.99, 0.99), 1.0);
+    }
+
+    fn other_profile() -> AppProfile {
+        AppProfile {
+            id: AppId(3),
+            slo: SloClass::System,
+            cpu_request: 0.02,
+            mem_request: 0.015,
+            limit_factor: 1.5,
+            affinity_fraction: 1.0,
+            kind: AppKind::Other(OtherParams {
+                replicas: 6,
+                cpu_util: 0.4,
+                mem_util: 0.6,
+                mean_lifetime_ticks: 8000.0,
+            }),
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn cached_physics_is_bit_identical() {
+        // The hoisted-term variants must reproduce the scalar physics
+        // exactly — same multiplication grouping, same noise draws —
+        // across classes, ticks, and host states.
+        for app in [ls_profile(), be_profile(), other_profile()] {
+            let shape = app.psi_shape();
+            for tick in [0u64, 17, 360, 1441, 50_000] {
+                let t = Tick(tick);
+                let terms = app.tick_terms(t);
+                assert_eq!(terms.qps_at.to_bits(), app.qps_at(t).to_bits());
+                assert_eq!(terms.qps_norm.to_bits(), app.qps_norm(t).to_bits());
+                for pod_id in [1u32, 8, 1023] {
+                    let p = pod(&app, pod_id);
+                    assert_eq!(
+                        app.pod_cpu_usage_cached(&p, t, &terms).to_bits(),
+                        app.pod_cpu_usage(&p, t).to_bits()
+                    );
+                    assert_eq!(
+                        app.pod_mem_usage_cached(&p, t, &terms).to_bits(),
+                        app.pod_mem_usage(&p, t).to_bits()
+                    );
+                    assert_eq!(
+                        app.pod_qps_cached(p.spec.id, t, &terms).to_bits(),
+                        app.pod_qps(p.spec.id, t).to_bits()
+                    );
+                    for host_cpu in [0.05, 0.5, 0.93] {
+                        for pod_util in [0.0, 0.2, 0.9] {
+                            let contention = shape.contention(host_cpu);
+                            assert_eq!(
+                                app.psi_instant_cached(
+                                    p.spec.id, pod_util, &shape, contention, t, &terms
+                                )
+                                .to_bits(),
+                                app.psi_instant(&p, pod_util, host_cpu, t).to_bits()
+                            );
+                        }
+                    }
+                    for host_mem in [0.3, 0.91, 0.99] {
+                        let base = AppProfile::mem_psi_base(host_mem);
+                        assert_eq!(
+                            app.mem_psi_instant_cached(p.spec.id, base, t).to_bits(),
+                            app.mem_psi_instant(p.spec.id, host_mem, t).to_bits()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

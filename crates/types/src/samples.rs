@@ -25,6 +25,18 @@ pub struct PsiWindow {
     pub avg300: f64,
 }
 
+/// The three EMA mixing factors for a 30 s tick. `f64::exp` is not a
+/// `const fn`, so they are evaluated once at first use; `step` runs on
+/// every pod every tick and must not pay three `exp` calls each time.
+fn alphas() -> (f64, f64, f64) {
+    static ALPHAS: std::sync::OnceLock<(f64, f64, f64)> = std::sync::OnceLock::new();
+    *ALPHAS.get_or_init(|| {
+        const TICK: f64 = 30.0;
+        let alpha = |window: f64| 1.0 - (-TICK / window).exp();
+        (alpha(10.0).min(1.0), alpha(60.0), alpha(300.0))
+    })
+}
+
 impl PsiWindow {
     /// A zero-pressure reading.
     pub const ZERO: PsiWindow = PsiWindow {
@@ -42,13 +54,12 @@ impl PsiWindow {
     /// effectively tracks the instantaneous value while the 300 s window
     /// smooths over ten ticks.
     pub fn step(prev: PsiWindow, instant: f64) -> PsiWindow {
-        const TICK: f64 = 30.0;
-        let alpha = |window: f64| 1.0 - (-TICK / window).exp();
+        let (a10, a60, a300) = alphas();
         let mix = |old: f64, a: f64| old + a * (instant - old);
         PsiWindow {
-            avg10: mix(prev.avg10, alpha(10.0).min(1.0)),
-            avg60: mix(prev.avg60, alpha(60.0)),
-            avg300: mix(prev.avg300, alpha(300.0)),
+            avg10: mix(prev.avg10, a10),
+            avg60: mix(prev.avg60, a60),
+            avg300: mix(prev.avg300, a300),
         }
     }
 
@@ -132,6 +143,28 @@ mod tests {
         assert!((w.avg10 - 0.8).abs() < 1e-9);
         assert!((w.avg60 - 0.8).abs() < 1e-6);
         assert!((w.avg300 - 0.8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn psi_step_matches_uncached_alphas() {
+        // `step` must stay bit-identical to evaluating the EMA factors
+        // inline on every call.
+        const TICK: f64 = 30.0;
+        let alpha = |window: f64| 1.0 - (-TICK / window).exp();
+        let mix = |old: f64, a: f64, instant: f64| old + a * (instant - old);
+        let mut w = PsiWindow::ZERO;
+        for i in 0..50 {
+            let instant = (i as f64 * 0.37).sin().abs();
+            let expect = PsiWindow {
+                avg10: mix(w.avg10, alpha(10.0).min(1.0), instant),
+                avg60: mix(w.avg60, alpha(60.0), instant),
+                avg300: mix(w.avg300, alpha(300.0), instant),
+            };
+            w = PsiWindow::step(w, instant);
+            assert_eq!(w.avg10.to_bits(), expect.avg10.to_bits());
+            assert_eq!(w.avg60.to_bits(), expect.avg60.to_bits());
+            assert_eq!(w.avg300.to_bits(), expect.avg300.to_bits());
+        }
     }
 
     #[test]
