@@ -243,6 +243,20 @@ pub fn generate_plan(cfg: &ChaosConfig) -> Vec<FaultEvent> {
     events
 }
 
+/// Routes a canonical fault plan to the shards of a
+/// [`ShardLayout`](optum_types::ShardLayout): each shard receives the
+/// subsequence of events targeting nodes it owns, preserving the
+/// global [`FaultEvent::order_key`] order within every shard. The
+/// concatenation of the routed plans is a permutation of the input;
+/// routing a single-shard layout is the identity.
+pub fn route_plan(layout: &optum_types::ShardLayout, plan: &[FaultEvent]) -> Vec<Vec<FaultEvent>> {
+    let mut routed: Vec<Vec<FaultEvent>> = vec![Vec::new(); layout.shard_count()];
+    for ev in plan {
+        routed[layout.shard_of(ev.node)].push(*ev);
+    }
+    routed
+}
+
 /// Rounds an exponential draw up to a whole positive tick gap.
 fn tick_gap(draw: f64) -> u64 {
     if !draw.is_finite() {
@@ -257,6 +271,31 @@ mod tests {
 
     fn busy() -> ChaosConfig {
         ChaosConfig::from_mtbf_days(24, 2880 * 2, 7, 0.5)
+    }
+
+    #[test]
+    fn route_plan_partitions_in_order() {
+        let plan = generate_plan(&busy());
+        assert!(!plan.is_empty());
+        let layout = optum_types::ShardLayout::contiguous(24, 4);
+        let routed = route_plan(&layout, &plan);
+        assert_eq!(routed.len(), layout.shard_count());
+        // Each shard only sees its own nodes, in global order.
+        for (s, events) in routed.iter().enumerate() {
+            for ev in events {
+                assert_eq!(layout.shard_of(ev.node), s);
+            }
+            assert!(events
+                .windows(2)
+                .all(|w| w[0].order_key() <= w[1].order_key()));
+        }
+        // Concatenation is a permutation of the input.
+        let total: usize = routed.iter().map(Vec::len).sum();
+        assert_eq!(total, plan.len());
+        // Single-shard routing is the identity.
+        let single = route_plan(&optum_types::ShardLayout::single(24), &plan);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0], plan);
     }
 
     #[test]

@@ -12,10 +12,15 @@
 use std::path::Path;
 
 use optum_experiments::output::head_lines;
-use optum_experiments::{churn, degrade, endtoend, overload, ExpConfig, Runner};
+use optum_experiments::{churn, degrade, endtoend, overload, scalebench, ExpConfig, Runner};
 
 /// Lines snapshotted per figure.
 const GOLDEN_LINES: usize = 20;
+
+/// Lines snapshotted for the `scale` figure: covers the outcome and
+/// per-class panels exactly, excluding the measured performance panel
+/// (wall time and RSS are machine-dependent).
+const SCALE_GOLDEN_LINES: usize = 15;
 
 /// Reduced MTBF grid for the churn golden: one healthy arm, one
 /// stormy arm (the full 4-arm grid is too slow for a unit test; the
@@ -64,5 +69,12 @@ fn main() {
         .render();
     let path = dir.join("overload_fast_head.tsv");
     std::fs::write(&path, head_lines(&overload, GOLDEN_LINES)).expect("write overload golden");
+    eprintln!("wrote {}", path.display());
+
+    let scale = scalebench::scale_with_threads(&ExpConfig::fast(), 1)
+        .expect("scale")
+        .render();
+    let path = dir.join("scale_fast_head.tsv");
+    std::fs::write(&path, head_lines(&scale, SCALE_GOLDEN_LINES)).expect("write scale golden");
     eprintln!("wrote {}", path.display());
 }

@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! repro <figure-id>... [--fast] [--hosts N] [--days D] [--seed S] [--threads T]
-//!                      [--trace-summary] [--bench-dir DIR] [--no-bench]
+//!                      [--shards N] [--trace-summary] [--bench-dir DIR] [--no-bench]
 //!                      [--checkpoint-every N] [--checkpoint-path FILE] [--resume FILE]
 //!                      [--queue-cap N]
 //! repro all [--fast]
 //! ```
+//!
+//! `--shards N` narrows the `scale` experiment's shard grid to one arm
+//! and records the N-shard layout in legacy-figure checkpoints (a
+//! resume under a different `--shards` is rejected with an error
+//! naming both layouts).
 //!
 //! `--queue-cap N` restricts the `overload` experiment to a single
 //! queue-cap arm (`0` = unbounded) instead of its default cap grid;
@@ -35,12 +40,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T] [--trace-summary] [--bench-dir DIR] [--no-bench] [--checkpoint-every N] [--checkpoint-path FILE] [--resume FILE] [--queue-cap N]"
+            "usage: repro <figure-id>|all [--fast] [--hosts N] [--days D] [--seed S] [--threads T] [--shards N] [--trace-summary] [--bench-dir DIR] [--no-bench] [--checkpoint-every N] [--checkpoint-path FILE] [--resume FILE] [--queue-cap N]"
         );
         eprintln!(
             "       repro bench-check [figure-id...] [--fast] [--baselines DIR] [--report FILE] [--tolerance-pct N] [--retries N]"
         );
-        eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn + degrade + overload");
+        eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn + degrade + overload + scale");
         std::process::exit(2);
     }
     let mut config = ExpConfig::standard();
@@ -76,6 +81,7 @@ fn main() {
             "--fast" => {
                 config = ExpConfig {
                     seed: config.seed,
+                    shards: config.shards,
                     ..ExpConfig::fast()
                 }
             }
@@ -114,6 +120,11 @@ fn main() {
                 i += 1;
                 config.seed = args[i].parse().expect("--seed takes a number");
             }
+            "--shards" => {
+                i += 1;
+                let s: usize = args[i].parse().expect("--shards takes a count");
+                config.shards = Some(s);
+            }
             "--threads" => {
                 i += 1;
                 let t: usize = args[i].parse().expect("--threads takes a number");
@@ -144,6 +155,13 @@ fn main() {
                 eprintln!("# wrote {}", gate.report.display());
                 if verdicts.iter().all(benchcheck::FigureVerdict::pass) {
                     return;
+                }
+                // Missing baselines are actionable setup work, not a
+                // perf regression: distinct exit code so CI can tell
+                // "commit a baseline" apart from "you made it slower".
+                if verdicts.iter().all(|v| v.pass() || v.missing) {
+                    eprintln!("# bench-check: baselines missing (exit 3); see report");
+                    std::process::exit(3);
                 }
                 std::process::exit(1);
             }

@@ -27,6 +27,7 @@ pub mod overload;
 pub mod predictors_eval;
 pub mod profiling_eval;
 pub mod runner;
+pub mod scalebench;
 pub mod snapshot;
 pub mod sweep;
 
@@ -77,8 +78,9 @@ pub fn run_figure_with(
         "degrade" => degrade::degrade(runner),
         "overload" => overload::overload(runner),
         "fig22" => overhead::fig22(config),
+        "scale" => scalebench::scale(config),
         other => Err(optum_types::Error::InvalidConfig(format!(
-            "unknown figure id '{other}'; known: {:?} + fig22 + churn + degrade + overload",
+            "unknown figure id '{other}'; known: {:?} + fig22 + churn + degrade + overload + scale",
             ALL_FIGURES
         ))),
     }
@@ -93,6 +95,7 @@ mod tests {
             hosts: 20,
             days: 1,
             seed: 3,
+            shards: None,
         }
     }
 

@@ -18,6 +18,10 @@ pub struct ExpConfig {
     pub days: u64,
     /// Master seed.
     pub seed: u64,
+    /// Shard count override (`None` = single shard). Legacy figures
+    /// record the layout in their checkpoints (v3 headers); the
+    /// `scale` experiment narrows its shard grid to this value.
+    pub shards: Option<usize>,
 }
 
 impl ExpConfig {
@@ -29,6 +33,7 @@ impl ExpConfig {
             hosts: 200,
             days: 8,
             seed: 42,
+            shards: None,
         }
     }
 
@@ -38,6 +43,7 @@ impl ExpConfig {
             hosts: 60,
             days: 2,
             seed: 42,
+            shards: None,
         }
     }
 
@@ -112,9 +118,18 @@ impl Runner {
         self.threads
     }
 
-    /// Base simulation configuration at this scale.
+    /// Base simulation configuration at this scale. Records the shard
+    /// layout when `--shards` was given, so checkpoints carry it and a
+    /// resume under a different layout is rejected.
     pub fn sim_config(&self) -> SimConfig {
-        SimConfig::new(self.config.hosts)
+        let mut cfg = SimConfig::new(self.config.hosts);
+        if let Some(shards) = self.config.shards {
+            cfg.shard_layout = Some(optum_types::ShardLayout::contiguous(
+                self.config.hosts,
+                shards,
+            ));
+        }
+        cfg
     }
 
     /// The reference run: AlibabaLike over the full window with rank

@@ -1,0 +1,248 @@
+//! `repro scale`: the warehouse-scale sweep over the sharded engine.
+//!
+//! Sweeps fleet size × shard count over the scale workload
+//! ([`optum_trace::generate_scale`]) on the sharded engine
+//! ([`optum_shard::ScaleEngine`]) and reports, per arm:
+//!
+//! * **Outcome panels** — placements, completions, shed counts, the
+//!   per-class admission ledger, and the run digest. These are
+//!   *identical down to the digest* across shard counts and thread
+//!   counts; the golden test pins them.
+//! * **A performance panel** — wall time, ticks/sec, pods/sec and peak
+//!   RSS. This panel is measurement, not physics: it is emitted last
+//!   so the golden head never covers it, and the committed
+//!   `BENCH_scale.json` baseline gates wall-time regressions instead.
+//!
+//! The standard grid is {6k, 25k, 100k} hosts × shards {1, 4, 16} over
+//! a one-day window; `--fast` shrinks it to {256, 1024} hosts ×
+//! shards {1, 4}, and `--shards N` narrows either grid to one shard
+//! arm. Peak RSS is a process high-water mark, so arms run smallest to
+//! largest and each row reports the high water *after* that arm.
+
+use std::time::Instant;
+
+use optum_shard::{ScaleEngine, ScaleResult, ScaleSimConfig};
+use optum_trace::{generate_scale, ScaleWorkloadConfig};
+use optum_types::{Result, SloClass, TICKS_PER_DAY};
+
+use crate::output::{Figure, Panel};
+use crate::runner::ExpConfig;
+
+/// Window length of every scale arm, in days. Fixed (rather than
+/// `--days`) so arms stay comparable across invocations.
+pub const SCALE_DAYS: u64 = 1;
+
+/// One measured arm of the sweep.
+struct Arm {
+    hosts: usize,
+    shards: usize,
+    pods: usize,
+    result: ScaleResult,
+    wall: f64,
+    rss_mb: f64,
+}
+
+/// Runs the sweep and assembles the figure.
+pub fn scale(config: &ExpConfig) -> Result<Figure> {
+    scale_with_threads(config, 0)
+}
+
+/// [`scale`] with an explicit worker-thread count (`0` = auto). The
+/// golden suite uses this to assert thread-count invariance without
+/// touching process-global environment.
+pub fn scale_with_threads(config: &ExpConfig, threads: usize) -> Result<Figure> {
+    let fast = config.hosts < 200;
+    let host_grid: Vec<usize> = if fast {
+        vec![256, 1024]
+    } else {
+        vec![6_000, 25_000, 100_000]
+    };
+    let shard_grid: Vec<usize> = match config.shards {
+        Some(s) => vec![s.max(1)],
+        None if fast => vec![1, 4],
+        None => vec![1, 4, 16],
+    };
+    let end_tick = SCALE_DAYS * TICKS_PER_DAY;
+    let threads = optum_parallel::resolve_threads(threads);
+
+    let mut arms: Vec<Arm> = Vec::new();
+    for &hosts in &host_grid {
+        let _gen = optum_obs::span!("scale.workload_gen");
+        let pods = generate_scale(&ScaleWorkloadConfig::sized(hosts, SCALE_DAYS, config.seed));
+        drop(_gen);
+        for &shards in &shard_grid {
+            let _arm = optum_obs::span!("scale.arm");
+            let mut sim = ScaleSimConfig::new(hosts, shards, end_tick);
+            sim.seed = config.seed;
+            sim.threads = threads;
+            let start = Instant::now();
+            let result = ScaleEngine::new(&pods, sim).run();
+            let wall = start.elapsed().as_secs_f64();
+            if !result.conservation_holds() {
+                return Err(optum_types::Error::InvalidData(format!(
+                    "scale arm hosts={hosts} shards={shards} broke pod conservation"
+                )));
+            }
+            let rss_mb = optum_obs::peak_rss_bytes()
+                .map(|b| b as f64 / (1024.0 * 1024.0))
+                .unwrap_or(0.0);
+            eprintln!(
+                "# scale arm: {hosts} hosts x {shards} shards: {} pods in {wall:.2}s \
+                 ({:.0} ticks/s), digest {:016x}",
+                pods.len(),
+                result.active_ticks as f64 / wall.max(1e-9),
+                result.digest()
+            );
+            arms.push(Arm {
+                hosts,
+                shards,
+                pods: pods.len(),
+                result,
+                wall,
+                rss_mb,
+            });
+        }
+    }
+
+    let mut fig = Figure::new(
+        "scale",
+        format!("Sharded engine sweep, {SCALE_DAYS}-day window"),
+    );
+
+    // Panel (a): deterministic outcomes — identical per host size
+    // whatever the shard count (the digest column proves it).
+    let mut outcomes = Panel::new(
+        "(a) outcomes per arm",
+        &[
+            "hosts",
+            "shards",
+            "pods",
+            "placed",
+            "completed",
+            "evicted",
+            "shed",
+            "active",
+            "skipped",
+            "digest",
+        ],
+    );
+    for a in &arms {
+        let shed: u64 = a.result.per_class.iter().map(|c| c.shed).sum();
+        outcomes.row(vec![
+            a.hosts.to_string(),
+            a.shards.to_string(),
+            a.pods.to_string(),
+            a.result.placements.to_string(),
+            a.result.completions.to_string(),
+            a.result.evictions.to_string(),
+            shed.to_string(),
+            a.result.active_ticks.to_string(),
+            a.result.skipped_ticks.to_string(),
+            format!("{:016x}", a.result.digest()),
+        ]);
+    }
+    fig.push(outcomes);
+
+    // Panel (b): per-class admission ledger of the first shard arm per
+    // host size (all shard arms are identical — pinned by (a)).
+    let mut ledger = Panel::new(
+        "(b) per-class admission (first shard arm)",
+        &[
+            "hosts",
+            "class",
+            "arrivals",
+            "admitted",
+            "shed",
+            "requeued",
+            "throttled_end",
+        ],
+    );
+    for a in &arms {
+        if a.shards != shard_grid[0] {
+            continue;
+        }
+        for (i, class) in SloClass::ALL.iter().enumerate() {
+            let c = a.result.per_class[i];
+            if c.arrivals == 0 {
+                continue;
+            }
+            ledger.row(vec![
+                a.hosts.to_string(),
+                format!("{class:?}"),
+                c.arrivals.to_string(),
+                c.admitted.to_string(),
+                c.shed.to_string(),
+                c.requeued.to_string(),
+                c.throttled_end.to_string(),
+            ]);
+        }
+    }
+    fig.push(ledger);
+
+    // Panel (c): measurement — deliberately last (see module docs).
+    let mut perf = Panel::new(
+        "(c) performance (measured; excluded from goldens)",
+        &[
+            "hosts",
+            "shards",
+            "threads",
+            "wall_s",
+            "ticks_per_s",
+            "pods_per_s",
+            "peak_rss_mb",
+        ],
+    );
+    for a in &arms {
+        perf.row(vec![
+            a.hosts.to_string(),
+            a.shards.to_string(),
+            threads.to_string(),
+            format!("{:.3}", a.wall),
+            format!("{:.1}", a.result.active_ticks as f64 / a.wall.max(1e-9)),
+            format!("{:.1}", a.pods as f64 / a.wall.max(1e-9)),
+            format!("{:.1}", a.rss_mb),
+        ]);
+    }
+    fig.push(perf);
+    Ok(fig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_grid_outcomes_are_shard_invariant() {
+        let cfg = ExpConfig {
+            hosts: 60,
+            days: 2,
+            seed: 42,
+            shards: None,
+        };
+        let fig = scale(&cfg).unwrap();
+        assert_eq!(fig.panels.len(), 3);
+        let outcomes = &fig.panels[0];
+        // Fast grid: 2 host sizes x 2 shard counts.
+        assert_eq!(outcomes.rows.len(), 4);
+        // Same hosts => same digest, whatever the shard count.
+        for pair in outcomes.rows.chunks(2) {
+            assert_eq!(pair[0][0], pair[1][0], "rows grouped by host size");
+            assert_ne!(pair[0][1], pair[1][1], "different shard arms");
+            assert_eq!(pair[0][9], pair[1][9], "digest must be shard-invariant");
+        }
+    }
+
+    #[test]
+    fn shards_flag_narrows_the_grid() {
+        let cfg = ExpConfig {
+            hosts: 60,
+            days: 2,
+            seed: 7,
+            shards: Some(4),
+        };
+        let fig = scale(&cfg).unwrap();
+        let outcomes = &fig.panels[0];
+        assert_eq!(outcomes.rows.len(), 2);
+        assert!(outcomes.rows.iter().all(|r| r[1] == "4"));
+    }
+}

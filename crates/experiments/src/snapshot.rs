@@ -158,6 +158,7 @@ mod tests {
             hosts: 20,
             days: 1,
             seed: 3,
+            shards: None,
         }
     }
 

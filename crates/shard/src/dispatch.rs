@@ -1,0 +1,84 @@
+//! Shard-count dispatch for the legacy full-physics experiments.
+//!
+//! The paper's figures run the legacy `optum-sim` engine: full
+//! performance physics (interference, PSI, predictors) over thousands
+//! of hosts. Sharding that engine would change nothing for those
+//! figures — they fit one shard — so the dispatcher keeps the contract
+//! explicit instead of pretending:
+//!
+//! * `shards <= 1`: delegate to [`optum_sim::run`] with the single
+//!   shard layout *recorded in the config* (and therefore in any v3
+//!   checkpoint), byte-identical to a plain `optum_sim::run` call.
+//! * `shards > 1`: refuse with a clear error. Partitioned execution is
+//!   the scale engine's domain ([`crate::ScaleEngine`], used by the
+//!   `repro scale` experiment); the legacy physics stack is not
+//!   partition-safe and silently accepting `--shards 4` for a legacy
+//!   figure would imply a determinism guarantee nobody checks.
+
+use optum_sim::{Scheduler, SimConfig, SimResult};
+use optum_trace::Workload;
+use optum_types::{Error, Result, ShardLayout};
+
+/// Runs a legacy workload under `shards` shards (see module docs).
+pub fn run_legacy<S: Scheduler>(
+    workload: &Workload,
+    scheduler: S,
+    mut config: SimConfig,
+    shards: usize,
+) -> Result<SimResult> {
+    if shards > 1 {
+        return Err(Error::InvalidConfig(format!(
+            "legacy figures run single-shard; --shards {shards} is only \
+             valid for the scale engine (`repro scale`)"
+        )));
+    }
+    config.shard_layout = Some(ShardLayout::single(config.cluster.node_count));
+    optum_sim::run(workload, scheduler, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optum_sim::{ClusterView, Decision};
+    use optum_trace::WorkloadConfig;
+    use optum_types::{DelayCause, PodSpec};
+
+    struct FirstFit;
+
+    impl Scheduler for FirstFit {
+        fn name(&self) -> String {
+            "first-fit".into()
+        }
+
+        fn select_node(&mut self, pod: &PodSpec, view: &ClusterView<'_>) -> Decision {
+            for node in view.nodes {
+                if node.is_schedulable() && pod.request.fits_within(&node.free_by_request()) {
+                    return Decision::Place(node.spec.id);
+                }
+            }
+            Decision::Unplaceable(DelayCause::CpuAndMemory)
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_the_plain_engine() {
+        let workload = optum_trace::generate(&WorkloadConfig::small(17)).unwrap();
+        let plain = optum_sim::run(&workload, FirstFit, SimConfig::new(40)).unwrap();
+        let dispatched = run_legacy(&workload, FirstFit, SimConfig::new(40), 1).unwrap();
+        assert_eq!(plain.outcomes, dispatched.outcomes);
+        assert_eq!(plain.cluster_series, dispatched.cluster_series);
+        assert_eq!(plain.end_tick, dispatched.end_tick);
+    }
+
+    #[test]
+    fn multi_shard_legacy_runs_are_refused() {
+        let workload = optum_trace::generate(&WorkloadConfig::small(17)).unwrap();
+        let err = match run_legacy(&workload, FirstFit, SimConfig::new(40), 4) {
+            Err(e) => e,
+            Ok(_) => panic!("multi-shard legacy run must be refused"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("--shards 4"), "got: {msg}");
+        assert!(msg.contains("repro scale"), "got: {msg}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-shard scheduling state: candidate scoring against the SoA node
+//! table.
+//!
+//! Mirrors the shape of neon's `storage_controller` `ScheduleContext`:
+//! a typed score computed per candidate node from the shard-local
+//! state, with an explicit fit predicate (usage, memory guard,
+//! over-commit request budgets) and a total order for tie-breaking.
+//! The engine draws each pod's candidate set globally (power-of-k
+//! choices over `(seed, pod, tick)`), every shard scores the
+//! candidates it owns, and the exchange takes the global minimum — so
+//! the chosen node is identical whatever the shard count.
+
+use crate::soa::NodeTable;
+
+/// Scoring and admission parameters shared by every shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreParams {
+    /// Memory admission guard: post-placement memory *usage* must stay
+    /// under `mem_guard × capacity` (memory overload is unrecoverable,
+    /// mirroring the legacy engine's guard).
+    pub mem_guard: f64,
+    /// CPU request over-commit budget (multiples of capacity).
+    pub cpu_budget: f64,
+    /// Memory request over-commit budget.
+    pub mem_budget: f64,
+}
+
+impl Default for ScoreParams {
+    fn default() -> ScoreParams {
+        ScoreParams {
+            mem_guard: 0.95,
+            cpu_budget: 3.0,
+            mem_budget: 1.25,
+        }
+    }
+}
+
+/// A pod's resource footprint, as seen by the scorer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PodFootprint {
+    /// CPU request.
+    pub cpu_req: f64,
+    /// Memory request.
+    pub mem_req: f64,
+    /// Mean CPU usage.
+    pub cpu_use: f64,
+    /// Mean memory usage.
+    pub mem_use: f64,
+}
+
+/// Scores one candidate node for one pod: `None` when the pod does not
+/// fit, otherwise the post-placement peak utilization (lower is
+/// better — least-loaded alignment). The score is a pure function of
+/// the node's state and the footprint, so every shard computes the
+/// same value for the same node.
+pub fn score_candidate(
+    nodes: &NodeTable,
+    local: usize,
+    pod: &PodFootprint,
+    p: &ScoreParams,
+) -> Option<f64> {
+    if !nodes.is_schedulable(local) {
+        return None;
+    }
+    let cpu_cap = nodes.cpu_cap[local];
+    let mem_cap = nodes.mem_cap[local];
+    let cpu_after = nodes.cpu_used[local] + pod.cpu_use;
+    let mem_after = nodes.mem_used[local] + pod.mem_use;
+    if cpu_after > cpu_cap || mem_after > mem_cap * p.mem_guard {
+        return None;
+    }
+    if nodes.cpu_committed[local] + pod.cpu_req > cpu_cap * p.cpu_budget
+        || nodes.mem_committed[local] + pod.mem_req > mem_cap * p.mem_budget
+    {
+        return None;
+    }
+    let cpu_util = cpu_after / cpu_cap;
+    let mem_util = mem_after / mem_cap;
+    Some(cpu_util.max(mem_util))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soa::{Resident, STATE_DOWN};
+
+    fn pod(amt: f64) -> PodFootprint {
+        PodFootprint {
+            cpu_req: amt,
+            mem_req: amt,
+            cpu_use: amt / 2.0,
+            mem_use: amt / 2.0,
+        }
+    }
+
+    #[test]
+    fn empty_node_scores_its_post_utilization() {
+        let t = NodeTable::new(0, 4);
+        let s = score_candidate(&t, 0, &pod(0.2), &ScoreParams::default()).unwrap();
+        assert!((s - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loaded_node_scores_worse() {
+        let mut t = NodeTable::new(0, 4);
+        t.add_pod(
+            1,
+            Resident {
+                pod: 0,
+                cpu_use: 0.5,
+                mem_use: 0.1,
+                cpu_req: 0.6,
+                mem_req: 0.2,
+                end: 10,
+            },
+        );
+        let p = ScoreParams::default();
+        let empty = score_candidate(&t, 0, &pod(0.2), &p).unwrap();
+        let loaded = score_candidate(&t, 1, &pod(0.2), &p).unwrap();
+        assert!(loaded > empty);
+    }
+
+    #[test]
+    fn unfit_and_down_nodes_decline() {
+        let mut t = NodeTable::new(0, 4);
+        let p = ScoreParams::default();
+        // Usage overflow.
+        assert!(score_candidate(&t, 0, &pod(2.5), &p).is_none());
+        // Down node.
+        t.set_state(2, STATE_DOWN);
+        assert!(score_candidate(&t, 2, &pod(0.1), &p).is_none());
+        // Request budget exhausted.
+        for i in 0..40 {
+            t.add_pod(
+                3,
+                Resident {
+                    pod: i,
+                    cpu_use: 0.001,
+                    mem_use: 0.001,
+                    cpu_req: 0.08,
+                    mem_req: 0.001,
+                    end: 10,
+                },
+            );
+        }
+        assert!(score_candidate(&t, 3, &pod(0.1), &p).is_none());
+    }
+}

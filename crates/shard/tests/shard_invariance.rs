@@ -1,0 +1,99 @@
+//! Property tests for the sharded engine's two load-bearing
+//! guarantees:
+//!
+//! 1. **Shard-count invariance** — for any seed, the run over N shards
+//!    (at any thread count) is byte-identical to the 1-shard run:
+//!    every per-pod outcome, every per-class ledger cell, and every
+//!    bit of the floating-point cluster series.
+//! 2. **Pod conservation** — per class, aggregated across shards,
+//!    `admitted + shed + throttled_end == arrivals` for any
+//!    (seed, shard count, queue cap).
+
+use proptest::prelude::*;
+
+use optum_shard::{ScaleEngine, ScaleResult, ScaleSimConfig};
+use optum_trace::{generate_scale, ScalePod, ScaleWorkloadConfig};
+
+const HOSTS: usize = 120;
+const WINDOW: u64 = 720; // quarter day keeps each case fast
+
+fn population(seed: u64) -> Vec<ScalePod> {
+    let mut cfg = ScaleWorkloadConfig::sized(HOSTS, 1, seed);
+    // Densify so queue caps actually bite at this small scale.
+    cfg.pods_per_100_per_day *= 4.0;
+    generate_scale(&cfg)
+}
+
+fn run(
+    pods: &[ScalePod],
+    seed: u64,
+    shards: usize,
+    threads: usize,
+    cap: Option<usize>,
+) -> ScaleResult {
+    let mut cfg = ScaleSimConfig::new(HOSTS, shards, WINDOW);
+    cfg.seed = seed;
+    cfg.threads = threads;
+    cfg.queue_cap = cap;
+    ScaleEngine::new(pods, cfg).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// 1 vs N shards: byte-identical outcomes and cluster series, at
+    /// serial and parallel thread counts.
+    #[test]
+    fn shard_count_invariance(seed in 0u64..1000, shards in 2usize..9) {
+        let pods = population(seed);
+        let base = run(&pods, seed, 1, 1, None);
+        for threads in [1usize, 4] {
+            let sharded = run(&pods, seed, shards, threads, None);
+            prop_assert_eq!(&sharded.outcomes, &base.outcomes);
+            prop_assert_eq!(&sharded.per_class, &base.per_class);
+            prop_assert_eq!(sharded.placements, base.placements);
+            prop_assert_eq!(sharded.active_ticks, base.active_ticks);
+            prop_assert_eq!(sharded.series.len(), base.series.len());
+            for (a, b) in sharded.series.iter().zip(&base.series) {
+                prop_assert_eq!(a.tick, b.tick);
+                prop_assert_eq!(a.cpu_util.to_bits(), b.cpu_util.to_bits());
+                prop_assert_eq!(a.mem_util.to_bits(), b.mem_util.to_bits());
+                prop_assert_eq!(a.pending, b.pending);
+                prop_assert_eq!(a.running, b.running);
+            }
+            prop_assert_eq!(sharded.digest(), base.digest());
+        }
+    }
+
+    /// Per-class conservation under random (seed, shards, cap):
+    /// every arrival is admitted, shed, or still throttled at the end
+    /// — never double-counted, never lost.
+    #[test]
+    fn pod_conservation(
+        seed in 0u64..1000,
+        shards in 1usize..9,
+        cap in proptest::option::of(0usize..40),
+    ) {
+        let pods = population(seed);
+        let r = run(&pods, seed, shards, 1, cap);
+        // Only pods arriving inside the window reach admission.
+        let in_window = pods.iter().filter(|p| p.arrival < WINDOW).count() as u64;
+        let total_arrivals: u64 = r.per_class.iter().map(|c| c.arrivals).sum();
+        prop_assert_eq!(total_arrivals, in_window);
+        for (i, c) in r.per_class.iter().enumerate() {
+            prop_assert_eq!(
+                c.admitted + c.shed + c.throttled_end,
+                c.arrivals,
+                "class index {} violated conservation: {:?}",
+                i,
+                c
+            );
+        }
+        // Outcome-level cross-check: shed pods and placed pods are
+        // disjoint, and both stay within the population.
+        let shed_marked = r.outcomes.iter().filter(|o| o.shed_at != optum_shard::engine::NEVER).count() as u64;
+        let total_shed: u64 = r.per_class.iter().map(|c| c.shed).sum();
+        prop_assert_eq!(shed_marked, total_shed);
+        prop_assert!(r.completions <= r.placements);
+    }
+}

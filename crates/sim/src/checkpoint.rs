@@ -29,7 +29,11 @@ pub const SNAP_MAGIC: [u8; 8] = *b"OPTSNP\x00\x01";
 /// Current snapshot format version. Bumped on any layout change; old
 /// versions are rejected (snapshots are short-lived restart artifacts,
 /// not archives, so no migration path is kept).
-pub const SNAP_VERSION: u64 = 2;
+///
+/// v3 added the shard layout (shard count + host-range map) to the
+/// header, directly after the workload fingerprint: a run checkpointed
+/// under one `--shards` value must not silently resume under another.
+pub const SNAP_VERSION: u64 = 3;
 
 /// FNV-1a over a byte stream (the trailer checksum).
 pub fn fnv1a(bytes: &[u8]) -> u64 {

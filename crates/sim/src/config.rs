@@ -90,6 +90,13 @@ pub struct SimConfig {
     pub checkpoint_every: Option<u64>,
     /// Snapshot file, atomically replaced at every checkpoint.
     pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Shard layout the run executes under (`--shards`). The legacy
+    /// single-engine simulator does not partition its state, but the
+    /// layout is still recorded in every checkpoint (snapshot format
+    /// v3+) so a run checkpointed under one `--shards` value cannot
+    /// silently resume under another. `None` means the single-shard
+    /// layout [`optum_types::ShardLayout::single`].
+    pub shard_layout: Option<optum_types::ShardLayout>,
 }
 
 impl SimConfig {
@@ -116,7 +123,16 @@ impl SimConfig {
             decision_cost_budget: None,
             checkpoint_every: None,
             checkpoint_path: None,
+            shard_layout: None,
         }
+    }
+
+    /// The effective shard layout: the configured one, or the
+    /// degenerate single-shard layout over the cluster.
+    pub fn effective_shard_layout(&self) -> optum_types::ShardLayout {
+        self.shard_layout
+            .clone()
+            .unwrap_or_else(|| optum_types::ShardLayout::single(self.cluster.node_count))
     }
 }
 

@@ -1579,6 +1579,15 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         w.put_u64(SNAP_VERSION);
         w.put_u64(self.config_fingerprint());
         w.put_u64(self.workload_fingerprint());
+        // Shard layout (v3+): shard count, fleet size, then each
+        // half-open host range. Restore refuses a layout mismatch.
+        let layout = self.config.effective_shard_layout();
+        w.put_u64(layout.ranges.len() as u64);
+        w.put_u64(layout.hosts as u64);
+        for &(a, b) in &layout.ranges {
+            w.put_u64(a as u64);
+            w.put_u64(b as u64);
+        }
         w.put_u64(t.0);
         w.put_str(&self.scheduler.name());
         w.put_bytes(&sched_state);
@@ -1735,6 +1744,28 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             return Err(Error::InvalidData(
                 "snapshot was taken over a different workload".into(),
             ));
+        }
+        let shard_count = r.get_len()?;
+        let snap_hosts = r.get_u64()? as usize;
+        let mut snap_ranges = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let a = r.get_u64()?;
+            let b = r.get_u64()?;
+            snap_ranges.push((a as u32, b as u32));
+        }
+        let snap_layout = optum_types::ShardLayout {
+            hosts: snap_hosts,
+            ranges: snap_ranges,
+        };
+        let layout = self.config.effective_shard_layout();
+        if snap_layout != layout {
+            return Err(Error::InvalidData(format!(
+                "snapshot was taken under shard layout {} but this run is \
+                 configured for {}; resume with the original --shards value \
+                 (or re-run from scratch under the new layout)",
+                snap_layout.describe(),
+                layout.describe()
+            )));
         }
         let t = Tick(r.get_u64()?);
         if t >= self.end_tick {

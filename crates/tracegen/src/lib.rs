@@ -28,12 +28,14 @@ pub mod arrivals;
 pub mod config;
 pub mod physics;
 pub mod population;
+pub mod scale;
 pub mod storm;
 pub mod workload;
 
 pub use config::WorkloadConfig;
 pub use physics::{affinity_allows, hash_noise};
 pub use population::{AppKind, AppProfile, BeParams, LsParams, PsiShape, TickTerms};
+pub use scale::{generate_scale, ScalePod, ScaleWorkloadConfig, SCALE_CHANNEL};
 pub use storm::{apply_storm, ClassMix, StormConfig, StormWindow, STORM_CHANNEL};
 pub use workload::{generate, GeneratedPod, Workload};
 

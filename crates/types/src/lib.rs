@@ -20,6 +20,7 @@ pub mod pod;
 pub mod resources;
 pub mod rng;
 pub mod samples;
+pub mod shard;
 pub mod slo;
 pub mod time;
 
@@ -32,5 +33,6 @@ pub use pod::{DelayCause, Placement, PodPhase, PodSpec};
 pub use resources::{ResourceKind, Resources};
 pub use rng::SplitMix64;
 pub use samples::{NodeSample, PodSample, PsiWindow};
+pub use shard::{ShardLayout, SLAB_NODES};
 pub use slo::SloClass;
 pub use time::{Tick, TICKS_PER_DAY, TICKS_PER_HOUR, TICKS_PER_MINUTE, TICK_SECONDS};

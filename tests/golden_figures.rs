@@ -19,16 +19,22 @@
 //! and justify the diff in the PR.
 
 use optum_platform::experiments::output::head_lines;
-use optum_platform::experiments::{churn, degrade, endtoend, overload, ExpConfig, Runner};
+use optum_platform::experiments::{
+    churn, degrade, endtoend, overload, scalebench, ExpConfig, Runner,
+};
 use optum_platform::types::SloClass;
 
 const FIG19_GOLDEN: &str = include_str!("golden/fig19_fast_head.tsv");
 const CHURN_GOLDEN: &str = include_str!("golden/churn_fast_head.tsv");
 const DEGRADE_GOLDEN: &str = include_str!("golden/degrade_fast_head.tsv");
 const OVERLOAD_GOLDEN: &str = include_str!("golden/overload_fast_head.tsv");
+const SCALE_GOLDEN: &str = include_str!("golden/scale_fast_head.tsv");
 
 /// Must match `gen_golden.rs`.
 const GOLDEN_LINES: usize = 20;
+/// Must match `gen_golden.rs`: the scale head covers the outcome and
+/// per-class panels, excluding the measured performance panel.
+const SCALE_GOLDEN_LINES: usize = 15;
 /// Must match `gen_golden.rs`: one healthy arm, one stormy arm.
 const CHURN_GRID: [f64; 2] = [f64::INFINITY, 0.5];
 /// Must match `gen_golden.rs`: the fig19 anchor arm plus one lossy
@@ -222,6 +228,26 @@ fn overload_storm_sheds_in_class_order_and_protects_lsr_tail() {
             p99_storm <= (2.0 * p99_calm).max(120.0),
             "{}: LSR p99 wait exploded under protection ({p99_storm:.1} ticks vs {p99_calm:.1} calm)",
             r.scheduler
+        );
+    }
+}
+
+/// The sharded engine's fast sweep (hosts {256, 1024} × shards
+/// {1, 4}) must match the golden head byte for byte at worker-thread
+/// counts 1 and 4. The head covers the outcome and per-class panels —
+/// including the per-arm digest column, so this pins "shards and
+/// threads are invisible in the physics" as a CI fact.
+#[test]
+fn scale_fast_matches_golden_at_each_thread_count() {
+    for threads in THREAD_COUNTS {
+        let rendered = scalebench::scale_with_threads(&ExpConfig::fast(), threads)
+            .expect("scale")
+            .render();
+        assert_eq!(
+            head_lines(&rendered, SCALE_GOLDEN_LINES),
+            SCALE_GOLDEN,
+            "scale drifted from tests/golden/scale_fast_head.tsv at threads={threads} \
+             (if intentional, regenerate with the gen_golden example)"
         );
     }
 }

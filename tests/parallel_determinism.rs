@@ -14,6 +14,7 @@ fn tiny() -> ExpConfig {
         hosts: 20,
         days: 1,
         seed: 3,
+        shards: None,
     }
 }
 
