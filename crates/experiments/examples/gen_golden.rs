@@ -12,7 +12,7 @@
 use std::path::Path;
 
 use optum_experiments::output::head_lines;
-use optum_experiments::{churn, degrade, endtoend, overload, scalebench, ExpConfig, Runner};
+use optum_experiments::{churn, degrade, endtoend, overload, scalebench, serve, ExpConfig, Runner};
 
 /// Lines snapshotted per figure.
 const GOLDEN_LINES: usize = 20;
@@ -21,6 +21,12 @@ const GOLDEN_LINES: usize = 20;
 /// per-class panels exactly, excluding the measured performance panel
 /// (wall time and RSS are machine-dependent).
 const SCALE_GOLDEN_LINES: usize = 15;
+
+/// Lines snapshotted for the `serve` figure: covers the session
+/// outcome panel (3 arms) and the per-class latency/ledger panel
+/// (3 arms × 6 classes) exactly, excluding the measured performance
+/// panel (wall time and throughput are machine-dependent).
+const SERVE_GOLDEN_LINES: usize = 26;
 
 /// Reduced MTBF grid for the churn golden: one healthy arm, one
 /// stormy arm (the full 4-arm grid is too slow for a unit test; the
@@ -76,5 +82,10 @@ fn main() {
         .render();
     let path = dir.join("scale_fast_head.tsv");
     std::fs::write(&path, head_lines(&scale, SCALE_GOLDEN_LINES)).expect("write scale golden");
+    eprintln!("wrote {}", path.display());
+
+    let serve = serve::serve(&ExpConfig::fast()).expect("serve").render();
+    let path = dir.join("serve_fast_head.tsv");
+    std::fs::write(&path, head_lines(&serve, SERVE_GOLDEN_LINES)).expect("write serve golden");
     eprintln!("wrote {}", path.display());
 }

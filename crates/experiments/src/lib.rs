@@ -28,6 +28,7 @@ pub mod predictors_eval;
 pub mod profiling_eval;
 pub mod runner;
 pub mod scalebench;
+pub mod serve;
 pub mod snapshot;
 pub mod sweep;
 
@@ -79,8 +80,10 @@ pub fn run_figure_with(
         "overload" => overload::overload(runner),
         "fig22" => overhead::fig22(config),
         "scale" => scalebench::scale(config),
+        "serve" => serve::serve(config),
         other => Err(optum_types::Error::InvalidConfig(format!(
-            "unknown figure id '{other}'; known: {:?} + fig22 + churn + degrade + overload + scale",
+            "unknown figure id '{other}'; known: {:?} + fig22 + churn + degrade + overload + \
+             scale + serve",
             ALL_FIGURES
         ))),
     }

@@ -1,0 +1,234 @@
+//! `repro serve`: the scheduler as a long-lived service.
+//!
+//! Runs complete optumd/optumload sessions — real loopback sockets,
+//! the incremental engine behind the wire protocol — and reports, per
+//! arm:
+//!
+//! * **Outcome panels** — the deterministic end-state digest, the
+//!   denied-service rate, and the per-class submit→placed latency
+//!   tail (p50/p99/p999 in ticks) with the admission ledger. The two
+//!   rate-1 arms differ only in connection count, so their rows —
+//!   digest included — must be identical: that is the
+//!   replay-determinism claim, rendered.
+//! * **A performance panel** — wall time and wire throughput.
+//!   Measurement, not physics: emitted last so the golden head never
+//!   covers it; the committed `BENCH_serve.json` baseline gates
+//!   wall-time regressions instead.
+//!
+//! Arms: `conns=1 rate=1` (uncapped), `conns=4 rate=1` (uncapped,
+//! interleaving changed), `conns=4 rate=4 cap=1000` (a 4× arrival
+//! storm against a bounded queue — the wire-level backpressure arm).
+
+use std::time::Instant;
+
+use optum_serve::{drive, DriverConfig, ServeConfig, Server, SessionSummary};
+use optum_types::{Error, Result};
+
+use crate::output::{Figure, Panel};
+use crate::runner::ExpConfig;
+
+/// One serve arm: connection count, rate multiplier, queue cap.
+const ARMS: [(usize, f64, Option<usize>); 3] =
+    [(1, 1.0, None), (4, 1.0, None), (4, 4.0, Some(512))];
+
+/// One measured session.
+struct Arm {
+    conns: usize,
+    rate: f64,
+    queue_cap: Option<usize>,
+    summary: SessionSummary,
+    submitted: u64,
+    wall: f64,
+}
+
+/// Runs every serve arm and assembles the figure.
+pub fn serve(config: &ExpConfig) -> Result<Figure> {
+    serve_arms(config, &ARMS)
+}
+
+/// [`serve`] over an explicit arm grid (tests shrink the storm cap).
+pub fn serve_arms(config: &ExpConfig, grid: &[(usize, f64, Option<usize>)]) -> Result<Figure> {
+    let mut arms = Vec::new();
+    for &(conns, rate, queue_cap) in grid {
+        let _span = optum_obs::span!("serve.arm");
+        let session = ServeConfig {
+            hosts: config.hosts,
+            days: config.days,
+            seed: config.seed,
+            rate,
+            queue_cap,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume: false,
+            kill_at: None,
+        };
+        let server = Server::bind(session.clone(), "127.0.0.1:0")?;
+        let addr = server.local_addr().to_string();
+        let server_thread = std::thread::spawn(move || server.run());
+        let start = Instant::now();
+        let report = drive(&DriverConfig {
+            addr,
+            session,
+            conns,
+            client: "repro-serve".into(),
+        })?;
+        let wall = start.elapsed().as_secs_f64();
+        let server_summary = server_thread
+            .join()
+            .map_err(|_| Error::InvalidData("optumd session thread panicked".into()))??;
+        if server_summary != report.summary {
+            return Err(Error::InvalidData(format!(
+                "serve arm conns={conns} rate={rate}: server and driver summaries diverge"
+            )));
+        }
+        if !report.summary.ledger_holds() {
+            return Err(Error::InvalidData(format!(
+                "serve arm conns={conns} rate={rate}: admission ledger violated"
+            )));
+        }
+        eprintln!(
+            "# serve arm: conns={conns} rate={rate} cap={queue_cap:?}: {} pods in {wall:.2}s, \
+             digest {:016x}",
+            report.summary.pods, report.summary.digest
+        );
+        arms.push(Arm {
+            conns,
+            rate,
+            queue_cap,
+            summary: report.summary,
+            submitted: report.counts.submitted,
+            wall,
+        });
+    }
+
+    // The replay-determinism claim, checked before rendering: arms
+    // sharing (rate, cap) differ only in socket interleaving.
+    for (i, a) in arms.iter().enumerate() {
+        for b in &arms[i + 1..] {
+            if a.rate == b.rate && a.queue_cap == b.queue_cap && a.summary != b.summary {
+                return Err(Error::InvalidData(format!(
+                    "serve sessions at conns={} and conns={} diverged: \
+                     replay determinism broken",
+                    a.conns, b.conns
+                )));
+            }
+        }
+    }
+
+    let mut fig = Figure::new("serve", "optumd service sessions over loopback TCP");
+
+    // Panel (a): deterministic session outcomes.
+    let mut outcomes = Panel::new(
+        "(a) session outcomes per arm",
+        &[
+            "conns",
+            "rate",
+            "queue_cap",
+            "pods",
+            "placed",
+            "completed",
+            "shed",
+            "denied_rate",
+            "digest",
+        ],
+    );
+    for a in &arms {
+        let s = &a.summary;
+        outcomes.row(vec![
+            a.conns.to_string(),
+            format!("{:.0}", a.rate),
+            a.queue_cap.map_or("none".into(), |c| c.to_string()),
+            s.pods.to_string(),
+            s.placed.to_string(),
+            s.completed.to_string(),
+            s.shed.to_string(),
+            format!("{:.4}", s.denied_rate),
+            format!("{:016x}", s.digest),
+        ]);
+    }
+    fig.push(outcomes);
+
+    // Panel (b): per-class submit→placed latency and admission ledger
+    // (virtual ticks; wire wall-time never enters this panel).
+    let mut latency = Panel::new(
+        "(b) per-class submit->placed latency and ledger",
+        &[
+            "conns",
+            "rate",
+            "class",
+            "arrivals",
+            "admitted",
+            "shed",
+            "placed",
+            "p50_wait",
+            "p99_wait",
+            "p999_wait",
+        ],
+    );
+    for a in &arms {
+        for c in &a.summary.per_class {
+            if c.arrivals == 0 {
+                continue;
+            }
+            latency.row(vec![
+                a.conns.to_string(),
+                format!("{:.0}", a.rate),
+                format!("{:?}", c.slo()),
+                c.arrivals.to_string(),
+                c.admitted.to_string(),
+                c.shed.to_string(),
+                c.placed.to_string(),
+                c.p50_wait.to_string(),
+                c.p99_wait.to_string(),
+                c.p999_wait.to_string(),
+            ]);
+        }
+    }
+    fig.push(latency);
+
+    // Panel (c): measurement — deliberately last (see module docs).
+    let mut perf = Panel::new(
+        "(c) performance (measured; excluded from goldens)",
+        &["conns", "rate", "wall_s", "submits_per_s", "peak_rss_mb"],
+    );
+    for a in &arms {
+        let rss_mb = optum_obs::peak_rss_bytes()
+            .map(|b| b as f64 / (1024.0 * 1024.0))
+            .unwrap_or(0.0);
+        perf.row(vec![
+            a.conns.to_string(),
+            format!("{:.0}", a.rate),
+            format!("{:.3}", a.wall),
+            format!("{:.1}", a.submitted as f64 / a.wall.max(1e-9)),
+            format!("{:.1}", rss_mb),
+        ]);
+    }
+    fig.push(perf);
+    Ok(fig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_arms_are_connection_invariant() {
+        let cfg = ExpConfig {
+            hosts: 16,
+            days: 1,
+            seed: 11,
+            shards: None,
+        };
+        let grid = [(1, 1.0, None), (4, 1.0, None), (2, 4.0, Some(16))];
+        let fig = serve_arms(&cfg, &grid).unwrap();
+        assert_eq!(fig.panels.len(), 3);
+        let outcomes = &fig.panels[0];
+        assert_eq!(outcomes.rows.len(), 3);
+        // conns=1 and conns=4 rate-1 arms: identical everything after
+        // the conns column, digest included.
+        assert_eq!(outcomes.rows[0][2..], outcomes.rows[1][2..]);
+        // The storm arm against a tight cap must actually shed.
+        let shed: u64 = outcomes.rows[2][6].parse().unwrap();
+        assert!(shed > 0, "4x storm against cap 16 should shed");
+    }
+}

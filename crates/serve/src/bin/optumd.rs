@@ -1,0 +1,109 @@
+//! optumd: serve one deterministic scheduler session over TCP.
+//!
+//! ```text
+//! optumd [--fast] [--hosts N] [--days N] [--seed N] [--rate F]
+//!        [--queue-cap N] [--checkpoint-every N] [--checkpoint PATH]
+//!        [--resume] [--port N] [--addr-file PATH] [--kill-at T]
+//! ```
+//!
+//! Binds (port 0 by default — OS-assigned), announces the address on
+//! stderr and optionally in `--addr-file`, serves exactly one session,
+//! prints the deterministic outcome summary on stdout, and exits.
+
+use std::path::PathBuf;
+
+use optum_serve::{ServeConfig, Server, SessionSummary};
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("optumd: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> optum_types::Result<()> {
+    let mut cfg = ServeConfig::fast();
+    let mut port: u16 = 0;
+    let mut addr_file: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = |name: &str| -> optum_types::Result<String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| {
+                optum_types::Error::InvalidConfig(format!("{name} requires a value"))
+            })
+        };
+        match arg {
+            "--fast" => {} // fast is the default scale
+            "--hosts" => cfg.hosts = parse(&value("--hosts")?)?,
+            "--days" => cfg.days = parse(&value("--days")?)?,
+            "--seed" => cfg.seed = parse(&value("--seed")?)?,
+            "--rate" => cfg.rate = parse(&value("--rate")?)?,
+            "--queue-cap" => cfg.queue_cap = Some(parse(&value("--queue-cap")?)?),
+            "--checkpoint-every" => {
+                cfg.checkpoint_every = Some(parse(&value("--checkpoint-every")?)?)
+            }
+            "--checkpoint" => cfg.checkpoint_path = Some(PathBuf::from(value("--checkpoint")?)),
+            "--resume" => cfg.resume = true,
+            "--kill-at" => cfg.kill_at = Some(parse(&value("--kill-at")?)?),
+            "--port" => port = parse(&value("--port")?)?,
+            "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file")?)),
+            other => {
+                return Err(optum_types::Error::InvalidConfig(format!(
+                    "unknown flag {other}"
+                )))
+            }
+        }
+        i += 1;
+    }
+
+    let server = Server::bind(cfg, &format!("127.0.0.1:{port}"))?;
+    let addr = server.local_addr();
+    eprintln!("optumd: listening on {addr}");
+    if let Some(path) = &addr_file {
+        // Write-then-rename so a polling client never reads a partial
+        // address.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, addr.to_string())
+            .and_then(|_| std::fs::rename(&tmp, path))
+            .map_err(|e| {
+                optum_types::Error::InvalidConfig(format!("cannot write {}: {e}", path.display()))
+            })?;
+    }
+
+    let summary = server.run()?;
+    print_summary(&summary);
+    Ok(())
+}
+
+fn print_summary(s: &SessionSummary) {
+    println!("digest {:016x}", s.digest);
+    println!(
+        "session end_tick={} pods={} placed={} completed={} shed={} denied_rate={:.4}",
+        s.end_tick, s.pods, s.placed, s.completed, s.shed, s.denied_rate
+    );
+    for c in &s.per_class {
+        println!(
+            "class {:4} arrivals={} admitted={} shed={} placed={} p50={} p99={} p999={}",
+            format!("{:?}", c.slo()),
+            c.arrivals,
+            c.admitted,
+            c.shed,
+            c.placed,
+            c.p50_wait,
+            c.p99_wait,
+            c.p999_wait
+        );
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> optum_types::Result<T> {
+    s.parse()
+        .map_err(|_| optum_types::Error::InvalidConfig(format!("cannot parse {s:?}")))
+}

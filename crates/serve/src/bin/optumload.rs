@@ -1,0 +1,133 @@
+//! optumload: replay the generated trace against a live optumd.
+//!
+//! ```text
+//! optumload (--addr HOST:PORT | --addr-file PATH) [--fast]
+//!           [--hosts N] [--days N] [--seed N] [--rate F]
+//!           [--queue-cap N] [--conns N] [--wait-secs S]
+//! ```
+//!
+//! The workload flags must match the server's; the handshake rejects
+//! mismatches. `--addr-file` polls for the file optumd writes with
+//! `--addr-file`, which is how the CI smoke test avoids a port race.
+
+use std::path::PathBuf;
+
+use optum_serve::{drive, DriverConfig, DriverReport, ServeConfig};
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("optumload: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> optum_types::Result<()> {
+    let mut session = ServeConfig::fast();
+    let mut addr: Option<String> = None;
+    let mut addr_file: Option<PathBuf> = None;
+    let mut conns: usize = 1;
+    let mut wait_secs: u64 = 30;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = |name: &str| -> optum_types::Result<String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| {
+                optum_types::Error::InvalidConfig(format!("{name} requires a value"))
+            })
+        };
+        match arg {
+            "--fast" => {}
+            "--hosts" => session.hosts = parse(&value("--hosts")?)?,
+            "--days" => session.days = parse(&value("--days")?)?,
+            "--seed" => session.seed = parse(&value("--seed")?)?,
+            "--rate" => session.rate = parse(&value("--rate")?)?,
+            "--queue-cap" => session.queue_cap = Some(parse(&value("--queue-cap")?)?),
+            "--conns" => conns = parse(&value("--conns")?)?,
+            "--wait-secs" => wait_secs = parse(&value("--wait-secs")?)?,
+            "--addr" => addr = Some(value("--addr")?),
+            "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file")?)),
+            other => {
+                return Err(optum_types::Error::InvalidConfig(format!(
+                    "unknown flag {other}"
+                )))
+            }
+        }
+        i += 1;
+    }
+
+    let addr = match (addr, addr_file) {
+        (Some(a), _) => a,
+        (None, Some(path)) => poll_addr_file(&path, wait_secs)?,
+        (None, None) => {
+            return Err(optum_types::Error::InvalidConfig(
+                "need --addr or --addr-file".into(),
+            ))
+        }
+    };
+
+    let report = drive(&DriverConfig {
+        addr,
+        session,
+        conns,
+        client: "optumload".into(),
+    })?;
+    print_report(&report);
+    Ok(())
+}
+
+/// Waits for optumd to announce its address.
+fn poll_addr_file(path: &std::path::Path, wait_secs: u64) -> optum_types::Result<String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(wait_secs);
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(s) if !s.trim().is_empty() => return Ok(s.trim().to_string()),
+            _ if std::time::Instant::now() >= deadline => {
+                return Err(optum_types::Error::InvalidConfig(format!(
+                    "no server address in {} after {wait_secs}s",
+                    path.display()
+                )))
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    }
+}
+
+fn print_report(r: &DriverReport) {
+    let s = &r.summary;
+    println!("digest {:016x}", s.digest);
+    println!(
+        "session end_tick={} pods={} placed={} completed={} shed={} denied_rate={:.4}",
+        s.end_tick, s.pods, s.placed, s.completed, s.shed, s.denied_rate
+    );
+    println!(
+        "wire submitted={} queued={} shed={} dup={}",
+        r.counts.submitted, r.counts.queued, r.counts.shed, r.counts.dup
+    );
+    for c in &s.per_class {
+        println!(
+            "class {:4} arrivals={} admitted={} shed={} placed={} p50={} p99={} p999={}",
+            format!("{:?}", c.slo()),
+            c.arrivals,
+            c.admitted,
+            c.shed,
+            c.placed,
+            c.p50_wait,
+            c.p99_wait,
+            c.p999_wait
+        );
+    }
+    // Wall-clock is measurement, not state: printed last, on stderr,
+    // so deterministic stdout can be compared byte-for-byte.
+    eprintln!("wall {:.2}s", r.wall_s);
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> optum_types::Result<T> {
+    s.parse()
+        .map_err(|_| optum_types::Error::InvalidConfig(format!("cannot parse {s:?}")))
+}

@@ -1,0 +1,217 @@
+//! optumload: an open-loop load driver for optumd.
+//!
+//! The driver regenerates the same rescaled trace as the server,
+//! round-robins its pods across `conns` connections, and streams each
+//! connection's submissions *open-loop*: writes are never paced by
+//! replies (per-connection reads happen only after the `drain` is on
+//! the wire). Every connection then waits for the server's `Drained`
+//! summary; the summaries must be identical across connections, and
+//! that single [`SessionSummary`] — plus the wire-level admission
+//! counters — is the driver's report.
+//!
+//! All connections complete their handshake before any submission is
+//! sent (a barrier), so the server never sees a partially-assembled
+//! session drain early.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+
+use optum_types::{Error, Result};
+
+use crate::proto::{read_frame, send_request, FrameError, Reply, Request, PROTO_VERSION};
+use crate::server::ServeConfig;
+use crate::summary::SessionSummary;
+
+/// Configuration of one optumload run.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Server address, e.g. `127.0.0.1:7421`.
+    pub addr: String,
+    /// Session parameters; must match the server's (the handshake
+    /// rejects mismatches).
+    pub session: ServeConfig,
+    /// Client connections to spread the trace over.
+    pub conns: usize,
+    /// Client identity string sent in `hello` (diagnostics only).
+    pub client: String,
+}
+
+/// Wire-level admission counters observed by the driver, summed over
+/// all connections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireCounts {
+    /// Submissions sent.
+    pub submitted: u64,
+    /// `queued` verdicts received.
+    pub queued: u64,
+    /// `shed` verdicts received — denied service over the wire.
+    pub shed: u64,
+    /// `dup` acks (idempotent replay after a server resume).
+    pub dup: u64,
+}
+
+/// The outcome of a complete driver session.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// The server's deterministic end-state summary (identical on
+    /// every connection, asserted).
+    pub summary: SessionSummary,
+    /// Admission verdicts as observed across the wire.
+    pub counts: WireCounts,
+    /// Wall-clock duration of the session, in seconds. Measurement
+    /// only — never part of deterministic output.
+    pub wall_s: f64,
+}
+
+/// Runs one open-loop session against a live optumd.
+pub fn drive(cfg: &DriverConfig) -> Result<DriverReport> {
+    let _span = optum_obs::span!("serve.drive");
+    if cfg.conns == 0 {
+        return Err(Error::InvalidConfig(
+            "driver needs at least one connection".into(),
+        ));
+    }
+    let workload = cfg.session.workload()?;
+    // Round-robin by trace position: per-connection submission lists
+    // stay sorted by (tick, pod) because arrivals are monotone in pod
+    // position.
+    let mut plans: Vec<Vec<(u64, u32)>> = vec![Vec::new(); cfg.conns];
+    for (i, pod) in workload.pods.iter().enumerate() {
+        plans[i % cfg.conns].push((pod.spec.arrival.0, pod.spec.id.0));
+    }
+
+    let start = std::time::Instant::now();
+    let barrier = Arc::new(Barrier::new(cfg.conns));
+    let mut handles = Vec::with_capacity(cfg.conns);
+    for (i, plan) in plans.into_iter().enumerate() {
+        let addr = cfg.addr.clone();
+        let session = cfg.session.clone();
+        let client = format!("{}#{}", cfg.client, i);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            drive_conn(&addr, &session, &client, &plan, &barrier)
+        }));
+    }
+
+    let mut summary: Option<SessionSummary> = None;
+    let mut counts = WireCounts::default();
+    for handle in handles {
+        let (conn_summary, conn_counts) = handle
+            .join()
+            .map_err(|_| Error::InvalidData("driver connection thread panicked".into()))??;
+        match &summary {
+            None => summary = Some(conn_summary),
+            Some(first) => {
+                if *first != conn_summary {
+                    return Err(Error::InvalidData(
+                        "connections observed different session summaries".into(),
+                    ));
+                }
+            }
+        }
+        counts.submitted += conn_counts.submitted;
+        counts.queued += conn_counts.queued;
+        counts.shed += conn_counts.shed;
+        counts.dup += conn_counts.dup;
+    }
+    Ok(DriverReport {
+        summary: summary.expect("at least one connection"),
+        counts,
+        wall_s: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// One connection's session: hello, barrier, open-loop submit stream,
+/// drain, then count verdicts until `Drained`.
+fn drive_conn(
+    addr: &str,
+    session: &ServeConfig,
+    client: &str,
+    plan: &[(u64, u32)],
+    barrier: &Barrier,
+) -> Result<(SessionSummary, WireCounts)> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| Error::InvalidConfig(format!("cannot connect to {addr}: {e}")))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| Error::InvalidConfig(format!("cannot clone stream: {e}")))?;
+    let mut w = BufWriter::new(stream);
+    let mut r = BufReader::new(read_half);
+
+    send_io(send_request(
+        &mut w,
+        &Request::Hello {
+            client: client.to_string(),
+            seed: session.seed,
+            hosts: session.hosts as u64,
+            days: session.days,
+            rate_bits: session.rate.to_bits(),
+            queue_cap: session.queue_cap.map(|c| c as u64),
+        },
+    ))?;
+    send_io(w.flush())?;
+    match recv(&mut r)? {
+        Reply::HelloOk { proto, .. } if proto == PROTO_VERSION => {}
+        Reply::HelloOk { proto, .. } => {
+            return Err(Error::InvalidData(format!(
+                "server speaks protocol {proto}, this driver speaks {PROTO_VERSION}"
+            )))
+        }
+        Reply::Error { code, message } => {
+            return Err(Error::InvalidData(format!(
+                "handshake rejected ({code:?}): {message}"
+            )))
+        }
+        other => {
+            return Err(Error::InvalidData(format!(
+                "unexpected handshake reply: {other:?}"
+            )))
+        }
+    }
+    // No submissions before every connection is part of the session.
+    barrier.wait();
+
+    let mut counts = WireCounts::default();
+    for &(tick, pod) in plan {
+        send_io(send_request(&mut w, &Request::Submit { tick, pod }))?;
+        counts.submitted += 1;
+    }
+    send_io(send_request(&mut w, &Request::Drain))?;
+    send_io(w.flush())?;
+
+    loop {
+        match recv(&mut r)? {
+            Reply::Queued { .. } => counts.queued += 1,
+            Reply::Shed { .. } => counts.shed += 1,
+            Reply::Dup { .. } => counts.dup += 1,
+            Reply::Drained(summary) => return Ok((summary, counts)),
+            Reply::Error { code, message } => {
+                return Err(Error::InvalidData(format!(
+                    "server rejected the session ({code:?}): {message}"
+                )))
+            }
+            other => {
+                return Err(Error::InvalidData(format!(
+                    "unexpected reply mid-session: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+fn recv(r: &mut impl std::io::Read) -> Result<Reply> {
+    let payload = read_frame(r).map_err(|e| match e {
+        FrameError::CleanClose => {
+            Error::InvalidData("server closed the connection mid-session".into())
+        }
+        FrameError::Truncated => Error::InvalidData("truncated reply frame".into()),
+        FrameError::Oversized(n) => Error::InvalidData(format!("oversized reply frame ({n} B)")),
+        FrameError::Io(e) => Error::InvalidData(format!("transport error: {e}")),
+    })?;
+    Reply::decode(&payload)
+}
+
+fn send_io(r: std::io::Result<()>) -> Result<()> {
+    r.map_err(|e| Error::InvalidData(format!("transport error: {e}")))
+}

@@ -1,0 +1,537 @@
+//! The optumd wire protocol.
+//!
+//! A tiny length-prefixed binary protocol: every frame is a `u32`
+//! little-endian payload length followed by that many payload bytes.
+//! The payload is a `u64` tag followed by the message fields in
+//! [`SnapWriter`] encoding (the same fixed-width little-endian layout
+//! the checkpoint format uses, so both sides of the durability story
+//! share one codec).
+//!
+//! Robustness rules (pinned by `tests/proto_roundtrip.rs`):
+//!
+//! * a frame longer than [`MAX_FRAME`] is **drained and rejected** —
+//!   the reader consumes exactly the advertised bytes in bounded
+//!   chunks, reports [`FrameError::Oversized`], and the stream stays
+//!   framed (no desync);
+//! * EOF on a length-prefix boundary is a clean close; EOF anywhere
+//!   else is [`FrameError::Truncated`];
+//! * undecodable payloads (unknown tag, short fields, trailing bytes,
+//!   bad UTF-8) are [`FrameError::Malformed`] — an error *reply*, never
+//!   a panic and never a desync, because the frame boundary was already
+//!   consumed before decoding began.
+
+use std::io::{self, Read, Write};
+
+use optum_sim::{SnapReader, SnapWriter};
+use optum_types::Result;
+
+use crate::summary::SessionSummary;
+
+/// Protocol version spoken by this build; echoed in [`Reply::HelloOk`].
+pub const PROTO_VERSION: u64 = 1;
+
+/// Hard ceiling on a frame payload, in bytes. Nothing optumd speaks
+/// comes near this; anything larger is a corrupt or hostile peer.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Chunk size used to drain oversized frames without allocating them.
+const DRAIN_CHUNK: usize = 64 * 1024;
+
+const TAG_HELLO: u64 = 1;
+const TAG_SUBMIT: u64 = 2;
+const TAG_COMPLETE: u64 = 3;
+const TAG_STATS: u64 = 4;
+const TAG_CHECKPOINT: u64 = 5;
+const TAG_DRAIN: u64 = 6;
+
+const TAG_HELLO_OK: u64 = 64;
+const TAG_QUEUED: u64 = 65;
+const TAG_SHED: u64 = 66;
+const TAG_DUP: u64 = 67;
+const TAG_POD_STATUS: u64 = 68;
+const TAG_STATS_OK: u64 = 69;
+const TAG_CHECKPOINT_OK: u64 = 70;
+const TAG_DRAINED: u64 = 71;
+const TAG_ERROR: u64 = 72;
+
+/// Machine-readable error codes carried by [`Reply::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Frame decoded to garbage (unknown tag, short/trailing bytes,
+    /// bad UTF-8).
+    Malformed,
+    /// Frame length exceeded [`MAX_FRAME`].
+    Oversized,
+    /// First message was not `hello`, or `hello` repeated/mismatched.
+    BadHandshake,
+    /// Submission violated trace order or the virtual clock.
+    OutOfOrder,
+    /// Request not valid in the session's current state.
+    Unsupported,
+    /// Server-side failure (checkpoint I/O, engine error).
+    Internal,
+}
+
+impl ErrCode {
+    fn to_u64(self) -> u64 {
+        match self {
+            ErrCode::Malformed => 1,
+            ErrCode::Oversized => 2,
+            ErrCode::BadHandshake => 3,
+            ErrCode::OutOfOrder => 4,
+            ErrCode::Unsupported => 5,
+            ErrCode::Internal => 6,
+        }
+    }
+
+    fn from_u64(x: u64) -> Option<ErrCode> {
+        Some(match x {
+            1 => ErrCode::Malformed,
+            2 => ErrCode::Oversized,
+            3 => ErrCode::BadHandshake,
+            4 => ErrCode::OutOfOrder,
+            5 => ErrCode::Unsupported,
+            6 => ErrCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Session handshake; must be the first message on every
+    /// connection. The workload parameters let the server verify the
+    /// client generated the same trace it is serving.
+    Hello {
+        /// Free-form client identity (diagnostics only; never enters
+        /// the deterministic state).
+        client: String,
+        /// Trace seed the client generated against.
+        seed: u64,
+        /// Host count of the client's workload.
+        hosts: u64,
+        /// Trace window in days.
+        days: u64,
+        /// Arrival-rate multiplier, as IEEE-754 bits so equality is
+        /// exact on the wire.
+        rate_bits: u64,
+        /// Admission queue cap the client expects, if any.
+        queue_cap: Option<u64>,
+    },
+    /// Submit the next pod of the trace at virtual tick `tick`.
+    Submit {
+        /// Virtual tick of submission (must be ≥ the pod's rescaled
+        /// arrival tick and ≥ the engine's clock).
+        tick: u64,
+        /// Pod id (trace position).
+        pod: u32,
+    },
+    /// Query the outcome of a previously submitted pod.
+    Complete {
+        /// Pod id to query.
+        pod: u32,
+    },
+    /// Snapshot of live engine counters.
+    Stats,
+    /// Force a durability checkpoint now.
+    Checkpoint,
+    /// No more submissions from this connection; run the session to
+    /// the end of its window and return the summary.
+    Drain,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Handshake accepted.
+    HelloOk {
+        /// Server protocol version ([`PROTO_VERSION`]).
+        proto: u64,
+        /// Tick the session will resume/start stepping from.
+        resume_tick: u64,
+        /// Trace index of the next pod the engine expects.
+        next_pod: u64,
+        /// Exclusive end of the session window.
+        end_tick: u64,
+    },
+    /// Pod admitted into the pending queue at `tick`.
+    Queued { pod: u32, tick: u64 },
+    /// Pod denied service by admission control at `tick` — the
+    /// protocol-level backpressure signal.
+    Shed { pod: u32, tick: u64 },
+    /// Pod was already processed (duplicate after resume).
+    Dup { pod: u32 },
+    /// Outcome of a pod so far; absent fields are `None`.
+    PodStatus {
+        pod: u32,
+        placed_at: Option<u64>,
+        node: Option<u64>,
+        completed_at: Option<u64>,
+        shed_at: Option<u64>,
+        evictions: u64,
+    },
+    /// Live counters at `tick`.
+    StatsOk {
+        tick: u64,
+        pending: u64,
+        running: u64,
+        arrivals: u64,
+        admitted: u64,
+        shed: u64,
+    },
+    /// Checkpoint written covering state up to `tick`.
+    CheckpointOk { tick: u64 },
+    /// Session complete; the deterministic outcome panel.
+    Drained(SessionSummary),
+    /// Request rejected; the stream remains usable.
+    Error { code: ErrCode, message: String },
+}
+
+impl Request {
+    /// Encodes the request payload (tag + fields, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        match self {
+            Request::Hello {
+                client,
+                seed,
+                hosts,
+                days,
+                rate_bits,
+                queue_cap,
+            } => {
+                w.put_u64(TAG_HELLO);
+                w.put_str(client);
+                w.put_u64(*seed);
+                w.put_u64(*hosts);
+                w.put_u64(*days);
+                w.put_u64(*rate_bits);
+                w.put_opt_u64(*queue_cap);
+            }
+            Request::Submit { tick, pod } => {
+                w.put_u64(TAG_SUBMIT);
+                w.put_u64(*tick);
+                w.put_u64(*pod as u64);
+            }
+            Request::Complete { pod } => {
+                w.put_u64(TAG_COMPLETE);
+                w.put_u64(*pod as u64);
+            }
+            Request::Stats => w.put_u64(TAG_STATS),
+            Request::Checkpoint => w.put_u64(TAG_CHECKPOINT),
+            Request::Drain => w.put_u64(TAG_DRAIN),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a request payload. Rejects unknown tags and trailing
+    /// bytes so a corrupted frame cannot be half-understood.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut r = SnapReader::new(payload);
+        let req = match r.get_u64()? {
+            TAG_HELLO => Request::Hello {
+                client: r.get_str()?,
+                seed: r.get_u64()?,
+                hosts: r.get_u64()?,
+                days: r.get_u64()?,
+                rate_bits: r.get_u64()?,
+                queue_cap: r.get_opt_u64()?,
+            },
+            TAG_SUBMIT => Request::Submit {
+                tick: r.get_u64()?,
+                pod: pod_id(&mut r)?,
+            },
+            TAG_COMPLETE => Request::Complete {
+                pod: pod_id(&mut r)?,
+            },
+            TAG_STATS => Request::Stats,
+            TAG_CHECKPOINT => Request::Checkpoint,
+            TAG_DRAIN => Request::Drain,
+            tag => {
+                return Err(optum_types::Error::InvalidData(format!(
+                    "unknown request tag {tag}"
+                )))
+            }
+        };
+        finish_decode(&r)?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Encodes the reply payload (tag + fields, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        match self {
+            Reply::HelloOk {
+                proto,
+                resume_tick,
+                next_pod,
+                end_tick,
+            } => {
+                w.put_u64(TAG_HELLO_OK);
+                w.put_u64(*proto);
+                w.put_u64(*resume_tick);
+                w.put_u64(*next_pod);
+                w.put_u64(*end_tick);
+            }
+            Reply::Queued { pod, tick } => {
+                w.put_u64(TAG_QUEUED);
+                w.put_u64(*pod as u64);
+                w.put_u64(*tick);
+            }
+            Reply::Shed { pod, tick } => {
+                w.put_u64(TAG_SHED);
+                w.put_u64(*pod as u64);
+                w.put_u64(*tick);
+            }
+            Reply::Dup { pod } => {
+                w.put_u64(TAG_DUP);
+                w.put_u64(*pod as u64);
+            }
+            Reply::PodStatus {
+                pod,
+                placed_at,
+                node,
+                completed_at,
+                shed_at,
+                evictions,
+            } => {
+                w.put_u64(TAG_POD_STATUS);
+                w.put_u64(*pod as u64);
+                w.put_opt_u64(*placed_at);
+                w.put_opt_u64(*node);
+                w.put_opt_u64(*completed_at);
+                w.put_opt_u64(*shed_at);
+                w.put_u64(*evictions);
+            }
+            Reply::StatsOk {
+                tick,
+                pending,
+                running,
+                arrivals,
+                admitted,
+                shed,
+            } => {
+                w.put_u64(TAG_STATS_OK);
+                w.put_u64(*tick);
+                w.put_u64(*pending);
+                w.put_u64(*running);
+                w.put_u64(*arrivals);
+                w.put_u64(*admitted);
+                w.put_u64(*shed);
+            }
+            Reply::CheckpointOk { tick } => {
+                w.put_u64(TAG_CHECKPOINT_OK);
+                w.put_u64(*tick);
+            }
+            Reply::Drained(summary) => {
+                w.put_u64(TAG_DRAINED);
+                summary.encode(&mut w);
+            }
+            Reply::Error { code, message } => {
+                w.put_u64(TAG_ERROR);
+                w.put_u64(code.to_u64());
+                w.put_str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a reply payload with the same strictness as
+    /// [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Reply> {
+        let mut r = SnapReader::new(payload);
+        let reply = match r.get_u64()? {
+            TAG_HELLO_OK => Reply::HelloOk {
+                proto: r.get_u64()?,
+                resume_tick: r.get_u64()?,
+                next_pod: r.get_u64()?,
+                end_tick: r.get_u64()?,
+            },
+            TAG_QUEUED => Reply::Queued {
+                pod: pod_id(&mut r)?,
+                tick: r.get_u64()?,
+            },
+            TAG_SHED => Reply::Shed {
+                pod: pod_id(&mut r)?,
+                tick: r.get_u64()?,
+            },
+            TAG_DUP => Reply::Dup {
+                pod: pod_id(&mut r)?,
+            },
+            TAG_POD_STATUS => Reply::PodStatus {
+                pod: pod_id(&mut r)?,
+                placed_at: r.get_opt_u64()?,
+                node: r.get_opt_u64()?,
+                completed_at: r.get_opt_u64()?,
+                shed_at: r.get_opt_u64()?,
+                evictions: r.get_u64()?,
+            },
+            TAG_STATS_OK => Reply::StatsOk {
+                tick: r.get_u64()?,
+                pending: r.get_u64()?,
+                running: r.get_u64()?,
+                arrivals: r.get_u64()?,
+                admitted: r.get_u64()?,
+                shed: r.get_u64()?,
+            },
+            TAG_CHECKPOINT_OK => Reply::CheckpointOk { tick: r.get_u64()? },
+            TAG_DRAINED => Reply::Drained(SessionSummary::decode(&mut r)?),
+            TAG_ERROR => {
+                let code = r.get_u64()?;
+                let code = ErrCode::from_u64(code).ok_or_else(|| {
+                    optum_types::Error::InvalidData(format!("unknown error code {code}"))
+                })?;
+                Reply::Error {
+                    code,
+                    message: r.get_str()?,
+                }
+            }
+            tag => {
+                return Err(optum_types::Error::InvalidData(format!(
+                    "unknown reply tag {tag}"
+                )))
+            }
+        };
+        finish_decode(&r)?;
+        Ok(reply)
+    }
+}
+
+fn pod_id(r: &mut SnapReader<'_>) -> Result<u32> {
+    let x = r.get_u64()?;
+    u32::try_from(x)
+        .map_err(|_| optum_types::Error::InvalidData(format!("pod id {x} exceeds u32 range")))
+}
+
+fn finish_decode(r: &SnapReader<'_>) -> Result<()> {
+    if r.remaining() != 0 {
+        return Err(optum_types::Error::InvalidData(format!(
+            "{} trailing bytes after message",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
+/// How reading one frame from a peer went wrong.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Peer closed the stream on a frame boundary.
+    CleanClose,
+    /// Peer closed mid-length-prefix or mid-payload.
+    Truncated,
+    /// Declared payload length exceeded [`MAX_FRAME`]; the payload was
+    /// drained so the stream is still framed.
+    Oversized(usize),
+    /// Transport-level I/O failure.
+    Io(io::Error),
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame payload, enforcing the framing
+/// robustness rules documented at module level.
+pub fn read_frame(r: &mut impl Read) -> std::result::Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf) {
+        ReadStatus::Full => {}
+        ReadStatus::CleanEof => return Err(FrameError::CleanClose),
+        ReadStatus::PartialEof => return Err(FrameError::Truncated),
+        ReadStatus::Io(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        // Consume the advertised payload in bounded chunks so the
+        // next frame starts at the right offset, then reject.
+        let mut left = len;
+        let mut chunk = [0u8; DRAIN_CHUNK];
+        while left > 0 {
+            let take = left.min(DRAIN_CHUNK);
+            match read_exact_or_eof(r, &mut chunk[..take]) {
+                ReadStatus::Full => left -= take,
+                ReadStatus::CleanEof | ReadStatus::PartialEof => return Err(FrameError::Truncated),
+                ReadStatus::Io(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload) {
+        ReadStatus::Full => Ok(payload),
+        ReadStatus::CleanEof if len == 0 => Ok(payload),
+        ReadStatus::CleanEof | ReadStatus::PartialEof => Err(FrameError::Truncated),
+        ReadStatus::Io(e) => Err(FrameError::Io(e)),
+    }
+}
+
+enum ReadStatus {
+    Full,
+    CleanEof,
+    PartialEof,
+    Io(io::Error),
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> ReadStatus {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return ReadStatus::CleanEof,
+            Ok(0) => return ReadStatus::PartialEof,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return ReadStatus::Io(e),
+        }
+    }
+    ReadStatus::Full
+}
+
+/// Convenience: frame-encode and send a request.
+pub fn send_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    write_frame(w, &req.encode())
+}
+
+/// Convenience: frame-encode and send a reply.
+pub fn send_reply(w: &mut impl Write, reply: &Reply) -> io::Result<()> {
+    write_frame(w, &reply.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_over_cursor() {
+        let mut buf = Vec::new();
+        let req = Request::Submit { tick: 9, pod: 42 };
+        send_request(&mut buf, &req).unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        let payload = read_frame(&mut cur).unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::CleanClose)));
+    }
+
+    #[test]
+    fn oversized_frame_is_drained_not_allocated() {
+        let len = (MAX_FRAME + 3) as u32;
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend(std::iter::repeat_n(0u8, len as usize));
+        // A trailing valid frame must still parse after the drain.
+        send_request(&mut buf, &Request::Stats).unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        match read_frame(&mut cur) {
+            Err(FrameError::Oversized(n)) => assert_eq!(n, len as usize),
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        let payload = read_frame(&mut cur).unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), Request::Stats);
+    }
+}

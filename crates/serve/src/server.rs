@@ -1,0 +1,549 @@
+//! optumd: the simulation engine as a long-lived TCP service.
+//!
+//! One engine thread owns the [`Simulator`] in incremental mode and is
+//! the only writer of deterministic state. Each accepted connection
+//! gets a reader thread (frames → one central channel, so all requests
+//! serialize through a single queue) and a writer thread (replies →
+//! socket, so the engine never blocks on a slow client).
+//!
+//! # The watermark protocol
+//!
+//! The engine's virtual clock must never run ahead of a client that
+//! still has submissions for an open tick, and the final state must
+//! not depend on how the OS interleaved socket reads. Both follow from
+//! one rule: every submitting connection carries a *watermark* — the
+//! latest tick it has submitted at so far (∞ once it drains or
+//! closes) — and tick `T` is stepped only when every active
+//! connection's watermark is `> T`. At that point the inbox for `T` is
+//! complete whatever order the frames arrived in, and sorting it by
+//! pod id (trace position) makes the step input — and therefore the
+//! entire session — a pure function of (seed, rate, submissions).
+//!
+//! Virtual-clock vs wall-clock: submissions carry virtual ticks and
+//! all deterministic outputs (digest, summary, replies) are functions
+//! of virtual time only. Wall-clock exists solely outside the engine
+//! thread — socket pacing, measured latency panels — and never feeds
+//! back into state.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use optum_sched::AlibabaLike;
+use optum_sim::{read_snapshot_file, SimConfig, Simulator};
+use optum_trace::{generate, rescale_arrivals, Workload, WorkloadConfig};
+use optum_types::{Error, PodId, Result, Tick};
+
+use crate::proto::{read_frame, send_reply, ErrCode, FrameError, Reply, Request, PROTO_VERSION};
+use crate::summary::SessionSummary;
+
+/// Configuration of one optumd session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Hosts in the simulated cluster.
+    pub hosts: usize,
+    /// Trace window length in days.
+    pub days: u64,
+    /// Master seed (trace and engine).
+    pub seed: u64,
+    /// Open-loop arrival-rate multiplier: arrivals are compressed to
+    /// `arrival / rate` ticks, window unchanged (`1.0` = the verbatim
+    /// trace, bit-identical to the batch engine).
+    pub rate: f64,
+    /// Admission queue cap (PR 5 backpressure); `None` = unbounded.
+    pub queue_cap: Option<usize>,
+    /// Write a durability checkpoint every this many ticks.
+    pub checkpoint_every: Option<u64>,
+    /// Snapshot file for checkpoints and `--resume`.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from `checkpoint_path` instead of starting at tick 0.
+    pub resume: bool,
+    /// Crash test hook: `exit(137)` immediately before stepping this
+    /// tick, simulating `kill -9` at a deterministic point. Only for
+    /// the `optumd` binary — never set in-process.
+    pub kill_at: Option<u64>,
+}
+
+impl ServeConfig {
+    /// Session at the fast experiment scale (60 hosts, 2 days, seed 42).
+    pub fn fast() -> ServeConfig {
+        ServeConfig {
+            hosts: 60,
+            days: 2,
+            seed: 42,
+            rate: 1.0,
+            queue_cap: None,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume: false,
+            kill_at: None,
+        }
+    }
+
+    /// The engine configuration this session runs under.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut sc = SimConfig::new(self.hosts);
+        sc.queue_cap = self.queue_cap;
+        sc.checkpoint_every = self.checkpoint_every;
+        sc.checkpoint_path = self.checkpoint_path.clone();
+        sc
+    }
+
+    /// Generates the session workload: the deterministic trace at this
+    /// scale with arrivals rescaled by `rate`. Client and server both
+    /// call this, which is what lets the handshake pin both sides to
+    /// the same trace without shipping it over the wire.
+    pub fn workload(&self) -> Result<Workload> {
+        let mut workload = generate(&WorkloadConfig::sized(self.hosts, self.days, self.seed))?;
+        rescale_arrivals(&mut workload, self.rate)?;
+        Ok(workload)
+    }
+}
+
+/// What a connection's reader thread feeds the engine.
+enum Event {
+    /// Connection accepted; carries the reply channel.
+    Open(mpsc::Sender<Reply>),
+    /// A well-framed, well-formed request.
+    Req(Request),
+    /// A framing or decoding failure that leaves the stream usable.
+    Bad(ErrCode, String),
+    /// Reader hit EOF or a transport error.
+    Closed,
+}
+
+/// Engine-side view of one live connection.
+struct Conn {
+    tx: mpsc::Sender<Reply>,
+    hello: bool,
+    draining: bool,
+    /// Latest tick this connection has submitted at; the engine may
+    /// step any tick strictly below the minimum active watermark.
+    watermark: u64,
+}
+
+/// A bound, not-yet-running optumd session.
+pub struct Server {
+    cfg: ServeConfig,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds the service (use port 0 to let the OS pick).
+    pub fn bind(cfg: ServeConfig, addr: &str) -> Result<Server> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| Error::InvalidConfig(format!("cannot bind {addr}: {e}")))?;
+        Ok(Server { cfg, listener })
+    }
+
+    /// The bound address (known before [`Server::run`] blocks).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has a local address")
+    }
+
+    /// Serves exactly one session to completion: accepts connections,
+    /// steps the engine under the watermark protocol, and returns the
+    /// deterministic session summary once a drained session reaches
+    /// the end of its window.
+    pub fn run(self) -> Result<SessionSummary> {
+        let _span = optum_obs::span!("serve.session");
+        let workload = self.cfg.workload()?;
+        let sim_config = self.cfg.sim_config();
+        let scheduler = AlibabaLike::default();
+        let sim = if self.cfg.resume {
+            let path = self.cfg.checkpoint_path.as_ref().ok_or_else(|| {
+                Error::InvalidConfig("--resume requires a checkpoint path".into())
+            })?;
+            let snapshot = read_snapshot_file(path)?;
+            Simulator::resume(&workload, scheduler, sim_config, &snapshot)?
+        } else {
+            Simulator::new(&workload, scheduler, sim_config)?
+        };
+
+        let (tx, rx) = mpsc::channel::<(u64, Event)>();
+        let done = Arc::new(AtomicBool::new(false));
+        let writers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let listener = self
+                .listener
+                .try_clone()
+                .map_err(|e| Error::InvalidConfig(format!("cannot clone listener: {e}")))?;
+            let tx = tx.clone();
+            let done = Arc::clone(&done);
+            let writers = Arc::clone(&writers);
+            std::thread::spawn(move || accept_loop(listener, tx, done, writers))
+        };
+        drop(tx);
+
+        let outcome = engine_loop(&self.cfg, sim, &rx);
+
+        // Unblock the accept loop, then wait for every writer to flush
+        // its last replies (clients must see `Drained` before we go).
+        done.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr());
+        let _ = accept.join();
+        let handles = std::mem::take(&mut *writers.lock().expect("writer registry"));
+        for h in handles {
+            let _ = h.join();
+        }
+        outcome
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: mpsc::Sender<(u64, Event)>,
+    done: Arc<AtomicBool>,
+    writers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id = 0u64;
+    for stream in listener.incoming() {
+        if done.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let id = next_id;
+        next_id += 1;
+        let write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        if tx.send((id, Event::Open(reply_tx))).is_err() {
+            break;
+        }
+        writers
+            .lock()
+            .expect("writer registry")
+            .push(std::thread::spawn(move || {
+                writer_loop(write_half, reply_rx)
+            }));
+        let tx = tx.clone();
+        std::thread::spawn(move || reader_loop(stream, id, tx));
+    }
+}
+
+fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<Reply>) {
+    let mut w = std::io::BufWriter::new(stream);
+    while let Ok(reply) = rx.recv() {
+        if send_reply(&mut w, &reply).is_err() {
+            return;
+        }
+        // Batch whatever else is already queued, then flush once.
+        while let Ok(more) = rx.try_recv() {
+            if send_reply(&mut w, &more).is_err() {
+                return;
+            }
+        }
+        if std::io::Write::flush(&mut w).is_err() {
+            return;
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, id: u64, tx: mpsc::Sender<(u64, Event)>) {
+    let mut r = std::io::BufReader::new(stream);
+    loop {
+        let event = match read_frame(&mut r) {
+            Ok(payload) => match Request::decode(&payload) {
+                Ok(req) => Event::Req(req),
+                Err(e) => Event::Bad(ErrCode::Malformed, e.to_string()),
+            },
+            Err(FrameError::CleanClose) | Err(FrameError::Io(_)) => break,
+            Err(FrameError::Truncated) => {
+                let _ = tx.send((id, Event::Bad(ErrCode::Malformed, "truncated frame".into())));
+                break;
+            }
+            Err(FrameError::Oversized(n)) => Event::Bad(
+                ErrCode::Oversized,
+                format!("frame of {n} bytes exceeds the frame limit"),
+            ),
+        };
+        if tx.send((id, event)).is_err() {
+            break;
+        }
+    }
+    let _ = tx.send((id, Event::Closed));
+}
+
+/// The deterministic core: single-threaded over one event queue.
+fn engine_loop(
+    cfg: &ServeConfig,
+    sim: Simulator<'_, AlibabaLike>,
+    rx: &mpsc::Receiver<(u64, Event)>,
+) -> Result<SessionSummary> {
+    let mut sim = Some(sim);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    // tick → submissions for that tick (pod, connection).
+    let mut buckets: BTreeMap<u64, Vec<(PodId, u64)>> = BTreeMap::new();
+    let mut started = false;
+    let mut drain_seen = false;
+
+    loop {
+        let (id, event) = rx.recv().map_err(|_| {
+            Error::InvalidData("accept loop died before the session completed".into())
+        })?;
+        match event {
+            Event::Open(tx) => {
+                optum_obs::counter!("serve.conns");
+                conns.insert(
+                    id,
+                    Conn {
+                        tx,
+                        hello: false,
+                        draining: false,
+                        watermark: 0,
+                    },
+                );
+            }
+            Event::Closed => {
+                // A closed connection can no longer submit: drop it
+                // from the watermark minimum. Its already-bucketed
+                // future submissions stay valid.
+                conns.remove(&id);
+            }
+            Event::Bad(code, message) => {
+                optum_obs::counter!("serve.protocol_errors");
+                if let Some(conn) = conns.get(&id) {
+                    let _ = conn.tx.send(Reply::Error { code, message });
+                }
+            }
+            Event::Req(req) => {
+                let engine = sim.as_mut().expect("engine live while accepting requests");
+                if let Some(conn) = conns.get_mut(&id) {
+                    handle_request(
+                        cfg,
+                        engine,
+                        id,
+                        conn,
+                        req,
+                        &mut buckets,
+                        &mut started,
+                        &mut drain_seen,
+                    );
+                }
+            }
+        }
+
+        // Advance the virtual clock as far as the watermarks allow.
+        while let Some(t) =
+            steppable_tick(sim.as_ref().expect("engine"), &conns, started, drain_seen)
+        {
+            if cfg.kill_at == Some(t) {
+                // Simulated kill -9: no cleanup, no flush beyond what
+                // already left the process.
+                std::process::exit(137);
+            }
+            step_tick(sim.as_mut().expect("engine"), &mut buckets, &conns, t)?;
+        }
+
+        let engine = sim.as_ref().expect("engine");
+        if drain_seen
+            && engine.next_step() == engine.end_tick()
+            && conns.values().all(|c| !c.hello || c.draining)
+        {
+            let result = sim.take().expect("engine").finish()?;
+            let summary = SessionSummary::from_result(&result);
+            for conn in conns.values().filter(|c| c.draining) {
+                let _ = conn.tx.send(Reply::Drained(summary.clone()));
+            }
+            return Ok(summary);
+        }
+    }
+}
+
+/// The next tick the watermark protocol allows stepping, if any.
+fn steppable_tick(
+    sim: &Simulator<'_, AlibabaLike>,
+    conns: &HashMap<u64, Conn>,
+    started: bool,
+    drain_seen: bool,
+) -> Option<u64> {
+    if !started {
+        return None;
+    }
+    let next = sim.next_step().0;
+    if next >= sim.end_tick().0 {
+        return None;
+    }
+    let min_watermark = conns
+        .values()
+        .filter(|c| c.hello && !c.draining)
+        .map(|c| c.watermark)
+        .min();
+    match min_watermark {
+        // Every active submitter is already past `next`.
+        Some(wm) if wm > next => Some(next),
+        Some(_) => None,
+        // No active submitters left: run out the window once a drain
+        // was requested; otherwise hold for reconnects.
+        None if drain_seen => Some(next),
+        None => None,
+    }
+}
+
+/// Steps one tick: closes the tick's bucket, sorts it into trace
+/// order, feeds the engine, and answers each submission with the
+/// protocol-level admission verdict (`queued` or `shed`).
+fn step_tick(
+    sim: &mut Simulator<'_, AlibabaLike>,
+    buckets: &mut BTreeMap<u64, Vec<(PodId, u64)>>,
+    conns: &HashMap<u64, Conn>,
+    t: u64,
+) -> Result<()> {
+    let mut bucket = buckets.remove(&t).unwrap_or_default();
+    bucket.sort_by_key(|(pid, _)| *pid);
+    let inbox: Vec<PodId> = bucket.iter().map(|(pid, _)| *pid).collect();
+    let outbox = sim.step(Tick(t), &inbox)?;
+    for (pid, conn_id) in bucket {
+        let reply = if outbox.shed.contains(&pid) {
+            optum_obs::counter!("serve.shed_replies");
+            Reply::Shed {
+                pod: pid.0,
+                tick: t,
+            }
+        } else {
+            optum_obs::counter!("serve.queued_replies");
+            Reply::Queued {
+                pod: pid.0,
+                tick: t,
+            }
+        };
+        if let Some(conn) = conns.get(&conn_id) {
+            let _ = conn.tx.send(reply);
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_request(
+    cfg: &ServeConfig,
+    sim: &mut Simulator<'_, AlibabaLike>,
+    conn_id: u64,
+    conn: &mut Conn,
+    req: Request,
+    buckets: &mut BTreeMap<u64, Vec<(PodId, u64)>>,
+    started: &mut bool,
+    drain_seen: &mut bool,
+) {
+    let reply = match req {
+        Request::Hello {
+            client: _,
+            seed,
+            hosts,
+            days,
+            rate_bits,
+            queue_cap,
+        } => {
+            if conn.hello {
+                some_error(ErrCode::BadHandshake, "hello repeated".into())
+            } else if seed != cfg.seed
+                || hosts != cfg.hosts as u64
+                || days != cfg.days
+                || rate_bits != cfg.rate.to_bits()
+                || queue_cap != cfg.queue_cap.map(|c| c as u64)
+            {
+                some_error(
+                    ErrCode::BadHandshake,
+                    format!(
+                        "session mismatch: server is seed={} hosts={} days={} rate={} cap={:?}",
+                        cfg.seed, cfg.hosts, cfg.days, cfg.rate, cfg.queue_cap
+                    ),
+                )
+            } else {
+                conn.hello = true;
+                conn.watermark = 0;
+                *started = true;
+                Some(Reply::HelloOk {
+                    proto: PROTO_VERSION,
+                    resume_tick: sim.next_step().0,
+                    next_pod: sim.next_arrival_index() as u64,
+                    end_tick: sim.end_tick().0,
+                })
+            }
+        }
+        Request::Submit { tick, pod } => {
+            let pid = PodId(pod);
+            if !conn.hello {
+                some_error(ErrCode::BadHandshake, "submit before hello".into())
+            } else if pid.index() < sim.next_arrival_index() {
+                // Already processed — the idempotent resume-replay path.
+                optum_obs::counter!("serve.dup_replies");
+                Some(Reply::Dup { pod })
+            } else if tick < sim.next_step().0 {
+                some_error(
+                    ErrCode::OutOfOrder,
+                    format!(
+                        "submission at tick {tick} behind the virtual clock {}",
+                        sim.next_step().0
+                    ),
+                )
+            } else if tick >= sim.end_tick().0 {
+                some_error(
+                    ErrCode::OutOfOrder,
+                    format!("submission at tick {tick} past the session window"),
+                )
+            } else {
+                optum_obs::counter!("serve.submits");
+                buckets.entry(tick).or_default().push((pid, conn_id));
+                conn.watermark = conn.watermark.max(tick);
+                None // verdict arrives when the tick closes
+            }
+        }
+        Request::Complete { pod } => match sim.outcome(PodId(pod)) {
+            Some(o) => Some(Reply::PodStatus {
+                pod,
+                placed_at: o.placed_at.map(|t| t.0),
+                node: o.node.map(|n| n.0 as u64),
+                completed_at: o.completed_at.map(|t| t.0),
+                shed_at: o.shed_at.map(|t| t.0),
+                evictions: o.evictions as u64,
+            }),
+            None => some_error(ErrCode::Unsupported, format!("unknown pod {pod}")),
+        },
+        Request::Stats => {
+            let stats = sim.overload_stats();
+            let (arrivals, admitted, shed) =
+                stats.per_class.iter().fold((0, 0, 0), |(a, ad, s), c| {
+                    (a + c.arrivals, ad + c.admitted, s + c.shed)
+                });
+            Some(Reply::StatsOk {
+                tick: sim.next_step().0,
+                pending: sim.pending_depth() as u64,
+                running: sim.running_count() as u64,
+                arrivals,
+                admitted,
+                shed,
+            })
+        }
+        Request::Checkpoint => match sim.checkpoint_now() {
+            Ok(t) => Some(Reply::CheckpointOk { tick: t.0 }),
+            Err(e) => some_error(ErrCode::Internal, e.to_string()),
+        },
+        Request::Drain => {
+            if !conn.hello {
+                some_error(ErrCode::BadHandshake, "drain before hello".into())
+            } else {
+                conn.draining = true;
+                *drain_seen = true;
+                None // the Drained reply carries the summary at the end
+            }
+        }
+    };
+    if let Some(reply) = reply {
+        let _ = conn.tx.send(reply);
+    }
+}
+
+fn some_error(code: ErrCode, message: String) -> Option<Reply> {
+    Some(Reply::Error { code, message })
+}

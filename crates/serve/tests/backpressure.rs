@@ -1,0 +1,88 @@
+//! Backpressure across the wire: the PR 5 admission controller's
+//! verdicts must surface as protocol-level `shed` replies, and the
+//! admission ledger must hold when observed from the client side.
+
+use optum_serve::{drive, DriverConfig, ServeConfig, Server};
+
+/// A tiny session so these tests stay fast.
+fn tiny() -> ServeConfig {
+    let mut cfg = ServeConfig::fast();
+    cfg.hosts = 12;
+    cfg.days = 1;
+    cfg
+}
+
+fn run_session(cfg: ServeConfig, conns: usize) -> (optum_serve::DriverReport, u64) {
+    let server = Server::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+    let report = drive(&DriverConfig {
+        addr,
+        session: cfg,
+        conns,
+        client: "backpressure-test".into(),
+    })
+    .expect("driver session");
+    let server_summary = server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    assert_eq!(
+        server_summary, report.summary,
+        "server and client disagree on the session summary"
+    );
+    let digest = server_summary.digest;
+    (report, digest)
+}
+
+/// With a queue cap of zero the admission controller denies every
+/// submission, and every denial must come back as a well-formed `shed`
+/// reply — the wire-visible shed count equals the ledger's.
+#[test]
+fn zero_cap_sheds_every_submission_with_a_wellformed_reply() {
+    let mut cfg = tiny();
+    cfg.queue_cap = Some(0);
+    let (report, _) = run_session(cfg, 2);
+
+    let s = &report.summary;
+    assert_eq!(s.placed, 0, "nothing can place when everything is shed");
+    assert_eq!(s.shed, s.pods, "cap 0 denies the whole trace");
+    assert!((s.denied_rate - 1.0).abs() < 1e-12);
+    // Every submission was answered, and every answer was `shed`.
+    assert_eq!(report.counts.submitted, s.pods);
+    assert_eq!(report.counts.shed, s.pods);
+    assert_eq!(report.counts.queued, 0);
+    assert_eq!(report.counts.dup, 0);
+}
+
+/// `admitted + shed + throttled_end == arrivals` per class, as
+/// observed across the wire, with a cap tight enough to actually shed.
+#[test]
+fn admission_ledger_holds_across_the_wire() {
+    let mut cfg = tiny();
+    cfg.queue_cap = Some(8);
+    let (report, _) = run_session(cfg, 2);
+
+    let s = &report.summary;
+    assert!(s.ledger_holds(), "per-class ledger violated: {s:?}");
+    let arrivals: u64 = s.per_class.iter().map(|c| c.arrivals).sum();
+    assert_eq!(arrivals, s.pods, "every trace pod must be accounted for");
+    assert!(s.shed > 0, "cap 8 on this trace should shed something");
+    // Wire verdicts partition the submissions.
+    assert_eq!(
+        report.counts.queued + report.counts.shed,
+        report.counts.submitted
+    );
+}
+
+/// An uncapped session sheds nothing and the wire counters agree.
+#[test]
+fn uncapped_session_sheds_nothing() {
+    let (report, _) = run_session(tiny(), 1);
+    let s = &report.summary;
+    assert_eq!(s.shed, 0);
+    assert_eq!(report.counts.shed, 0);
+    assert_eq!(report.counts.queued, s.pods);
+    assert!(s.ledger_holds());
+    assert!(s.placed > 0, "an uncapped tiny session places pods");
+}

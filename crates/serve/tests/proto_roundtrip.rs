@@ -1,0 +1,223 @@
+//! Wire-protocol robustness: every message round-trips, and no
+//! malformed frame can panic the codec or desync the stream.
+
+use optum_serve::{
+    read_frame, write_frame, ClassSummary, ErrCode, FrameError, Reply, Request, SessionSummary,
+    MAX_FRAME,
+};
+use optum_sim::SnapWriter;
+use proptest::prelude::*;
+
+/// Builds one of every request kind from drawn primitives.
+fn request_from(kind: u64, a: u64, b: u64, cap: Option<u64>, text: &[u8]) -> Request {
+    match kind % 6 {
+        0 => Request::Hello {
+            client: String::from_utf8_lossy(text).into_owned(),
+            seed: a,
+            hosts: b,
+            days: a ^ b,
+            rate_bits: 1.5f64.to_bits(),
+            queue_cap: cap,
+        },
+        1 => Request::Submit {
+            tick: a,
+            pod: b as u32,
+        },
+        2 => Request::Complete { pod: a as u32 },
+        3 => Request::Stats,
+        4 => Request::Checkpoint,
+        _ => Request::Drain,
+    }
+}
+
+/// Builds one of every reply kind from drawn primitives.
+fn reply_from(kind: u64, a: u64, b: u64, opt: Option<u64>, text: &[u8]) -> Reply {
+    match kind % 9 {
+        0 => Reply::HelloOk {
+            proto: a,
+            resume_tick: b,
+            next_pod: a ^ b,
+            end_tick: a.wrapping_add(b),
+        },
+        1 => Reply::Queued {
+            pod: a as u32,
+            tick: b,
+        },
+        2 => Reply::Shed {
+            pod: a as u32,
+            tick: b,
+        },
+        3 => Reply::Dup { pod: a as u32 },
+        4 => Reply::PodStatus {
+            pod: a as u32,
+            placed_at: opt,
+            node: opt.map(|x| x ^ 1),
+            completed_at: opt.map(|x| x.wrapping_add(b)),
+            shed_at: None,
+            evictions: b,
+        },
+        5 => Reply::StatsOk {
+            tick: a,
+            pending: b,
+            running: a ^ b,
+            arrivals: a,
+            admitted: b,
+            shed: a.min(b),
+        },
+        6 => Reply::CheckpointOk { tick: a },
+        7 => Reply::Drained(SessionSummary {
+            digest: a,
+            end_tick: b,
+            pods: a.wrapping_mul(3),
+            placed: b / 2,
+            completed: b / 3,
+            shed: b / 5,
+            throttled_end: b / 7,
+            denied_rate: (a % 1000) as f64 / 1000.0,
+            per_class: vec![ClassSummary {
+                class: (a % 6) as u8,
+                arrivals: a,
+                admitted: a / 2,
+                shed: a / 3,
+                throttled_end: a / 5,
+                placed: b,
+                completed: b / 2,
+                p50_wait: a % 97,
+                p99_wait: a % 911,
+                p999_wait: a % 7919,
+            }],
+        }),
+        _ => Reply::Error {
+            code: [
+                ErrCode::Malformed,
+                ErrCode::Oversized,
+                ErrCode::BadHandshake,
+                ErrCode::OutOfOrder,
+                ErrCode::Unsupported,
+                ErrCode::Internal,
+            ][(a % 6) as usize],
+            message: String::from_utf8_lossy(text).into_owned(),
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_request_roundtrips(
+        kab in (0u64..6, 0u64..u64::MAX, 0u64..u32::MAX as u64),
+        cap in proptest::option::of(0u64..1_000_000),
+        text in proptest::collection::vec(0u8..255, 0..24),
+    ) {
+        let (kind, a, b) = kab;
+        let req = request_from(kind, a, b, cap, &text);
+        let decoded = Request::decode(&req.encode()).expect("well-formed request decodes");
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn every_reply_roundtrips(
+        kab in (0u64..9, 0u64..u64::MAX, 0u64..u64::MAX),
+        opt in proptest::option::of(0u64..u64::MAX),
+        text in proptest::collection::vec(0u8..255, 0..24),
+    ) {
+        let (kind, a, b) = kab;
+        let reply = reply_from(kind, a, b, opt, &text);
+        let decoded = Reply::decode(&reply.encode()).expect("well-formed reply decodes");
+        prop_assert_eq!(decoded, reply);
+    }
+
+    /// Arbitrary bytes never panic the decoders — they either decode
+    /// or return a protocol error.
+    #[test]
+    fn random_payloads_never_panic(bytes in proptest::collection::vec(0u8..255, 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Reply::decode(&bytes);
+        prop_assert!(true);
+    }
+
+    /// Every strict prefix of a valid encoding is rejected, not
+    /// half-decoded: a truncated frame cannot smuggle a message.
+    #[test]
+    fn truncated_requests_are_rejected(
+        kab in (0u64..6, 0u64..u64::MAX, 0u64..u32::MAX as u64),
+    ) {
+        let (kind, a, b) = kab;
+        let full = request_from(kind, a, b, Some(9), b"trunc").encode();
+        for cut in 0..full.len() {
+            prop_assert!(Request::decode(&full[..cut]).is_err());
+        }
+    }
+
+    /// Trailing garbage after a valid message is rejected.
+    #[test]
+    fn trailing_bytes_are_rejected(
+        kab in (0u64..6, 0u64..u64::MAX, 0u64..u32::MAX as u64),
+        extra in proptest::collection::vec(0u8..255, 1..16),
+    ) {
+        let (kind, a, b) = kab;
+        let mut full = request_from(kind, a, b, None, b"x").encode();
+        full.extend_from_slice(&extra);
+        prop_assert!(Request::decode(&full).is_err());
+    }
+
+    /// A truncated length prefix or payload surfaces as a framing
+    /// error, never a panic or a bogus payload.
+    #[test]
+    fn truncated_frames_error_cleanly(cut_at in 0usize..12) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        let cut = cut_at.min(wire.len().saturating_sub(1)).max(1);
+        let mut cursor = std::io::Cursor::new(&wire[..cut]);
+        match read_frame(&mut cursor) {
+            Err(FrameError::Truncated) => prop_assert!(true),
+            Ok(payload) => prop_assert!(
+                false,
+                "truncated stream produced a payload of {} bytes",
+                payload.len()
+            ),
+            Err(_) => prop_assert!(true),
+        }
+    }
+}
+
+/// Bad UTF-8 inside a string field is a decode error, not a panic.
+#[test]
+fn bad_utf8_in_hello_is_rejected() {
+    let mut w = SnapWriter::new();
+    w.put_u64(1); // hello tag
+    w.put_bytes(&[0xff, 0xfe, 0x80]); // invalid UTF-8 "client"
+    w.put_u64(42);
+    w.put_u64(60);
+    w.put_u64(2);
+    w.put_u64(1.0f64.to_bits());
+    w.put_opt_u64(None);
+    let err = Request::decode(&w.into_bytes());
+    assert!(err.is_err(), "invalid UTF-8 must not decode: {err:?}");
+}
+
+/// An unknown tag is rejected outright.
+#[test]
+fn unknown_tags_are_rejected() {
+    let mut w = SnapWriter::new();
+    w.put_u64(999);
+    let bytes = w.into_bytes();
+    assert!(Request::decode(&bytes).is_err());
+    assert!(Reply::decode(&bytes).is_err());
+}
+
+/// An oversized frame is drained, reported, and the stream stays
+/// framed: the next frame parses normally.
+#[test]
+fn oversized_frame_does_not_desync() {
+    let huge = (MAX_FRAME + 1) as u32;
+    let mut wire = huge.to_le_bytes().to_vec();
+    wire.extend(std::iter::repeat_n(0xAAu8, huge as usize));
+    write_frame(&mut wire, &Request::Drain.encode()).unwrap();
+    let mut cursor = std::io::Cursor::new(wire);
+    assert!(matches!(
+        read_frame(&mut cursor),
+        Err(FrameError::Oversized(_))
+    ));
+    let next = read_frame(&mut cursor).expect("stream still framed after drain");
+    assert_eq!(Request::decode(&next).unwrap(), Request::Drain);
+}

@@ -1,0 +1,196 @@
+//! Replay determinism through real sockets and real processes.
+//!
+//! The tentpole contract: a full optumd/optumload session is a pure
+//! function of (seed, rate) — the end-state digest and outcome panel
+//! are byte-identical across repeated runs, across connection counts
+//! (socket interleaving), and across a kill -9 mid-session followed by
+//! `--resume` from the durability checkpoint.
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+
+use optum_serve::{drive, DriverConfig, DriverReport, ServeConfig};
+
+/// Small session so three full runs stay fast.
+fn session() -> ServeConfig {
+    let mut cfg = ServeConfig::fast();
+    cfg.hosts = 16;
+    cfg.days = 1;
+    cfg.queue_cap = Some(200);
+    cfg
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns the real optumd binary and waits for its address file.
+fn spawn_optumd(dir: &std::path::Path, tag: &str, extra: &[&str]) -> Daemon {
+    let cfg = session();
+    let addr_file = dir.join(format!("addr-{tag}"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_optumd"));
+    cmd.args([
+        "--hosts",
+        &cfg.hosts.to_string(),
+        "--days",
+        &cfg.days.to_string(),
+        "--seed",
+        &cfg.seed.to_string(),
+        "--queue-cap",
+        "200",
+        "--addr-file",
+        addr_file.to_str().unwrap(),
+    ])
+    .args(extra)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null());
+    let child = cmd.spawn().expect("spawn optumd");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if !s.trim().is_empty() {
+                break s.trim().to_string();
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "optumd never announced an address"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    Daemon { child, addr }
+}
+
+fn drive_against(addr: &str, conns: usize) -> DriverReport {
+    drive(&DriverConfig {
+        addr: addr.to_string(),
+        session: session(),
+        conns,
+        client: "replay-test".into(),
+    })
+    .expect("driver session")
+}
+
+/// Digest printed by optumd on stdout (its own view of the session).
+fn server_digest(mut daemon: Daemon) -> String {
+    let status = daemon.child.wait().expect("optumd exit");
+    assert!(status.success(), "optumd failed: {status:?}");
+    let mut out = String::new();
+    daemon
+        .child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut out)
+        .expect("read optumd stdout");
+    out.lines()
+        .find(|l| l.starts_with("digest "))
+        .unwrap_or_else(|| panic!("no digest line in optumd output:\n{out}"))
+        .to_string()
+}
+
+/// Same seed, same rate ⇒ byte-identical digests and outcome panels,
+/// run twice at 1 connection and twice at 4 (different interleavings).
+#[test]
+fn sessions_are_replay_deterministic_across_connection_counts() {
+    let dir = tempdir("replay");
+    let mut digests = Vec::new();
+    let mut summaries = Vec::new();
+    for (i, conns) in [1usize, 4, 1, 4].into_iter().enumerate() {
+        let daemon = spawn_optumd(&dir, &format!("run{i}"), &[]);
+        let report = drive_against(&daemon.addr, conns);
+        digests.push(server_digest(daemon));
+        summaries.push(report.summary);
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "digest drifted across runs/connection counts: {digests:?}"
+    );
+    assert!(
+        summaries.windows(2).all(|w| w[0] == w[1]),
+        "outcome panel drifted across runs/connection counts"
+    );
+}
+
+/// Kill -9 mid-session (deterministic `--kill-at`), resume from the
+/// checkpoint, replay the whole trace: the resumed session converges
+/// to the same digest as an uninterrupted one, with the replayed
+/// prefix acknowledged as duplicates.
+#[test]
+fn killed_session_resumes_to_the_same_digest() {
+    let dir = tempdir("resume");
+    // Uninterrupted baseline.
+    let baseline = spawn_optumd(&dir, "base", &[]);
+    let base_report = drive_against(&baseline.addr, 2);
+    let base_digest = server_digest(baseline);
+
+    // Checkpointed run killed (exit 137) before tick 20.
+    let snap = dir.join("serve.snap");
+    let killed = spawn_optumd(
+        &dir,
+        "killed",
+        &[
+            "--checkpoint-every",
+            "8",
+            "--checkpoint",
+            snap.to_str().unwrap(),
+            "--kill-at",
+            "20",
+        ],
+    );
+    let addr = killed.addr.clone();
+    let driver = std::thread::spawn(move || {
+        // The server dies mid-session, so the driver must fail.
+        drive(&DriverConfig {
+            addr,
+            session: session(),
+            conns: 2,
+            client: "replay-test".into(),
+        })
+    });
+    let mut killed = killed;
+    let status = killed.child.wait().expect("killed optumd exit");
+    assert_eq!(status.code(), Some(137), "kill hook must exit 137");
+    assert!(
+        driver.join().expect("driver thread").is_err(),
+        "driver must observe the crash"
+    );
+    assert!(snap.exists(), "checkpoint must survive the kill");
+
+    // Resume from the snapshot; the client replays from scratch.
+    let resumed = spawn_optumd(
+        &dir,
+        "resumed",
+        &[
+            "--checkpoint-every",
+            "8",
+            "--checkpoint",
+            snap.to_str().unwrap(),
+            "--resume",
+        ],
+    );
+    let resumed_report = drive_against(&resumed.addr, 2);
+    let resumed_digest = server_digest(resumed);
+
+    assert_eq!(resumed_digest, base_digest, "resume must converge");
+    assert_eq!(
+        resumed_report.summary, base_report.summary,
+        "resumed outcome panel must match the uninterrupted one"
+    );
+    assert!(
+        resumed_report.counts.dup > 0,
+        "the replayed prefix must be acknowledged as duplicates"
+    );
+    assert_eq!(
+        resumed_report.counts.queued + resumed_report.counts.shed + resumed_report.counts.dup,
+        resumed_report.counts.submitted,
+        "every replayed submission gets exactly one verdict"
+    );
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("optum-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}

@@ -31,9 +31,11 @@ pub mod training;
 pub mod view;
 
 pub use appstats::AppStatsStore;
-pub use checkpoint::{read_snapshot_file, write_snapshot_file, SnapReader, SnapWriter};
+pub use checkpoint::{
+    read_snapshot_file, write_snapshot_file, Fingerprint, SnapReader, SnapWriter,
+};
 pub use config::{PredictorEval, SimConfig};
-pub use engine::Simulator;
+pub use engine::{Simulator, StepOutbox};
 pub use node::{NodeRuntime, ResidentPod};
 pub use result::{
     ChurnStats, ClassChurn, ClassOverload, ClusterTickStats, NodeSnapshot, OverloadStats,

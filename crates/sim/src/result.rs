@@ -629,6 +629,48 @@ impl SimResult {
         }
         self.outcomes.iter().filter(|o| o.scheduled()).count() as f64 / self.outcomes.len() as f64
     }
+
+    /// FNV-1a digest over every pod outcome, the admission/churn
+    /// ledgers and the recorded cluster series — two runs with equal
+    /// digests placed, completed, shed and measured identically. The
+    /// serve protocol reports this as the deterministic end-state
+    /// digest of a session (mirrors `ScaleResult::digest`).
+    pub fn digest(&self) -> u64 {
+        let mut fp = crate::checkpoint::Fingerprint::new();
+        fp.fold(self.end_tick.0);
+        fp.fold(self.outcomes.len() as u64);
+        for o in &self.outcomes {
+            fp.fold(o.node.map(|n| n.0 as u64).unwrap_or(u64::MAX));
+            fp.fold(o.placed_at.map(|t| t.0).unwrap_or(u64::MAX));
+            fp.fold(o.completed_at.map(|t| t.0).unwrap_or(u64::MAX));
+            fp.fold(o.shed_at.map(|t| t.0).unwrap_or(u64::MAX));
+            fp.fold(o.wait_ticks);
+            fp.fold(o.preemptions as u64);
+            fp.fold(o.evictions as u64);
+            fp.fold(o.actual_duration.unwrap_or(u64::MAX));
+        }
+        for c in &self.overload.per_class {
+            fp.fold(c.arrivals);
+            fp.fold(c.admitted);
+            fp.fold(c.shed);
+            fp.fold(c.requeued);
+            fp.fold(c.throttled_end);
+        }
+        fp.fold(self.churn.total_evictions());
+        fp.fold(self.violations.cpu_node_ticks);
+        fp.fold(self.violations.mem_node_ticks);
+        fp.fold(self.violations.total_node_ticks);
+        fp.fold(self.cluster_series.len() as u64);
+        for s in &self.cluster_series {
+            fp.fold(s.tick.0);
+            fp.fold_f64(s.mean_cpu_util);
+            fp.fold_f64(s.mean_mem_util);
+            fp.fold(s.pending as u64);
+            fp.fold(s.running as u64);
+            fp.fold(s.active_nodes as u64);
+        }
+        fp.finish()
+    }
 }
 
 #[cfg(test)]

@@ -176,10 +176,94 @@ pub fn generate_pods(
     Ok(out)
 }
 
+/// Compresses every arrival tick by `rate` for open-loop replay:
+/// `arrival' = floor(arrival / rate)`, so a rate of 4 squeezes the
+/// trace's submission stream into a quarter of the window (the
+/// observation window itself is unchanged — the tail idles, exactly
+/// like a storm). The map is monotone, so pods stay sorted by arrival
+/// with ids equal to positions, and `rate = 1` is the identity — the
+/// anchor the batch/serve equivalence tests rely on. Both `optumd` and
+/// `optumload` apply this to the same generated workload, which makes
+/// the engine's waiting-time accounting equal to the wire-level
+/// submit→placed latency.
+pub fn rescale_arrivals(workload: &mut crate::Workload, rate: f64) -> Result<()> {
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(optum_types::Error::InvalidConfig(format!(
+            "arrival rate multiplier must be a positive finite number, got {rate}"
+        )));
+    }
+    if rate == 1.0 {
+        return Ok(());
+    }
+    let last = workload.config.window_ticks().saturating_sub(1);
+    for pod in &mut workload.pods {
+        let scaled = (pod.spec.arrival.0 as f64 / rate).floor() as u64;
+        pod.spec.arrival = Tick(scaled.min(last));
+    }
+    debug_assert!(workload
+        .pods
+        .windows(2)
+        .all(|p| p[0].spec.arrival <= p[1].spec.arrival));
+    Ok(())
+}
+
+/// The per-tick arrival schedule of a workload: pod ids grouped by
+/// arrival tick, in trace order within a tick. This is the open-loop
+/// submission plan a load driver replays, and feeding it tick by tick
+/// into the incremental engine reproduces the batch run bit for bit.
+pub fn arrival_schedule(workload: &crate::Workload) -> Vec<(Tick, Vec<PodId>)> {
+    let mut out: Vec<(Tick, Vec<PodId>)> = Vec::new();
+    for pod in &workload.pods {
+        match out.last_mut() {
+            Some((t, ids)) if *t == pod.spec.arrival => ids.push(pod.spec.id),
+            _ => out.push((pod.spec.arrival, vec![pod.spec.id])),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn rescale_keeps_order_and_identity() {
+        let mut w = crate::generate(&crate::WorkloadConfig::small(11)).unwrap();
+        let original: Vec<u64> = w.pods.iter().map(|p| p.spec.arrival.0).collect();
+        rescale_arrivals(&mut w, 1.0).unwrap();
+        assert_eq!(
+            original,
+            w.pods.iter().map(|p| p.spec.arrival.0).collect::<Vec<_>>(),
+            "rate 1 must be the identity"
+        );
+        rescale_arrivals(&mut w, 3.0).unwrap();
+        assert!(w
+            .pods
+            .windows(2)
+            .all(|p| p[0].spec.arrival <= p[1].spec.arrival));
+        for (orig, pod) in original.iter().zip(&w.pods) {
+            assert_eq!(pod.spec.arrival.0, orig / 3);
+        }
+        assert!(rescale_arrivals(&mut w, 0.0).is_err());
+        assert!(rescale_arrivals(&mut w, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn schedule_covers_every_pod_in_trace_order() {
+        let w = crate::generate(&crate::WorkloadConfig::small(13)).unwrap();
+        let schedule = arrival_schedule(&w);
+        let mut expect = 0u32;
+        for (tick, ids) in &schedule {
+            for id in ids {
+                assert_eq!(id.0, expect, "schedule must preserve trace order");
+                assert_eq!(w.pods[id.index()].spec.arrival, *tick);
+                expect += 1;
+            }
+        }
+        assert_eq!(expect as usize, w.pods.len());
+        assert!(schedule.windows(2).all(|s| s[0].0 < s[1].0));
+    }
 
     #[test]
     fn poisson_mean_matches_lambda() {

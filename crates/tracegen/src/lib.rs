@@ -32,6 +32,7 @@ pub mod scale;
 pub mod storm;
 pub mod workload;
 
+pub use arrivals::{arrival_schedule, rescale_arrivals};
 pub use config::WorkloadConfig;
 pub use physics::{affinity_allows, hash_noise};
 pub use population::{AppKind, AppProfile, BeParams, LsParams, PsiShape, TickTerms};

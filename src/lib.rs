@@ -17,6 +17,7 @@ pub use optum_ml as ml;
 pub use optum_parallel as parallel;
 pub use optum_predictors as predictors;
 pub use optum_sched as sched;
+pub use optum_serve as serve;
 pub use optum_shard as shard;
 pub use optum_sim as sim;
 pub use optum_stats as stats;

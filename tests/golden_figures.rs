@@ -1,7 +1,7 @@
-//! Golden-figure regression suite: the first 20 lines of the fast-
-//! scale `fig19`, `churn`, `degrade` and `overload` figure TSV must
-//! match the snapshots in `tests/golden/` byte for byte, at
-//! worker-thread counts 1 and 4 — plus checkpoint/resume
+//! Golden-figure regression suite: the head of the fast-scale
+//! `fig19`, `churn`, `degrade`, `overload`, `scale` and `serve`
+//! figure TSVs must match the snapshots in `tests/golden/` byte for
+//! byte, at worker-thread counts 1 and 4 — plus checkpoint/resume
 //! byte-identity and the degrade/overload sweeps' fig19 anchors.
 //!
 //! This turns two standing claims into CI-enforced tests: the figure
@@ -20,7 +20,7 @@
 
 use optum_platform::experiments::output::head_lines;
 use optum_platform::experiments::{
-    churn, degrade, endtoend, overload, scalebench, ExpConfig, Runner,
+    churn, degrade, endtoend, overload, scalebench, serve, ExpConfig, Runner,
 };
 use optum_platform::types::SloClass;
 
@@ -29,12 +29,17 @@ const CHURN_GOLDEN: &str = include_str!("golden/churn_fast_head.tsv");
 const DEGRADE_GOLDEN: &str = include_str!("golden/degrade_fast_head.tsv");
 const OVERLOAD_GOLDEN: &str = include_str!("golden/overload_fast_head.tsv");
 const SCALE_GOLDEN: &str = include_str!("golden/scale_fast_head.tsv");
+const SERVE_GOLDEN: &str = include_str!("golden/serve_fast_head.tsv");
 
 /// Must match `gen_golden.rs`.
 const GOLDEN_LINES: usize = 20;
 /// Must match `gen_golden.rs`: the scale head covers the outcome and
 /// per-class panels, excluding the measured performance panel.
 const SCALE_GOLDEN_LINES: usize = 15;
+/// Must match `gen_golden.rs`: the serve head covers the session
+/// outcome and per-class latency/ledger panels, excluding the
+/// measured performance panel.
+const SERVE_GOLDEN_LINES: usize = 26;
 /// Must match `gen_golden.rs`: one healthy arm, one stormy arm.
 const CHURN_GRID: [f64; 2] = [f64::INFINITY, 0.5];
 /// Must match `gen_golden.rs`: the fig19 anchor arm plus one lossy
@@ -250,6 +255,26 @@ fn scale_fast_matches_golden_at_each_thread_count() {
              (if intentional, regenerate with the gen_golden example)"
         );
     }
+}
+
+/// The serve figure — full optumd/optumload sessions over real
+/// loopback sockets — must match the golden head byte for byte. The
+/// head covers the session-outcome panel (digest column included) and
+/// the per-class latency/ledger panel; the figure itself contains a
+/// conns=1 and a conns=4 arm at the same seed/rate, so this golden
+/// pins the replay-determinism claim: socket interleaving and
+/// connection count are invisible in every reported byte. (The serve
+/// engine is single-threaded by design — the worker-pool thread knob
+/// the other figures loop over does not exist here.)
+#[test]
+fn serve_fast_matches_golden() {
+    let rendered = serve::serve(&ExpConfig::fast()).expect("serve").render();
+    assert_eq!(
+        head_lines(&rendered, SERVE_GOLDEN_LINES),
+        SERVE_GOLDEN,
+        "serve drifted from tests/golden/serve_fast_head.tsv \
+         (if intentional, regenerate with the gen_golden example)"
+    );
 }
 
 #[test]

@@ -1,0 +1,67 @@
+//! Batch/serve equivalence: the incremental engine mode behind
+//! optumd (`Simulator::step` fed tick by tick) must be *bit-identical*
+//! to the batch entry point (`optum_sim::run`) on the fig19 fast
+//! configuration — the same arm the golden suite pins byte-for-byte,
+//! so this chains the serve path to `tests/golden/fig19_fast_head.tsv`.
+
+use optum_platform::experiments::{endtoend, ExpConfig, Runner};
+use optum_platform::optum::OptumConfig;
+use optum_platform::sim::Simulator;
+use optum_platform::tracegen::arrival_schedule;
+use optum_platform::types::{PodId, Tick};
+
+#[test]
+fn step_driven_session_is_bit_identical_to_fig19_optum_arm() {
+    let mut runner = Runner::new(ExpConfig::fast()).expect("workload generation");
+    runner.set_threads(1);
+    // The batch arm: fig19's trained-Optum evaluation, cached on the
+    // runner in roster order (golden-pinned).
+    endtoend::fig19(&mut runner).expect("fig19");
+
+    // The serve arm: an identically-trained scheduler driven through
+    // the incremental API with per-tick arrival inboxes — exactly what
+    // optumd does with a client submitting the trace on time.
+    let optum = endtoend::trained_optum(&mut runner, OptumConfig::default()).expect("trained");
+    let mut cfg = runner.sim_config();
+    // Must match Runner::run_eval's lean recording settings.
+    cfg.pods_per_app_sampled = 0;
+    cfg.series_stride = 10;
+    let mut sim = Simulator::new(&runner.workload, optum, cfg).expect("simulator");
+
+    let schedule = arrival_schedule(&runner.workload);
+    let end = sim.end_tick().0;
+    let mut cursor = 0;
+    let empty: Vec<PodId> = Vec::new();
+    for t in 0..end {
+        let inbox = if cursor < schedule.len() && schedule[cursor].0 == Tick(t) {
+            cursor += 1;
+            &schedule[cursor - 1].1
+        } else {
+            &empty
+        };
+        sim.step(Tick(t), inbox).expect("step");
+    }
+    assert_eq!(cursor, schedule.len(), "every arrival tick submitted");
+    let incremental = sim.finish().expect("finish");
+
+    let batch = &runner.roster_cache[0];
+    assert_eq!(batch.scheduler, "Optum", "fig19 roster order changed");
+    assert_eq!(incremental.scheduler, batch.scheduler);
+    assert_eq!(
+        incremental.outcomes, batch.outcomes,
+        "incremental pod outcomes diverged from the batch run"
+    );
+    assert_eq!(
+        incremental.cluster_series, batch.cluster_series,
+        "incremental cluster series diverged from the batch run"
+    );
+    assert_eq!(
+        incremental.violations, batch.violations,
+        "incremental violation accounting diverged from the batch run"
+    );
+    assert_eq!(
+        incremental.digest(),
+        batch.digest(),
+        "incremental end-state digest diverged from the batch run"
+    );
+}
