@@ -12,7 +12,9 @@
 use std::path::Path;
 
 use optum_experiments::output::head_lines;
-use optum_experiments::{churn, degrade, endtoend, overload, scalebench, serve, ExpConfig, Runner};
+use optum_experiments::{
+    churn, degrade, disrupt, endtoend, overload, scalebench, serve, ExpConfig, Runner,
+};
 
 /// Lines snapshotted per figure.
 const GOLDEN_LINES: usize = 20;
@@ -27,6 +29,12 @@ const SCALE_GOLDEN_LINES: usize = 15;
 /// (3 arms × 6 classes) exactly, excluding the measured performance
 /// panel (wall time and throughput are machine-dependent).
 const SERVE_GOLDEN_LINES: usize = 26;
+
+/// Lines snapshotted for the `disrupt` figure: covers the session
+/// outcome panel (5 arms) and the per-class latency/ledger panel
+/// (5 arms × 6 classes) exactly, excluding the measured recovery
+/// panel (retry counts and proxy fault tallies are wall-clock racy).
+const DISRUPT_GOLDEN_LINES: usize = 40;
 
 /// Reduced MTBF grid for the churn golden: one healthy arm, one
 /// stormy arm (the full 4-arm grid is too slow for a unit test; the
@@ -87,5 +95,13 @@ fn main() {
     let serve = serve::serve(&ExpConfig::fast()).expect("serve").render();
     let path = dir.join("serve_fast_head.tsv");
     std::fs::write(&path, head_lines(&serve, SERVE_GOLDEN_LINES)).expect("write serve golden");
+    eprintln!("wrote {}", path.display());
+
+    let disrupt = disrupt::disrupt(&ExpConfig::fast())
+        .expect("disrupt")
+        .render();
+    let path = dir.join("disrupt_fast_head.tsv");
+    std::fs::write(&path, head_lines(&disrupt, DISRUPT_GOLDEN_LINES))
+        .expect("write disrupt golden");
     eprintln!("wrote {}", path.display());
 }

@@ -45,7 +45,9 @@ fn main() {
         eprintln!(
             "       repro bench-check [figure-id...] [--fast] [--baselines DIR] [--report FILE] [--tolerance-pct N] [--retries N]"
         );
-        eprintln!("figures: {ALL_FIGURES:?} + fig22 + churn + degrade + overload + scale + serve");
+        eprintln!(
+            "figures: {ALL_FIGURES:?} + fig22 + churn + degrade + overload + scale + serve + disrupt"
+        );
         std::process::exit(2);
     }
     let mut config = ExpConfig::standard();

@@ -1,0 +1,374 @@
+//! `repro disrupt`: serve sessions through a hostile network.
+//!
+//! Every arm runs a complete optumd/optumload session at 4
+//! connections — same seed, same trace as `repro serve` — but the
+//! wire between them degrades arm by arm:
+//!
+//! * **baseline** — direct loopback, no proxy. The reference digest;
+//!   identical to the `repro serve` conns=4 rate=1 arm.
+//! * **none** — through a seeded chaos proxy configured to inject
+//!   nothing. Proves the proxy itself is byte-transparent: the whole
+//!   outcome panel must equal the baseline's.
+//! * **drops** — the proxy drops, delays, and reorders client→server
+//!   frames. The server detects the gaps and force-closes; the driver
+//!   reconnects and resubmits idempotently. Digest must converge to
+//!   the baseline.
+//! * **reconnect** — drops plus mid-frame truncations and abrupt
+//!   proxy-initiated disconnects. Same convergence obligation.
+//! * **death** — no proxy, but one client dies for good after a fixed
+//!   number of submissions (the driver's kill hook). Under a finite
+//!   progress lease the server evicts the dead slot and denies its
+//!   unsubmitted pods into the `disconnected` ledger class; the
+//!   session still completes and the admission ledger still balances.
+//!
+//! The first four arms assert digest equality — faults a client can
+//! reconnect through are invisible in deterministic output. The death
+//! arm asserts conservation instead: `admitted + shed + throttled +
+//! disconnected == arrivals`, with `disconnected > 0`.
+//!
+//! Panels (a) and (b) are deterministic and golden-pinned. Panel (c)
+//! is measurement — retry counts and proxy fault tallies depend on
+//! accept-order and wall-clock races, so it is excluded from goldens
+//! (the committed `BENCH_disrupt.json` gates wall time instead).
+
+use std::time::Instant;
+
+use optum_serve::{
+    drive, ChaosProxy, DriverConfig, NetChaosPlan, ProxyReport, ServeConfig, Server, SessionSummary,
+};
+use optum_types::{Error, Result};
+
+use crate::output::{Figure, Panel};
+use crate::runner::ExpConfig;
+
+/// Connections per arm — matches the serve figure's wide arm.
+const CONNS: usize = 4;
+
+/// Submissions the death-arm victim makes before dying for good.
+const DEATH_AFTER: usize = 40;
+
+/// Progress lease (virtual ticks) for the death arm: the dead slot's
+/// watermark freezes, the survivors' frontier runs ahead, and once the
+/// gap exceeds the lease the server evicts the slot.
+const DEATH_LEASE: u64 = 600;
+
+/// One arm of the disruption sweep.
+struct ArmSpec {
+    name: &'static str,
+    plan: Option<NetChaosPlan>,
+    lease: Option<u64>,
+    kill: Option<(usize, usize)>,
+}
+
+/// Fault intensities are scaled to the fast session's frame volume
+/// (~1150 frames per slot): a few losses per pass, so each reconnect
+/// makes real progress and the sweep converges in seconds.
+fn arms_spec(seed: u64) -> [ArmSpec; 5] {
+    let drops = NetChaosPlan {
+        seed,
+        drop_prob: 0.004,
+        truncate_prob: 0.0,
+        disconnect_prob: 0.0,
+        reorder_prob: 0.004,
+        delay_prob: 0.01,
+        delay_max_ms: 1,
+    };
+    let hostile = NetChaosPlan {
+        truncate_prob: 0.001,
+        disconnect_prob: 0.001,
+        ..drops
+    };
+    [
+        ArmSpec {
+            name: "baseline",
+            plan: None,
+            lease: None,
+            kill: None,
+        },
+        ArmSpec {
+            name: "none",
+            plan: Some(NetChaosPlan::none(seed)),
+            lease: None,
+            kill: None,
+        },
+        ArmSpec {
+            name: "drops",
+            plan: Some(drops),
+            lease: None,
+            kill: None,
+        },
+        ArmSpec {
+            name: "reconnect",
+            plan: Some(hostile),
+            lease: None,
+            kill: None,
+        },
+        ArmSpec {
+            name: "death",
+            plan: None,
+            lease: Some(DEATH_LEASE),
+            kill: Some((CONNS - 1, DEATH_AFTER)),
+        },
+    ]
+}
+
+/// One measured arm.
+struct Arm {
+    name: &'static str,
+    summary: SessionSummary,
+    submitted: u64,
+    queued: u64,
+    dup: u64,
+    retries: u64,
+    evicted_slots: u64,
+    proxy: Option<ProxyReport>,
+    wall: f64,
+}
+
+/// Runs the full disruption sweep and assembles the figure.
+pub fn disrupt(config: &ExpConfig) -> Result<Figure> {
+    let mut arms = Vec::new();
+    for spec in arms_spec(config.seed) {
+        arms.push(run_arm(config, &spec)?);
+    }
+
+    // The convergence claim, checked before rendering: every arm the
+    // client can reconnect through ends byte-identical to the
+    // baseline — outcome panel, latency tails, digest, everything.
+    let baseline = arms[0].summary.clone();
+    for arm in &arms {
+        if !arm.summary.ledger_holds() {
+            return Err(Error::InvalidData(format!(
+                "disrupt arm {}: admission ledger violated",
+                arm.name
+            )));
+        }
+        if arm.name == "death" {
+            if arm.summary.disconnected == 0 {
+                return Err(Error::InvalidData(
+                    "disrupt death arm: the dead slot's pods were not denied".into(),
+                ));
+            }
+        } else if arm.summary != baseline {
+            return Err(Error::InvalidData(format!(
+                "disrupt arm {}: diverged from the fault-free baseline \
+                 (digest {:016x} vs {:016x})",
+                arm.name, arm.summary.digest, baseline.digest
+            )));
+        }
+    }
+
+    let mut fig = Figure::new(
+        "disrupt",
+        "optumd sessions under wire-level fault injection",
+    );
+
+    // Panel (a): deterministic session outcomes.
+    let mut outcomes = Panel::new(
+        "(a) session outcomes per arm",
+        &[
+            "arm",
+            "conns",
+            "pods",
+            "placed",
+            "completed",
+            "shed",
+            "disconnected",
+            "denied_rate",
+            "digest",
+        ],
+    );
+    for a in &arms {
+        let s = &a.summary;
+        outcomes.row(vec![
+            a.name.to_string(),
+            CONNS.to_string(),
+            s.pods.to_string(),
+            s.placed.to_string(),
+            s.completed.to_string(),
+            s.shed.to_string(),
+            s.disconnected.to_string(),
+            format!("{:.4}", s.denied_rate),
+            format!("{:016x}", s.digest),
+        ]);
+    }
+    fig.push(outcomes);
+
+    // Panel (b): per-class latency and the extended admission ledger
+    // (virtual ticks; wire wall-time never enters this panel).
+    let mut latency = Panel::new(
+        "(b) per-class submit->placed latency and ledger",
+        &[
+            "arm",
+            "class",
+            "arrivals",
+            "admitted",
+            "shed",
+            "disconnected",
+            "placed",
+            "p50_wait",
+            "p99_wait",
+            "p999_wait",
+        ],
+    );
+    for a in &arms {
+        for c in &a.summary.per_class {
+            if c.arrivals == 0 {
+                continue;
+            }
+            latency.row(vec![
+                a.name.to_string(),
+                format!("{:?}", c.slo()),
+                c.arrivals.to_string(),
+                c.admitted.to_string(),
+                c.shed.to_string(),
+                c.disconnected.to_string(),
+                c.placed.to_string(),
+                c.p50_wait.to_string(),
+                c.p99_wait.to_string(),
+                c.p999_wait.to_string(),
+            ]);
+        }
+    }
+    fig.push(latency);
+
+    // Panel (c): recovery measurement — deliberately last and excluded
+    // from goldens (fault placement depends on accept order and
+    // wall-clock races; only the *outcome* is deterministic).
+    let mut recovery = Panel::new(
+        "(c) recovery wire counters (measured; excluded from goldens)",
+        &[
+            "arm",
+            "submitted",
+            "queued",
+            "dup",
+            "retries",
+            "evicted_slots",
+            "px_dropped",
+            "px_truncated",
+            "px_disconnected",
+            "px_reordered",
+            "px_delayed",
+            "wall_s",
+        ],
+    );
+    for a in &arms {
+        let px =
+            |f: fn(&ProxyReport) -> u64| a.proxy.as_ref().map_or("-".into(), |r| f(r).to_string());
+        recovery.row(vec![
+            a.name.to_string(),
+            a.submitted.to_string(),
+            a.queued.to_string(),
+            a.dup.to_string(),
+            a.retries.to_string(),
+            a.evicted_slots.to_string(),
+            px(|r| r.dropped),
+            px(|r| r.truncated),
+            px(|r| r.disconnected),
+            px(|r| r.reordered),
+            px(|r| r.delayed),
+            format!("{:.3}", a.wall),
+        ]);
+    }
+    fig.push(recovery);
+    Ok(fig)
+}
+
+/// One arm: server (optionally leased), optional chaos proxy, the
+/// resilient driver through whichever endpoint applies.
+fn run_arm(config: &ExpConfig, spec: &ArmSpec) -> Result<Arm> {
+    let _span = optum_obs::span!("disrupt.arm");
+    let session = ServeConfig {
+        hosts: config.hosts,
+        days: config.days,
+        seed: config.seed,
+        rate: 1.0,
+        queue_cap: None,
+        checkpoint_every: None,
+        checkpoint_path: None,
+        resume: false,
+        kill_at: None,
+        lease_ticks: spec.lease,
+        drain_on: None,
+    };
+    let server = Server::bind(session.clone(), "127.0.0.1:0")?;
+    let server_addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let proxy = match spec.plan {
+        Some(plan) => Some(ChaosProxy::bind(server_addr, plan)?),
+        None => None,
+    };
+    let addr = proxy
+        .as_ref()
+        .map(|p| p.local_addr())
+        .unwrap_or(server_addr)
+        .to_string();
+
+    let start = Instant::now();
+    let mut driver = DriverConfig::new(addr, session, CONNS, "repro-disrupt".into());
+    driver.retries = 10_000;
+    driver.backoff_ms = 5;
+    driver.read_timeout_ms = Some(3_000);
+    driver.kill = spec.kill;
+    let report = drive(&driver)?;
+    let wall = start.elapsed().as_secs_f64();
+
+    let server_summary = server_thread
+        .join()
+        .map_err(|_| Error::InvalidData("optumd session thread panicked".into()))??
+        .summary();
+    if server_summary != report.summary {
+        return Err(Error::InvalidData(format!(
+            "disrupt arm {}: server and driver summaries diverge",
+            spec.name
+        )));
+    }
+    let proxy_report = proxy.as_ref().map(|p| p.report());
+    drop(proxy); // joins every relay thread
+    eprintln!(
+        "# disrupt arm {}: {} pods in {wall:.2}s, {} retries, digest {:016x}",
+        spec.name, report.summary.pods, report.counts.retries, report.summary.digest
+    );
+    Ok(Arm {
+        name: spec.name,
+        summary: report.summary,
+        submitted: report.counts.submitted,
+        queued: report.counts.queued,
+        dup: report.counts.dup,
+        retries: report.counts.retries,
+        evicted_slots: report.evicted_slots,
+        proxy: proxy_report,
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature sweep: convergence and the death-arm ledger at toy
+    /// scale (the full fast-scale run is golden-pinned in
+    /// `tests/golden_figures.rs`).
+    #[test]
+    fn disrupt_arms_converge_and_conserve() {
+        let cfg = ExpConfig {
+            hosts: 16,
+            days: 1,
+            seed: 11,
+            shards: None,
+        };
+        let fig = disrupt(&cfg).unwrap();
+        assert_eq!(fig.panels.len(), 3);
+        let outcomes = &fig.panels[0];
+        assert_eq!(outcomes.rows.len(), 5);
+        // Arms 0..4 share a digest (the convergence claim is also
+        // asserted inside `disrupt`, with a better message).
+        let digest = &outcomes.rows[0][8];
+        for row in &outcomes.rows[1..4] {
+            assert_eq!(&row[8], digest, "arm {} digest drifted", row[0]);
+        }
+        // The death arm denies the dead slot's remainder.
+        let disconnected: u64 = outcomes.rows[4][6].parse().unwrap();
+        assert!(disconnected > 0, "death arm must deny pods");
+    }
+}

@@ -20,6 +20,7 @@ pub mod check;
 pub mod churn;
 pub mod correlation;
 pub mod degrade;
+pub mod disrupt;
 pub mod endtoend;
 pub mod output;
 pub mod overhead;
@@ -81,9 +82,10 @@ pub fn run_figure_with(
         "fig22" => overhead::fig22(config),
         "scale" => scalebench::scale(config),
         "serve" => serve::serve(config),
+        "disrupt" => disrupt::disrupt(config),
         other => Err(optum_types::Error::InvalidConfig(format!(
             "unknown figure id '{other}'; known: {:?} + fig22 + churn + degrade + overload + \
-             scale + serve",
+             scale + serve + disrupt",
             ALL_FIGURES
         ))),
     }

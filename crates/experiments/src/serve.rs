@@ -61,21 +61,24 @@ pub fn serve_arms(config: &ExpConfig, grid: &[(usize, f64, Option<usize>)]) -> R
             checkpoint_path: None,
             resume: false,
             kill_at: None,
+            lease_ticks: None,
+            drain_on: None,
         };
         let server = Server::bind(session.clone(), "127.0.0.1:0")?;
         let addr = server.local_addr().to_string();
         let server_thread = std::thread::spawn(move || server.run());
         let start = Instant::now();
-        let report = drive(&DriverConfig {
+        let report = drive(&DriverConfig::new(
             addr,
             session,
             conns,
-            client: "repro-serve".into(),
-        })?;
+            "repro-serve".into(),
+        ))?;
         let wall = start.elapsed().as_secs_f64();
         let server_summary = server_thread
             .join()
-            .map_err(|_| Error::InvalidData("optumd session thread panicked".into()))??;
+            .map_err(|_| Error::InvalidData("optumd session thread panicked".into()))??
+            .summary();
         if server_summary != report.summary {
             return Err(Error::InvalidData(format!(
                 "serve arm conns={conns} rate={rate}: server and driver summaries diverge"

@@ -3,16 +3,49 @@
 //! ```text
 //! optumd [--fast] [--hosts N] [--days N] [--seed N] [--rate F]
 //!        [--queue-cap N] [--checkpoint-every N] [--checkpoint PATH]
-//!        [--resume] [--port N] [--addr-file PATH] [--kill-at T]
+//!        [--resume] [--lease N] [--port N] [--addr-file PATH]
+//!        [--kill-at T]
 //! ```
 //!
 //! Binds (port 0 by default — OS-assigned), announces the address on
 //! stderr and optionally in `--addr-file`, serves exactly one session,
 //! prints the deterministic outcome summary on stdout, and exits.
+//!
+//! `SIGTERM` triggers a graceful drain: the daemon checkpoints at the
+//! current step boundary (when `--checkpoint` is set), answers
+//! everything in flight, replies `draining` to every client, prints
+//! the drain tick, and exits 0. `optumd --resume` then continues the
+//! session from that checkpoint.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use optum_serve::{ServeConfig, Server, SessionSummary};
+use optum_serve::{ServeConfig, ServeOutcome, Server, SessionSummary};
+
+/// Set by the SIGTERM handler, polled by the engine loop.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_signum: i32) {
+    // Async-signal-safe: a single atomic store, nothing else.
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigterm() {
+    // libc is not a dependency; `signal` is in every libc the
+    // workspace builds against, so declare just that symbol.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm() {}
 
 fn main() {
     match run() {
@@ -51,6 +84,7 @@ fn run() -> optum_types::Result<()> {
             }
             "--checkpoint" => cfg.checkpoint_path = Some(PathBuf::from(value("--checkpoint")?)),
             "--resume" => cfg.resume = true,
+            "--lease" => cfg.lease_ticks = Some(parse(&value("--lease")?)?),
             "--kill-at" => cfg.kill_at = Some(parse(&value("--kill-at")?)?),
             "--port" => port = parse(&value("--port")?)?,
             "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file")?)),
@@ -62,6 +96,8 @@ fn run() -> optum_types::Result<()> {
         }
         i += 1;
     }
+    install_sigterm();
+    cfg.drain_on = Some(&DRAIN);
 
     let server = Server::bind(cfg, &format!("127.0.0.1:{port}"))?;
     let addr = server.local_addr();
@@ -77,16 +113,22 @@ fn run() -> optum_types::Result<()> {
             })?;
     }
 
-    let summary = server.run()?;
-    print_summary(&summary);
+    match server.run()? {
+        ServeOutcome::Completed(summary) => print_summary(&summary),
+        ServeOutcome::Drained { tick } => {
+            // Graceful SIGTERM drain; the session continues under
+            // --resume. Exit 0 — this is a clean shutdown.
+            println!("draining at tick {tick}");
+        }
+    }
     Ok(())
 }
 
 fn print_summary(s: &SessionSummary) {
     println!("digest {:016x}", s.digest);
     println!(
-        "session end_tick={} pods={} placed={} completed={} shed={} denied_rate={:.4}",
-        s.end_tick, s.pods, s.placed, s.completed, s.shed, s.denied_rate
+        "session end_tick={} pods={} placed={} completed={} shed={} disconnected={} denied_rate={:.4}",
+        s.end_tick, s.pods, s.placed, s.completed, s.shed, s.disconnected, s.denied_rate
     );
     for c in &s.per_class {
         println!(

@@ -3,12 +3,23 @@
 //! ```text
 //! optumload (--addr HOST:PORT | --addr-file PATH) [--fast]
 //!           [--hosts N] [--days N] [--seed N] [--rate F]
-//!           [--queue-cap N] [--conns N] [--wait-secs S]
+//!           [--queue-cap N] [--lease N] [--conns N] [--wait-secs S]
+//!           [--retries N] [--backoff-ms N] [--read-timeout-ms N]
+//!           [--kill-slot N --kill-after N]
 //! ```
 //!
-//! The workload flags must match the server's; the handshake rejects
-//! mismatches. `--addr-file` polls for the file optumd writes with
-//! `--addr-file`, which is how the CI smoke test avoids a port race.
+//! The workload flags (including `--lease`) must match the server's;
+//! the handshake rejects mismatches. `--addr-file` polls for the file
+//! optumd writes with `--addr-file`, which is how the CI smoke test
+//! avoids a port race.
+//!
+//! `--retries` makes each connection resilient: on transport loss it
+//! reconnects under capped exponential backoff and resubmits its plan
+//! idempotently (the server answers `dup` for covered pods), so the
+//! deterministic digest is unchanged by the faults. `--kill-slot N
+//! --kill-after M` turns slot N into a fault hook that dies for good
+//! after M submissions — with a server `--lease` the session still
+//! completes, the dead slot's remaining pods denied by disconnect.
 
 use std::path::PathBuf;
 
@@ -30,6 +41,11 @@ fn run() -> optum_types::Result<()> {
     let mut addr_file: Option<PathBuf> = None;
     let mut conns: usize = 1;
     let mut wait_secs: u64 = 30;
+    let mut retries: u32 = 0;
+    let mut backoff_ms: u64 = 50;
+    let mut read_timeout_ms: Option<u64> = None;
+    let mut kill_slot: Option<usize> = None;
+    let mut kill_after: usize = 0;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -48,8 +64,14 @@ fn run() -> optum_types::Result<()> {
             "--seed" => session.seed = parse(&value("--seed")?)?,
             "--rate" => session.rate = parse(&value("--rate")?)?,
             "--queue-cap" => session.queue_cap = Some(parse(&value("--queue-cap")?)?),
+            "--lease" => session.lease_ticks = Some(parse(&value("--lease")?)?),
             "--conns" => conns = parse(&value("--conns")?)?,
             "--wait-secs" => wait_secs = parse(&value("--wait-secs")?)?,
+            "--retries" => retries = parse(&value("--retries")?)?,
+            "--backoff-ms" => backoff_ms = parse(&value("--backoff-ms")?)?,
+            "--read-timeout-ms" => read_timeout_ms = Some(parse(&value("--read-timeout-ms")?)?),
+            "--kill-slot" => kill_slot = Some(parse(&value("--kill-slot")?)?),
+            "--kill-after" => kill_after = parse(&value("--kill-after")?)?,
             "--addr" => addr = Some(value("--addr")?),
             "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file")?)),
             other => {
@@ -71,12 +93,12 @@ fn run() -> optum_types::Result<()> {
         }
     };
 
-    let report = drive(&DriverConfig {
-        addr,
-        session,
-        conns,
-        client: "optumload".into(),
-    })?;
+    let mut cfg = DriverConfig::new(addr, session, conns, "optumload".into());
+    cfg.retries = retries;
+    cfg.backoff_ms = backoff_ms;
+    cfg.read_timeout_ms = read_timeout_ms;
+    cfg.kill = kill_slot.map(|s| (s, kill_after));
+    let report = drive(&cfg)?;
     print_report(&report);
     Ok(())
 }
@@ -102,12 +124,17 @@ fn print_report(r: &DriverReport) {
     let s = &r.summary;
     println!("digest {:016x}", s.digest);
     println!(
-        "session end_tick={} pods={} placed={} completed={} shed={} denied_rate={:.4}",
-        s.end_tick, s.pods, s.placed, s.completed, s.shed, s.denied_rate
+        "session end_tick={} pods={} placed={} completed={} shed={} disconnected={} denied_rate={:.4}",
+        s.end_tick, s.pods, s.placed, s.completed, s.shed, s.disconnected, s.denied_rate
     );
     println!(
-        "wire submitted={} queued={} shed={} dup={}",
-        r.counts.submitted, r.counts.queued, r.counts.shed, r.counts.dup
+        "wire submitted={} queued={} shed={} dup={} retries={} evicted={}",
+        r.counts.submitted,
+        r.counts.queued,
+        r.counts.shed,
+        r.counts.dup,
+        r.counts.retries,
+        r.counts.evicted
     );
     for c in &s.per_class {
         println!(
@@ -121,6 +148,26 @@ fn print_report(r: &DriverReport) {
             c.p99_wait,
             c.p999_wait
         );
+    }
+    // Live health from slot 0's pre-drain stats probe: watermarks,
+    // pending depth, lease budgets, evictions. Diagnostics, not state.
+    if let Some(stats) = &r.stats {
+        println!(
+            "health tick={} pending={} running={} evicted={} denied={}",
+            stats.tick, stats.pending, stats.running, stats.evicted, stats.denied
+        );
+        for h in &stats.health {
+            match h.lease_remaining {
+                Some(left) => println!(
+                    "slot {} watermark={} state={} lease_left={}",
+                    h.slot, h.watermark, h.state, left
+                ),
+                None => println!(
+                    "slot {} watermark={} state={}",
+                    h.slot, h.watermark, h.state
+                ),
+            }
+        }
     }
     // Wall-clock is measurement, not state: printed last, on stderr,
     // so deterministic stdout can be compared byte-for-byte.

@@ -11,24 +11,32 @@
 //!   replies) and PR 4 checkpoints as restart durability
 //!   (`optumd --resume`);
 //! * [`driver`] — `optumload`, an open-loop load driver replaying the
-//!   generated trace at a configurable rate multiplier;
+//!   generated trace at a configurable rate multiplier, reconnecting
+//!   under capped backoff and resubmitting idempotently when the
+//!   transport fails;
+//! * [`netchaos`] — a seeded chaos proxy that mangles the
+//!   client→server frame stream (drops, delays, reordering,
+//!   truncation, abrupt disconnects) for fault-injection runs;
 //! * [`summary`] — the deterministic end-of-session outcome panel.
 //!
 //! The contract pinned by this crate's test suite: a full
 //! client/server session is **replay-deterministic** — same seed and
 //! rate ⇒ byte-identical end-state digest and outcome panel,
-//! regardless of socket interleaving, connection count, or a kill -9
-//! and resume in the middle.
+//! regardless of socket interleaving, connection count, a kill -9 and
+//! resume in the middle, or any recoverable wire fault between client
+//! and server.
 
 pub mod driver;
+pub mod netchaos;
 pub mod proto;
 pub mod server;
 pub mod summary;
 
-pub use driver::{drive, DriverConfig, DriverReport, WireCounts};
+pub use driver::{drive, DriverConfig, DriverReport, StatsView, WireCounts};
+pub use netchaos::{ChaosProxy, NetChaosPlan, ProxyReport};
 pub use proto::{
     read_frame, send_reply, send_request, write_frame, ErrCode, FrameError, Reply, Request,
-    MAX_FRAME, PROTO_VERSION,
+    SlotHealth, MAX_FRAME, PROTO_VERSION,
 };
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, ServeOutcome, Server};
 pub use summary::{ClassSummary, SessionSummary};

@@ -28,7 +28,12 @@ use optum_types::Result;
 use crate::summary::SessionSummary;
 
 /// Protocol version spoken by this build; echoed in [`Reply::HelloOk`].
-pub const PROTO_VERSION: u64 = 1;
+///
+/// v2 added session liveness: `hello` names a slot in a fixed slot
+/// table (with an optional progress lease), replies gained `evicted`
+/// (a laggard slot's unsubmitted pods were denied) and `draining`
+/// (SIGTERM graceful shutdown), and `stats` carries per-slot health.
+pub const PROTO_VERSION: u64 = 2;
 
 /// Hard ceiling on a frame payload, in bytes. Nothing optumd speaks
 /// comes near this; anything larger is a corrupt or hostile peer.
@@ -43,6 +48,7 @@ const TAG_COMPLETE: u64 = 3;
 const TAG_STATS: u64 = 4;
 const TAG_CHECKPOINT: u64 = 5;
 const TAG_DRAIN: u64 = 6;
+const TAG_BYE: u64 = 7;
 
 const TAG_HELLO_OK: u64 = 64;
 const TAG_QUEUED: u64 = 65;
@@ -53,6 +59,8 @@ const TAG_STATS_OK: u64 = 69;
 const TAG_CHECKPOINT_OK: u64 = 70;
 const TAG_DRAINED: u64 = 71;
 const TAG_ERROR: u64 = 72;
+const TAG_EVICTED: u64 = 73;
+const TAG_DRAINING: u64 = 74;
 
 /// Machine-readable error codes carried by [`Reply::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +126,16 @@ pub enum Request {
         rate_bits: u64,
         /// Admission queue cap the client expects, if any.
         queue_cap: Option<u64>,
+        /// Submission slot this connection binds to (trace pods are
+        /// partitioned round-robin over slots). A reconnect re-hellos
+        /// the same slot and resumes its cursor.
+        slot: u64,
+        /// Total slot count of the session; every connection must
+        /// agree (the first `hello` fixes the table).
+        slots: u64,
+        /// Progress lease in virtual ticks the client expects, if any;
+        /// must match the server's configured lease.
+        lease: Option<u64>,
     },
     /// Submit the next pod of the trace at virtual tick `tick`.
     Submit {
@@ -139,6 +157,11 @@ pub enum Request {
     /// No more submissions from this connection; run the session to
     /// the end of its window and return the summary.
     Drain,
+    /// Final acknowledgement: the client received its `Drained`
+    /// summary and is closing. Lets the server's post-completion
+    /// linger phase end without waiting out its idle timeout; losing
+    /// it costs only wall clock, never correctness.
+    Bye,
 }
 
 /// Server → client messages.
@@ -154,6 +177,12 @@ pub enum Reply {
         next_pod: u64,
         /// Exclusive end of the session window.
         end_tick: u64,
+        /// Owned pods this slot has already covered (its submission
+        /// cursor). A reconnecting client resumes from here instead of
+        /// replaying its whole plan — with per-frame fault rates, full
+        /// replay makes the survivable prefix shrink below the
+        /// already-covered region and progress stalls permanently.
+        cursor: u64,
     },
     /// Pod admitted into the pending queue at `tick`.
     Queued { pod: u32, tick: u64 },
@@ -171,7 +200,7 @@ pub enum Reply {
         shed_at: Option<u64>,
         evictions: u64,
     },
-    /// Live counters at `tick`.
+    /// Live counters at `tick`, plus per-slot session health.
     StatsOk {
         tick: u64,
         pending: u64,
@@ -179,13 +208,63 @@ pub enum Reply {
         arrivals: u64,
         admitted: u64,
         shed: u64,
+        /// Slots evicted so far.
+        evicted: u64,
+        /// Pods denied by eviction so far.
+        denied: u64,
+        /// Live per-slot health, in slot order.
+        health: Vec<SlotHealth>,
     },
     /// Checkpoint written covering state up to `tick`.
     CheckpointOk { tick: u64 },
     /// Session complete; the deterministic outcome panel.
     Drained(SessionSummary),
+    /// The slot this connection was bound to has been evicted: it
+    /// failed to advance its watermark within its lease (or its
+    /// connection died permanently). `denied` counts its unsubmitted
+    /// pods denied so far; the server closes the connection after
+    /// sending this.
+    Evicted { slot: u64, tick: u64, denied: u64 },
+    /// The server is shutting down gracefully (SIGTERM): state was
+    /// checkpointed at `tick` and no further submissions are accepted.
+    Draining { tick: u64 },
     /// Request rejected; the stream remains usable.
     Error { code: ErrCode, message: String },
+}
+
+/// Live health of one submission slot, carried by [`Reply::StatsOk`]
+/// so a stalled session is observable before its lease bites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotHealth {
+    /// Slot index.
+    pub slot: u64,
+    /// Highest virtual tick the slot has vouched for.
+    pub watermark: u64,
+    /// Ticks of frontier progress left before the slot's lease
+    /// expires; `None` when no lease is configured (or the slot is
+    /// already draining/evicted).
+    pub lease_remaining: Option<u64>,
+    /// Slot state: 0 = active (attached), 1 = active (disconnected),
+    /// 2 = draining, 3 = evicted.
+    pub state: u64,
+}
+
+impl SlotHealth {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u64(self.slot);
+        w.put_u64(self.watermark);
+        w.put_opt_u64(self.lease_remaining);
+        w.put_u64(self.state);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<SlotHealth> {
+        Ok(SlotHealth {
+            slot: r.get_u64()?,
+            watermark: r.get_u64()?,
+            lease_remaining: r.get_opt_u64()?,
+            state: r.get_u64()?,
+        })
+    }
 }
 
 impl Request {
@@ -200,6 +279,9 @@ impl Request {
                 days,
                 rate_bits,
                 queue_cap,
+                slot,
+                slots,
+                lease,
             } => {
                 w.put_u64(TAG_HELLO);
                 w.put_str(client);
@@ -208,6 +290,9 @@ impl Request {
                 w.put_u64(*days);
                 w.put_u64(*rate_bits);
                 w.put_opt_u64(*queue_cap);
+                w.put_u64(*slot);
+                w.put_u64(*slots);
+                w.put_opt_u64(*lease);
             }
             Request::Submit { tick, pod } => {
                 w.put_u64(TAG_SUBMIT);
@@ -221,6 +306,7 @@ impl Request {
             Request::Stats => w.put_u64(TAG_STATS),
             Request::Checkpoint => w.put_u64(TAG_CHECKPOINT),
             Request::Drain => w.put_u64(TAG_DRAIN),
+            Request::Bye => w.put_u64(TAG_BYE),
         }
         w.into_bytes()
     }
@@ -237,6 +323,9 @@ impl Request {
                 days: r.get_u64()?,
                 rate_bits: r.get_u64()?,
                 queue_cap: r.get_opt_u64()?,
+                slot: r.get_u64()?,
+                slots: r.get_u64()?,
+                lease: r.get_opt_u64()?,
             },
             TAG_SUBMIT => Request::Submit {
                 tick: r.get_u64()?,
@@ -248,6 +337,7 @@ impl Request {
             TAG_STATS => Request::Stats,
             TAG_CHECKPOINT => Request::Checkpoint,
             TAG_DRAIN => Request::Drain,
+            TAG_BYE => Request::Bye,
             tag => {
                 return Err(optum_types::Error::InvalidData(format!(
                     "unknown request tag {tag}"
@@ -269,12 +359,14 @@ impl Reply {
                 resume_tick,
                 next_pod,
                 end_tick,
+                cursor,
             } => {
                 w.put_u64(TAG_HELLO_OK);
                 w.put_u64(*proto);
                 w.put_u64(*resume_tick);
                 w.put_u64(*next_pod);
                 w.put_u64(*end_tick);
+                w.put_u64(*cursor);
             }
             Reply::Queued { pod, tick } => {
                 w.put_u64(TAG_QUEUED);
@@ -313,6 +405,9 @@ impl Reply {
                 arrivals,
                 admitted,
                 shed,
+                evicted,
+                denied,
+                health,
             } => {
                 w.put_u64(TAG_STATS_OK);
                 w.put_u64(*tick);
@@ -321,6 +416,12 @@ impl Reply {
                 w.put_u64(*arrivals);
                 w.put_u64(*admitted);
                 w.put_u64(*shed);
+                w.put_u64(*evicted);
+                w.put_u64(*denied);
+                w.put_u64(health.len() as u64);
+                for h in health {
+                    h.encode(&mut w);
+                }
             }
             Reply::CheckpointOk { tick } => {
                 w.put_u64(TAG_CHECKPOINT_OK);
@@ -329,6 +430,16 @@ impl Reply {
             Reply::Drained(summary) => {
                 w.put_u64(TAG_DRAINED);
                 summary.encode(&mut w);
+            }
+            Reply::Evicted { slot, tick, denied } => {
+                w.put_u64(TAG_EVICTED);
+                w.put_u64(*slot);
+                w.put_u64(*tick);
+                w.put_u64(*denied);
+            }
+            Reply::Draining { tick } => {
+                w.put_u64(TAG_DRAINING);
+                w.put_u64(*tick);
             }
             Reply::Error { code, message } => {
                 w.put_u64(TAG_ERROR);
@@ -349,6 +460,7 @@ impl Reply {
                 resume_tick: r.get_u64()?,
                 next_pod: r.get_u64()?,
                 end_tick: r.get_u64()?,
+                cursor: r.get_u64()?,
             },
             TAG_QUEUED => Reply::Queued {
                 pod: pod_id(&mut r)?,
@@ -369,16 +481,45 @@ impl Reply {
                 shed_at: r.get_opt_u64()?,
                 evictions: r.get_u64()?,
             },
-            TAG_STATS_OK => Reply::StatsOk {
-                tick: r.get_u64()?,
-                pending: r.get_u64()?,
-                running: r.get_u64()?,
-                arrivals: r.get_u64()?,
-                admitted: r.get_u64()?,
-                shed: r.get_u64()?,
-            },
+            TAG_STATS_OK => {
+                let tick = r.get_u64()?;
+                let pending = r.get_u64()?;
+                let running = r.get_u64()?;
+                let arrivals = r.get_u64()?;
+                let admitted = r.get_u64()?;
+                let shed = r.get_u64()?;
+                let evicted = r.get_u64()?;
+                let denied = r.get_u64()?;
+                let n = r.get_len()?;
+                if n > MAX_FRAME / 8 {
+                    return Err(optum_types::Error::InvalidData(format!(
+                        "stats health list of {n} slots exceeds any valid frame"
+                    )));
+                }
+                let mut health = Vec::with_capacity(n);
+                for _ in 0..n {
+                    health.push(SlotHealth::decode(&mut r)?);
+                }
+                Reply::StatsOk {
+                    tick,
+                    pending,
+                    running,
+                    arrivals,
+                    admitted,
+                    shed,
+                    evicted,
+                    denied,
+                    health,
+                }
+            }
             TAG_CHECKPOINT_OK => Reply::CheckpointOk { tick: r.get_u64()? },
             TAG_DRAINED => Reply::Drained(SessionSummary::decode(&mut r)?),
+            TAG_EVICTED => Reply::Evicted {
+                slot: r.get_u64()?,
+                tick: r.get_u64()?,
+                denied: r.get_u64()?,
+            },
+            TAG_DRAINING => Reply::Draining { tick: r.get_u64()? },
             TAG_ERROR => {
                 let code = r.get_u64()?;
                 let code = ErrCode::from_u64(code).ok_or_else(|| {

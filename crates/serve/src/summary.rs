@@ -17,7 +17,7 @@ pub struct ClassSummary {
     /// Position in [`SloClass::ALL`].
     pub class: u8,
     /// Pods of this class submitted (admission ledger: `admitted +
-    /// shed + throttled_end == arrivals`).
+    /// shed + throttled_end + disconnected == arrivals`).
     pub arrivals: u64,
     /// Admitted into the pending queue (net of later cap sheds).
     pub admitted: u64,
@@ -25,6 +25,8 @@ pub struct ClassSummary {
     pub shed: u64,
     /// Still throttled when the window closed.
     pub throttled_end: u64,
+    /// Denied because the submitting connection was evicted.
+    pub disconnected: u64,
     /// Pods ever placed on a host.
     pub placed: u64,
     /// Pods whose run completed inside the window.
@@ -49,6 +51,7 @@ impl ClassSummary {
         w.put_u64(self.admitted);
         w.put_u64(self.shed);
         w.put_u64(self.throttled_end);
+        w.put_u64(self.disconnected);
         w.put_u64(self.placed);
         w.put_u64(self.completed);
         w.put_u64(self.p50_wait);
@@ -63,6 +66,7 @@ impl ClassSummary {
             admitted: r.get_u64()?,
             shed: r.get_u64()?,
             throttled_end: r.get_u64()?,
+            disconnected: r.get_u64()?,
             placed: r.get_u64()?,
             completed: r.get_u64()?,
             p50_wait: r.get_u64()?,
@@ -91,6 +95,8 @@ pub struct SessionSummary {
     pub shed: u64,
     /// Pods still throttled at the end of the window.
     pub throttled_end: u64,
+    /// Pods denied because their submitting connection was evicted.
+    pub disconnected: u64,
     /// Denied-service rate: `shed / arrivals` (0 when nothing arrived).
     pub denied_rate: f64,
     /// Per-class ledgers and latency tails, in [`SloClass::ALL`] order
@@ -124,6 +130,7 @@ impl SessionSummary {
                 admitted: ledger.admitted,
                 shed: ledger.shed,
                 throttled_end: ledger.throttled_end,
+                disconnected: ledger.disconnected,
                 placed,
                 completed,
                 p50_wait: quantile(&waits, 0.50),
@@ -146,6 +153,7 @@ impl SessionSummary {
             completed: per_class.iter().map(|c| c.completed).sum(),
             shed,
             throttled_end: per_class.iter().map(|c| c.throttled_end).sum(),
+            disconnected: per_class.iter().map(|c| c.disconnected).sum(),
             denied_rate,
             per_class,
         }
@@ -155,7 +163,7 @@ impl SessionSummary {
     pub fn ledger_holds(&self) -> bool {
         self.per_class
             .iter()
-            .all(|c| c.admitted + c.shed + c.throttled_end == c.arrivals)
+            .all(|c| c.admitted + c.shed + c.throttled_end + c.disconnected == c.arrivals)
     }
 
     pub(crate) fn encode(&self, w: &mut SnapWriter) {
@@ -166,6 +174,7 @@ impl SessionSummary {
         w.put_u64(self.completed);
         w.put_u64(self.shed);
         w.put_u64(self.throttled_end);
+        w.put_u64(self.disconnected);
         w.put_f64(self.denied_rate);
         w.put_u64(self.per_class.len() as u64);
         for c in &self.per_class {
@@ -181,6 +190,7 @@ impl SessionSummary {
         let completed = r.get_u64()?;
         let shed = r.get_u64()?;
         let throttled_end = r.get_u64()?;
+        let disconnected = r.get_u64()?;
         let denied_rate = r.get_f64()?;
         let n = r.get_len()?;
         let mut per_class = Vec::with_capacity(n.min(64));
@@ -195,6 +205,7 @@ impl SessionSummary {
             completed,
             shed,
             throttled_end,
+            disconnected,
             denied_rate,
             per_class,
         })

@@ -16,17 +16,18 @@ fn run_session(cfg: ServeConfig, conns: usize) -> (optum_serve::DriverReport, u6
     let server = Server::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr().to_string();
     let server_thread = std::thread::spawn(move || server.run());
-    let report = drive(&DriverConfig {
+    let report = drive(&DriverConfig::new(
         addr,
-        session: cfg,
+        cfg,
         conns,
-        client: "backpressure-test".into(),
-    })
+        "backpressure-test".into(),
+    ))
     .expect("driver session");
     let server_summary = server_thread
         .join()
         .expect("server thread")
-        .expect("server run");
+        .expect("server run")
+        .summary();
     assert_eq!(
         server_summary, report.summary,
         "server and client disagree on the session summary"

@@ -1,0 +1,313 @@
+//! Session liveness: leases evict stalled slots deterministically, a
+//! connection dying mid-frame never wedges or leaks the daemon, and a
+//! graceful drain answers everything in flight.
+//!
+//! These tests speak the wire protocol by hand (raw framed sockets)
+//! so they can do hostile things the driver never would: go silent
+//! after `hello`, die halfway through a submit frame, or hold a
+//! socket open past the end of the session.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use optum_serve::{
+    drive, read_frame, send_request, DriverConfig, Reply, Request, ServeConfig, ServeOutcome,
+    Server,
+};
+
+/// A tiny session so these tests stay fast.
+fn tiny() -> ServeConfig {
+    let mut cfg = ServeConfig::fast();
+    cfg.hosts = 12;
+    cfg.days = 1;
+    cfg
+}
+
+/// Per-slot submission plans, exactly as the driver builds them.
+fn plans(cfg: &ServeConfig, nslots: usize) -> Vec<Vec<(u64, u32)>> {
+    let workload = cfg.workload().expect("workload");
+    let mut plans = vec![Vec::new(); nslots];
+    for (i, pod) in workload.pods.iter().enumerate() {
+        plans[i % nslots].push((pod.spec.arrival.0, pod.spec.id.0));
+    }
+    plans
+}
+
+struct RawClient {
+    w: BufWriter<TcpStream>,
+    r: BufReader<TcpStream>,
+}
+
+impl RawClient {
+    fn connect(addr: &str) -> RawClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let read_half = stream.try_clone().expect("clone");
+        RawClient {
+            w: BufWriter::new(stream),
+            r: BufReader::new(read_half),
+        }
+    }
+
+    fn hello(&mut self, cfg: &ServeConfig, slot: u64, slots: u64) -> Reply {
+        send_request(
+            &mut self.w,
+            &Request::Hello {
+                client: format!("liveness-test#{slot}"),
+                seed: cfg.seed,
+                hosts: cfg.hosts as u64,
+                days: cfg.days,
+                rate_bits: cfg.rate.to_bits(),
+                queue_cap: cfg.queue_cap.map(|c| c as u64),
+                slot,
+                slots,
+                lease: cfg.lease_ticks,
+            },
+        )
+        .expect("send hello");
+        self.w.flush().expect("flush hello");
+        self.recv()
+    }
+
+    fn send(&mut self, req: &Request) {
+        send_request(&mut self.w, req).expect("send request");
+    }
+
+    fn flush(&mut self) {
+        self.w.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Reply {
+        let payload = read_frame(&mut self.r).expect("read reply frame");
+        Reply::decode(&payload).expect("decode reply")
+    }
+}
+
+/// The stalled-connection regression the lease exists for: one slot
+/// submits everything and drains, the other says `hello` and then
+/// goes silent forever without closing its socket. Under a finite
+/// lease the session must still complete, with exactly the silent
+/// slot's pods denied into the `disconnected` class — and `run()`
+/// must return even though the silent client never hangs up, which is
+/// the reader-teardown guarantee.
+#[test]
+fn silent_client_is_evicted_and_the_session_completes() {
+    let mut cfg = tiny();
+    cfg.lease_ticks = Some(100);
+    let server = Server::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let plans = plans(&cfg, 2);
+    let silent_pods = plans[1].len() as u64;
+
+    // Slot 1: hello, then nothing, ever. Keep the socket open so the
+    // server cannot lean on EOF to notice.
+    let mut silent = RawClient::connect(&addr);
+    assert!(
+        matches!(silent.hello(&cfg, 1, 2), Reply::HelloOk { .. }),
+        "silent client handshake"
+    );
+
+    // Slot 0: the whole plan, then drain, then wait for the summary.
+    let mut active = RawClient::connect(&addr);
+    assert!(matches!(active.hello(&cfg, 0, 2), Reply::HelloOk { .. }));
+    for &(tick, pod) in &plans[0] {
+        active.send(&Request::Submit { tick, pod });
+    }
+    active.send(&Request::Drain);
+    active.flush();
+
+    let summary = loop {
+        match active.recv() {
+            Reply::Queued { .. } | Reply::Shed { .. } | Reply::Dup { .. } => {}
+            Reply::Drained(summary) => break summary,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    };
+    let outcome = server_thread.join().expect("server thread").expect("run");
+    assert_eq!(outcome, ServeOutcome::Completed(summary.clone()));
+
+    assert_eq!(
+        summary.disconnected, silent_pods,
+        "exactly the silent slot's pods are denied by disconnect"
+    );
+    assert!(
+        summary.ledger_holds(),
+        "conservation with evictions: {summary:?}"
+    );
+    assert!(
+        summary.placed > 0,
+        "the surviving slot's pods still get scheduled"
+    );
+
+    // The silent client was told why it lost its slot — an `evicted`
+    // reply naming the denied count — and then its socket was shut
+    // down: the read after that must see EOF, not hang.
+    match silent.recv() {
+        Reply::Evicted { slot, denied, .. } => {
+            assert_eq!(slot, 1);
+            assert_eq!(denied, silent_pods);
+        }
+        other => panic!("expected an evicted reply, got {other:?}"),
+    }
+    assert!(
+        read_frame(&mut silent.r).is_err(),
+        "silent client socket must be closed after the eviction"
+    );
+}
+
+/// A connection killed halfway through a submit frame must not wedge
+/// the daemon: the reader reports the truncation, the slot detaches,
+/// a reconnect re-hellos the same slot and resubmits idempotently,
+/// and the final digest equals an undisturbed session's.
+#[test]
+fn mid_frame_death_then_reconnect_converges() {
+    let cfg = tiny();
+
+    // Undisturbed baseline digest, via the ordinary driver.
+    let server = Server::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let baseline_thread = std::thread::spawn(move || server.run());
+    let baseline = drive(&DriverConfig::new(addr, cfg.clone(), 2, "baseline".into()))
+        .expect("baseline session");
+    baseline_thread.join().expect("join").expect("run");
+
+    let server = Server::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+    let plans = plans(&cfg, 2);
+
+    // Slot 1 submits a few pods, then dies mid-frame: length prefix
+    // plus half a payload, then a hard close.
+    let mut dying = RawClient::connect(&addr);
+    assert!(matches!(dying.hello(&cfg, 1, 2), Reply::HelloOk { .. }));
+    for &(tick, pod) in plans[1].iter().take(3) {
+        dying.send(&Request::Submit { tick, pod });
+    }
+    let (tick, pod) = plans[1][3];
+    let payload = Request::Submit { tick, pod }.encode();
+    let len = payload.len() as u32;
+    dying.w.write_all(&len.to_le_bytes()).expect("prefix");
+    dying
+        .w
+        .write_all(&payload[..payload.len() / 2])
+        .expect("half payload");
+    dying.flush();
+    drop(dying); // abrupt close, mid-frame
+
+    // The daemon keeps serving: a fresh connection takes over slot 1
+    // and replays the plan from the start (dups for the prefix).
+    let mut retry = RawClient::connect(&addr);
+    assert!(matches!(retry.hello(&cfg, 1, 2), Reply::HelloOk { .. }));
+    for &(tick, pod) in &plans[1] {
+        retry.send(&Request::Submit { tick, pod });
+    }
+    retry.send(&Request::Drain);
+    retry.flush();
+
+    // Slot 0 runs its plan normally.
+    let mut active = RawClient::connect(&addr);
+    assert!(matches!(active.hello(&cfg, 0, 2), Reply::HelloOk { .. }));
+    for &(tick, pod) in &plans[0] {
+        active.send(&Request::Submit { tick, pod });
+    }
+    active.send(&Request::Drain);
+    active.flush();
+
+    let mut dups = 0u64;
+    let summary = loop {
+        match retry.recv() {
+            Reply::Queued { .. } | Reply::Shed { .. } => {}
+            Reply::Dup { .. } => dups += 1,
+            Reply::Drained(summary) => break summary,
+            other => panic!("unexpected reply on retry conn: {other:?}"),
+        }
+    };
+    server_thread.join().expect("server thread").expect("run");
+
+    assert_eq!(
+        summary.digest, baseline.summary.digest,
+        "mid-frame death plus reconnect must converge to the fault-free digest"
+    );
+    assert_eq!(
+        dups, 3,
+        "the three pods ingested before the death are acknowledged as dups"
+    );
+    assert_eq!(summary.disconnected, 0, "nothing was denied — only delayed");
+}
+
+/// A re-`hello` for a slot that is still attached displaces the old
+/// connection: the server shuts the stale socket so its frames can
+/// never race the new one's.
+#[test]
+fn rehello_displaces_the_old_connection() {
+    let cfg = tiny();
+    let server = Server::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+    let plans = plans(&cfg, 1);
+
+    let mut old = RawClient::connect(&addr);
+    assert!(matches!(old.hello(&cfg, 0, 1), Reply::HelloOk { .. }));
+
+    let mut new = RawClient::connect(&addr);
+    assert!(matches!(new.hello(&cfg, 0, 1), Reply::HelloOk { .. }));
+
+    // The displaced socket is closed by the server.
+    assert!(
+        read_frame(&mut old.r).is_err(),
+        "displaced connection must be shut down"
+    );
+
+    for &(tick, pod) in &plans[0] {
+        new.send(&Request::Submit { tick, pod });
+    }
+    new.send(&Request::Drain);
+    new.flush();
+    loop {
+        match new.recv() {
+            Reply::Queued { .. } | Reply::Shed { .. } | Reply::Dup { .. } => {}
+            Reply::Drained(_) => break,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    server_thread.join().expect("server thread").expect("run");
+}
+
+/// Graceful drain: when the drain flag flips, every connected client
+/// gets a clean `draining` reply and the server returns
+/// [`ServeOutcome::Drained`] instead of a summary.
+#[test]
+fn drain_flag_stops_the_session_cleanly() {
+    let mut cfg = tiny();
+    let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    cfg.drain_on = Some(flag);
+    let server = Server::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let plans = plans(&cfg, 1);
+    let mut client = RawClient::connect(&addr);
+    assert!(matches!(client.hello(&cfg, 0, 1), Reply::HelloOk { .. }));
+    for &(tick, pod) in plans[0].iter().take(8) {
+        client.send(&Request::Submit { tick, pod });
+    }
+    client.flush();
+
+    flag.store(true, Ordering::SeqCst);
+
+    // Whatever verdicts were in flight arrive first, then `draining`.
+    let tick = loop {
+        match client.recv() {
+            Reply::Queued { .. } | Reply::Shed { .. } | Reply::Dup { .. } => {}
+            Reply::Draining { tick } => break tick,
+            other => panic!("unexpected reply while draining: {other:?}"),
+        }
+    };
+    let outcome = server_thread.join().expect("server thread").expect("run");
+    assert_eq!(outcome, ServeOutcome::Drained { tick });
+
+    // And the socket is closed cleanly after the draining reply.
+    assert!(read_frame(&mut client.r).is_err());
+}

@@ -3,14 +3,14 @@
 
 use optum_serve::{
     read_frame, write_frame, ClassSummary, ErrCode, FrameError, Reply, Request, SessionSummary,
-    MAX_FRAME,
+    SlotHealth, MAX_FRAME,
 };
 use optum_sim::SnapWriter;
 use proptest::prelude::*;
 
 /// Builds one of every request kind from drawn primitives.
 fn request_from(kind: u64, a: u64, b: u64, cap: Option<u64>, text: &[u8]) -> Request {
-    match kind % 6 {
+    match kind % 7 {
         0 => Request::Hello {
             client: String::from_utf8_lossy(text).into_owned(),
             seed: a,
@@ -18,6 +18,9 @@ fn request_from(kind: u64, a: u64, b: u64, cap: Option<u64>, text: &[u8]) -> Req
             days: a ^ b,
             rate_bits: 1.5f64.to_bits(),
             queue_cap: cap,
+            slot: a % 7,
+            slots: a % 7 + 1 + b % 9,
+            lease: cap.map(|c| c.wrapping_add(1)),
         },
         1 => Request::Submit {
             tick: a,
@@ -26,18 +29,20 @@ fn request_from(kind: u64, a: u64, b: u64, cap: Option<u64>, text: &[u8]) -> Req
         2 => Request::Complete { pod: a as u32 },
         3 => Request::Stats,
         4 => Request::Checkpoint,
-        _ => Request::Drain,
+        5 => Request::Drain,
+        _ => Request::Bye,
     }
 }
 
 /// Builds one of every reply kind from drawn primitives.
 fn reply_from(kind: u64, a: u64, b: u64, opt: Option<u64>, text: &[u8]) -> Reply {
-    match kind % 9 {
+    match kind % 11 {
         0 => Reply::HelloOk {
             proto: a,
             resume_tick: b,
             next_pod: a ^ b,
             end_tick: a.wrapping_add(b),
+            cursor: b.wrapping_mul(3),
         },
         1 => Reply::Queued {
             pod: a as u32,
@@ -63,6 +68,16 @@ fn reply_from(kind: u64, a: u64, b: u64, opt: Option<u64>, text: &[u8]) -> Reply
             arrivals: a,
             admitted: b,
             shed: a.min(b),
+            evicted: a % 5,
+            denied: b % 1000,
+            health: (0..(a % 4))
+                .map(|i| SlotHealth {
+                    slot: i,
+                    watermark: b.wrapping_add(i),
+                    lease_remaining: opt.map(|x| x ^ i),
+                    state: i % 4,
+                })
+                .collect(),
         },
         6 => Reply::CheckpointOk { tick: a },
         7 => Reply::Drained(SessionSummary {
@@ -73,6 +88,7 @@ fn reply_from(kind: u64, a: u64, b: u64, opt: Option<u64>, text: &[u8]) -> Reply
             completed: b / 3,
             shed: b / 5,
             throttled_end: b / 7,
+            disconnected: b / 11,
             denied_rate: (a % 1000) as f64 / 1000.0,
             per_class: vec![ClassSummary {
                 class: (a % 6) as u8,
@@ -80,6 +96,7 @@ fn reply_from(kind: u64, a: u64, b: u64, opt: Option<u64>, text: &[u8]) -> Reply
                 admitted: a / 2,
                 shed: a / 3,
                 throttled_end: a / 5,
+                disconnected: a / 7,
                 placed: b,
                 completed: b / 2,
                 p50_wait: a % 97,
@@ -87,6 +104,12 @@ fn reply_from(kind: u64, a: u64, b: u64, opt: Option<u64>, text: &[u8]) -> Reply
                 p999_wait: a % 7919,
             }],
         }),
+        8 => Reply::Evicted {
+            slot: a % 64,
+            tick: b,
+            denied: a.wrapping_add(b),
+        },
+        9 => Reply::Draining { tick: a },
         _ => Reply::Error {
             code: [
                 ErrCode::Malformed,
@@ -104,7 +127,7 @@ fn reply_from(kind: u64, a: u64, b: u64, opt: Option<u64>, text: &[u8]) -> Reply
 proptest! {
     #[test]
     fn every_request_roundtrips(
-        kab in (0u64..6, 0u64..u64::MAX, 0u64..u32::MAX as u64),
+        kab in (0u64..7, 0u64..u64::MAX, 0u64..u32::MAX as u64),
         cap in proptest::option::of(0u64..1_000_000),
         text in proptest::collection::vec(0u8..255, 0..24),
     ) {
@@ -116,7 +139,7 @@ proptest! {
 
     #[test]
     fn every_reply_roundtrips(
-        kab in (0u64..9, 0u64..u64::MAX, 0u64..u64::MAX),
+        kab in (0u64..11, 0u64..u64::MAX, 0u64..u64::MAX),
         opt in proptest::option::of(0u64..u64::MAX),
         text in proptest::collection::vec(0u8..255, 0..24),
     ) {
@@ -139,7 +162,7 @@ proptest! {
     /// half-decoded: a truncated frame cannot smuggle a message.
     #[test]
     fn truncated_requests_are_rejected(
-        kab in (0u64..6, 0u64..u64::MAX, 0u64..u32::MAX as u64),
+        kab in (0u64..7, 0u64..u64::MAX, 0u64..u32::MAX as u64),
     ) {
         let (kind, a, b) = kab;
         let full = request_from(kind, a, b, Some(9), b"trunc").encode();
@@ -151,13 +174,48 @@ proptest! {
     /// Trailing garbage after a valid message is rejected.
     #[test]
     fn trailing_bytes_are_rejected(
-        kab in (0u64..6, 0u64..u64::MAX, 0u64..u32::MAX as u64),
+        kab in (0u64..7, 0u64..u64::MAX, 0u64..u32::MAX as u64),
         extra in proptest::collection::vec(0u8..255, 1..16),
     ) {
         let (kind, a, b) = kab;
         let mut full = request_from(kind, a, b, None, b"x").encode();
         full.extend_from_slice(&extra);
         prop_assert!(Request::decode(&full).is_err());
+    }
+
+    /// A chaos-mangled frame stream — valid frames with a random tail
+    /// cut and random byte flips, the exact damage the netchaos proxy
+    /// inflicts — never panics the framing or message decoders: every
+    /// frame either decodes or errors, and reading always terminates.
+    #[test]
+    fn mangled_frame_streams_never_panic_or_wedge(
+        kinds in proptest::collection::vec(0u64..7, 1..8),
+        cut_frac in 0.0f64..1.0,
+        flips in proptest::collection::vec((0usize..4096, 0u8..255), 0..6),
+    ) {
+        let mut wire = Vec::new();
+        for (i, &kind) in kinds.iter().enumerate() {
+            let req = request_from(kind, i as u64, i as u64 + 7, Some(i as u64), b"chaos");
+            write_frame(&mut wire, &req.encode()).unwrap();
+        }
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        wire.truncate(cut);
+        for &(at, val) in &flips {
+            if !wire.is_empty() {
+                let at = at % wire.len();
+                wire[at] ^= val;
+            }
+        }
+        let mut cursor = std::io::Cursor::new(&wire);
+        // Bounded by construction: every iteration either consumes at
+        // least the 4-byte prefix or errors out.
+        for _ in 0..kinds.len() + 1 {
+            match read_frame(&mut cursor) {
+                Ok(payload) => { let _ = Request::decode(&payload); }
+                Err(_) => break,
+            }
+        }
+        prop_assert!(true);
     }
 
     /// A truncated length prefix or payload surfaces as a framing

@@ -63,12 +63,12 @@ fn spawn_optumd(dir: &std::path::Path, tag: &str, extra: &[&str]) -> Daemon {
 }
 
 fn drive_against(addr: &str, conns: usize) -> DriverReport {
-    drive(&DriverConfig {
-        addr: addr.to_string(),
-        session: session(),
+    drive(&DriverConfig::new(
+        addr.to_string(),
+        session(),
         conns,
-        client: "replay-test".into(),
-    })
+        "replay-test".into(),
+    ))
     .expect("driver session")
 }
 
@@ -114,9 +114,10 @@ fn sessions_are_replay_deterministic_across_connection_counts() {
 }
 
 /// Kill -9 mid-session (deterministic `--kill-at`), resume from the
-/// checkpoint, replay the whole trace: the resumed session converges
-/// to the same digest as an uninterrupted one, with the replayed
-/// prefix acknowledged as duplicates.
+/// checkpoint, reconnect: the resumed session converges to the same
+/// digest as an uninterrupted one. The hello reply carries the slot's
+/// submission cursor, so the client resumes past the covered prefix
+/// instead of replaying it — a clean resume produces no duplicates.
 #[test]
 fn killed_session_resumes_to_the_same_digest() {
     let dir = tempdir("resume");
@@ -141,13 +142,9 @@ fn killed_session_resumes_to_the_same_digest() {
     );
     let addr = killed.addr.clone();
     let driver = std::thread::spawn(move || {
-        // The server dies mid-session, so the driver must fail.
-        drive(&DriverConfig {
-            addr,
-            session: session(),
-            conns: 2,
-            client: "replay-test".into(),
-        })
+        // The server dies mid-session, so the non-resilient driver
+        // (zero retries) must fail.
+        drive(&DriverConfig::new(addr, session(), 2, "replay-test".into()))
     });
     let mut killed = killed;
     let status = killed.child.wait().expect("killed optumd exit");
@@ -178,14 +175,14 @@ fn killed_session_resumes_to_the_same_digest() {
         resumed_report.summary, base_report.summary,
         "resumed outcome panel must match the uninterrupted one"
     );
-    assert!(
-        resumed_report.counts.dup > 0,
-        "the replayed prefix must be acknowledged as duplicates"
+    assert_eq!(
+        resumed_report.counts.dup, 0,
+        "the hello cursor skips the covered prefix; nothing replays as a duplicate"
     );
     assert_eq!(
         resumed_report.counts.queued + resumed_report.counts.shed + resumed_report.counts.dup,
         resumed_report.counts.submitted,
-        "every replayed submission gets exactly one verdict"
+        "every submission gets exactly one verdict"
     );
 }
 

@@ -33,7 +33,12 @@ pub const SNAP_MAGIC: [u8; 8] = *b"OPTSNP\x00\x01";
 /// v3 added the shard layout (shard count + host-range map) to the
 /// header, directly after the workload fingerprint: a run checkpointed
 /// under one `--shards` value must not silently resume under another.
-pub const SNAP_VERSION: u64 = 3;
+///
+/// v4 added the denied-by-disconnect outcome class (the serve
+/// front-end's eviction of stalled client connections): a per-outcome
+/// `disconnected_at` tick after `shed_at`, and a per-class
+/// `disconnected` counter in the overload ledger.
+pub const SNAP_VERSION: u64 = 4;
 
 /// FNV-1a over a byte stream (the trailer checksum).
 pub fn fnv1a(bytes: &[u8]) -> u64 {

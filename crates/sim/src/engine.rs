@@ -212,6 +212,30 @@ pub struct Simulator<'w, S: Scheduler> {
     ev_completed: Vec<PodId>,
     ev_evicted: Vec<PodId>,
     ev_shed: Vec<PodId>,
+    ev_denied: Vec<PodId>,
+}
+
+/// One entry of the submission channel for
+/// [`Simulator::step_entries`]: either a client submission of the next
+/// trace pod, or a front-end denial of it (the pod's owning connection
+/// was evicted before it could submit). Both consume the trace cursor,
+/// so a mixed entry stream still covers the trace consecutively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitEntry {
+    /// Submit the pod into the admission controller.
+    Submit(PodId),
+    /// Deny the pod: it lands in the `disconnected` ledger class
+    /// without ever entering the pending queue.
+    Deny(PodId),
+}
+
+impl SubmitEntry {
+    /// The pod this entry concerns.
+    pub fn pod(&self) -> PodId {
+        match *self {
+            SubmitEntry::Submit(p) | SubmitEntry::Deny(p) => p,
+        }
+    }
 }
 
 /// Everything one incremental tick produced (see [`Simulator::step`]):
@@ -233,6 +257,9 @@ pub struct StepOutbox {
     /// Pods shed by admission control this tick (at submission for a
     /// full queue, or from the queue back under cap pressure).
     pub shed: Vec<PodId>,
+    /// Pods denied this tick because their submitting connection was
+    /// evicted (only ever produced by [`SubmitEntry::Deny`] entries).
+    pub denied: Vec<PodId>,
 }
 
 // The experiment layer fans independent simulations out across worker
@@ -324,6 +351,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                 rank_by_usage: None,
                 rank_by_request: None,
                 shed_at: None,
+                disconnected_at: None,
             })
             .collect();
         let faults = std::mem::take(&mut config.fault_events);
@@ -401,6 +429,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             ev_completed: Vec::new(),
             ev_evicted: Vec::new(),
             ev_shed: Vec::new(),
+            ev_denied: Vec::new(),
         })
     }
 
@@ -489,6 +518,18 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
     /// checkpointing (`checkpoint_every`) applies here exactly as in
     /// the batch loop.
     pub fn step(&mut self, t: Tick, inbox: &[PodId]) -> Result<StepOutbox> {
+        let entries: Vec<SubmitEntry> = inbox.iter().map(|&p| SubmitEntry::Submit(p)).collect();
+        self.step_entries(t, &entries)
+    }
+
+    /// [`Simulator::step`] with a mixed submission channel: `Submit`
+    /// entries go through the admission controller exactly as in
+    /// `step`, `Deny` entries consume their trace slot into the
+    /// `disconnected` ledger class (a serve front-end denying the
+    /// unsubmitted pods of an evicted client connection). The combined
+    /// stream must still cover the trace consecutively, each entry at
+    /// or past its pod's arrival tick.
+    pub fn step_entries(&mut self, t: Tick, inbox: &[SubmitEntry]) -> Result<StepOutbox> {
         if t != self.next_step {
             return Err(Error::InvalidConfig(format!(
                 "step(tick {}) out of order: the engine is at tick {}",
@@ -507,8 +548,9 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
         self.ev_completed.clear();
         self.ev_evicted.clear();
         self.ev_shed.clear();
+        self.ev_denied.clear();
         self.maybe_checkpoint(t)?;
-        let (sub_be, sub_ls) = self.admit_inbox(t, inbox)?;
+        let (sub_be, sub_ls) = self.admit_entries(t, inbox)?;
         self.tick_tail(t, sub_be, sub_ls);
         self.next_step = t.next();
         Ok(StepOutbox {
@@ -517,6 +559,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             completed: std::mem::take(&mut self.ev_completed),
             evicted: std::mem::take(&mut self.ev_evicted),
             shed: std::mem::take(&mut self.ev_shed),
+            denied: std::mem::take(&mut self.ev_denied),
         })
     }
 
@@ -822,15 +865,17 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
     }
 
     /// Serve-mode admission: the inbox replaces the trace cursor's
-    /// arrival scan, but must agree with it — each submission must be
-    /// the next pod of the trace, submitted at or after its arrival
-    /// tick. Feeding every tick the pods whose arrival falls on it
-    /// makes this bit-identical to [`Simulator::admit_arrivals`].
-    fn admit_inbox(&mut self, t: Tick, inbox: &[PodId]) -> Result<(usize, usize)> {
+    /// arrival scan, but must agree with it — each entry must concern
+    /// the next pod of the trace, submitted (or denied) at or after
+    /// its arrival tick. Feeding every tick `Submit` entries for the
+    /// pods whose arrival falls on it makes this bit-identical to
+    /// [`Simulator::admit_arrivals`].
+    fn admit_entries(&mut self, t: Tick, inbox: &[SubmitEntry]) -> Result<(usize, usize)> {
         let mut be = 0;
         let mut ls = 0;
         self.release_throttled();
-        for &pid in inbox {
+        for &entry in inbox {
+            let pid = entry.pod();
             let Some(pod) = self.workload.pods.get(self.next_arrival) else {
                 return Err(Error::InvalidData(format!(
                     "submission of pod {} past the end of the trace ({} pods)",
@@ -851,10 +896,34 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
                     pid.0, t.0, pod.spec.arrival.0
                 )));
             }
-            self.admit_pod(t, &mut be, &mut ls);
+            match entry {
+                SubmitEntry::Submit(_) => self.admit_pod(t, &mut be, &mut ls),
+                SubmitEntry::Deny(_) => self.deny_pod(t),
+            }
         }
         self.settle_admission(t);
         Ok((be, ls))
+    }
+
+    /// Denies the pod at the trace cursor: it counts as an arrival and
+    /// lands in the `disconnected` ledger class with a censored waiting
+    /// time, never entering the pending queue (mirrors
+    /// [`Simulator::shed_pod`] for the denial class).
+    fn deny_pod(&mut self, t: Tick) {
+        let pod = &self.workload.pods[self.next_arrival];
+        let pid = pod.spec.id;
+        let slo = pod.spec.slo;
+        self.next_arrival += 1;
+        let c = self.overload.class_mut(slo);
+        c.arrivals += 1;
+        c.disconnected += 1;
+        let o = &mut self.outcomes[pid.index()];
+        o.disconnected_at = Some(t);
+        o.wait_ticks = t.saturating_since(o.arrival);
+        if self.events_enabled {
+            self.ev_denied.push(pid);
+        }
+        optum_obs::counter!("sim.denied_disconnect");
     }
 
     fn tick_hook(&mut self, t: Tick, cost: &mut DecisionBudget) {
@@ -1887,6 +1956,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             w.put_opt_u64(o.rank_by_usage.map(u64::from));
             w.put_opt_u64(o.rank_by_request.map(u64::from));
             w.put_opt_u64(o.shed_at.map(|t| t.0));
+            w.put_opt_u64(o.disconnected_at.map(|t| t.0));
         }
         self.churn.snap_save(&mut w);
         self.violations.snap_save(&mut w);
@@ -2109,6 +2179,7 @@ impl<'w, S: Scheduler> Simulator<'w, S> {
             o.rank_by_usage = r.get_opt_u64()?.map(|x| x as u32);
             o.rank_by_request = r.get_opt_u64()?.map(|x| x as u32);
             o.shed_at = r.get_opt_u64()?.map(Tick);
+            o.disconnected_at = r.get_opt_u64()?.map(Tick);
         }
         self.churn = ChurnStats::snap_load(&mut r)?;
         self.violations = ViolationStats::snap_load(&mut r)?;

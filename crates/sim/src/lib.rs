@@ -35,7 +35,7 @@ pub use checkpoint::{
     read_snapshot_file, write_snapshot_file, Fingerprint, SnapReader, SnapWriter,
 };
 pub use config::{PredictorEval, SimConfig};
-pub use engine::{Simulator, StepOutbox};
+pub use engine::{Simulator, StepOutbox, SubmitEntry};
 pub use node::{NodeRuntime, ResidentPod};
 pub use result::{
     ChurnStats, ClassChurn, ClassOverload, ClusterTickStats, NodeSnapshot, OverloadStats,

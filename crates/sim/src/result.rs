@@ -63,6 +63,12 @@ pub struct PodOutcome {
     /// full pending queue), if it was shed. Shed pods are never
     /// placed; their `wait_ticks` is censored at the shed tick.
     pub shed_at: Option<Tick>,
+    /// Tick the serve front-end denied this pod because its owning
+    /// client connection was evicted (lease expiry or permanent
+    /// disconnect) before submitting it. Denied pods never reach the
+    /// admission queue; their `wait_ticks` is censored at the denial
+    /// tick, mirroring `shed_at`.
+    pub disconnected_at: Option<Tick>,
 }
 
 impl PodOutcome {
@@ -442,10 +448,11 @@ impl ChurnStats {
 /// Admission accounting for one SLO class under overload protection.
 ///
 /// The ledger is conserved by construction: a pod that reaches the
-/// controller lands in exactly one of `admitted`, `shed`, or (for BE
-/// pods still parked in the throttle buffer when the window closes)
-/// `throttled_end`, so
-/// `admitted + shed + throttled_end == arrivals`
+/// controller lands in exactly one of `admitted`, `shed`,
+/// `disconnected` (denied because its submitting connection was
+/// evicted), or (for BE pods still parked in the throttle buffer when
+/// the window closes) `throttled_end`, so
+/// `admitted + shed + throttled_end + disconnected == arrivals`
 /// holds per class at all times. Shedding a pod that was previously
 /// admitted moves it from `admitted` to `shed` (the `admitted` counter
 /// is net of sheds, not a monotone event count).
@@ -467,6 +474,11 @@ pub struct ClassOverload {
     pub throttled_end: u64,
     /// Peak number of this class's pods in the pending queue.
     pub max_depth: u64,
+    /// Pods denied by the serve front-end because their submitting
+    /// connection was evicted (lease expiry or permanent disconnect)
+    /// before it could submit them. Always zero for runs without a
+    /// service front-end.
+    pub disconnected: u64,
 }
 
 impl ClassOverload {
@@ -524,11 +536,17 @@ impl OverloadStats {
     }
 
     /// Whether the per-class conservation invariant holds:
-    /// `admitted + shed + throttled_end == arrivals` for every class.
+    /// `admitted + shed + throttled_end + disconnected == arrivals`
+    /// for every class.
     pub fn conserved(&self) -> bool {
         self.per_class
             .iter()
-            .all(|c| c.admitted + c.shed + c.throttled_end == c.arrivals)
+            .all(|c| c.admitted + c.shed + c.throttled_end + c.disconnected == c.arrivals)
+    }
+
+    /// Total pods denied by client-connection eviction across classes.
+    pub fn total_disconnected(&self) -> u64 {
+        self.per_class.iter().map(|c| c.disconnected).sum()
     }
 
     /// Serializes the accounting for a checkpoint.
@@ -544,6 +562,7 @@ impl OverloadStats {
             w.put_u64(c.requeued);
             w.put_u64(c.throttled_end);
             w.put_u64(c.max_depth);
+            w.put_u64(c.disconnected);
         }
     }
 
@@ -571,6 +590,7 @@ impl OverloadStats {
             c.requeued = r.get_u64()?;
             c.throttled_end = r.get_u64()?;
             c.max_depth = r.get_u64()?;
+            c.disconnected = r.get_u64()?;
         }
         Ok(overload)
     }
@@ -648,6 +668,14 @@ impl SimResult {
             fp.fold(o.preemptions as u64);
             fp.fold(o.evictions as u64);
             fp.fold(o.actual_duration.unwrap_or(u64::MAX));
+            // Folded conditionally so every pre-existing run (no serve
+            // front-end, hence no denials) keeps its digest byte for
+            // byte; a marker distinguishes "denied at t" from any
+            // plain-field continuation.
+            if let Some(t) = o.disconnected_at {
+                fp.fold(0xD15C);
+                fp.fold(t.0);
+            }
         }
         for c in &self.overload.per_class {
             fp.fold(c.arrivals);
@@ -655,6 +683,9 @@ impl SimResult {
             fp.fold(c.shed);
             fp.fold(c.requeued);
             fp.fold(c.throttled_end);
+            if c.disconnected != 0 {
+                fp.fold(c.disconnected);
+            }
         }
         fp.fold(self.churn.total_evictions());
         fp.fold(self.violations.cpu_node_ticks);
@@ -703,6 +734,7 @@ mod tests {
             rank_by_usage: None,
             rank_by_request: None,
             shed_at: None,
+            disconnected_at: None,
         }
     }
 
@@ -741,6 +773,20 @@ mod tests {
         o.class_mut(SloClass::Ls).shed = 1;
         assert!(!o.conserved(), "LS shed without an arrival must trip");
         assert_eq!(o.class(SloClass::Lsr).shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn disconnected_pods_enter_the_conservation_law() {
+        let mut o = OverloadStats::default();
+        let be = o.class_mut(SloClass::Be);
+        be.arrivals = 10;
+        be.admitted = 6;
+        be.shed = 2;
+        be.disconnected = 2;
+        assert!(o.conserved());
+        assert_eq!(o.total_disconnected(), 2);
+        o.class_mut(SloClass::Be).disconnected = 3;
+        assert!(!o.conserved(), "a denial without an arrival must trip");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Golden-figure regression suite: the head of the fast-scale
-//! `fig19`, `churn`, `degrade`, `overload`, `scale` and `serve`
-//! figure TSVs must match the snapshots in `tests/golden/` byte for
-//! byte, at worker-thread counts 1 and 4 — plus checkpoint/resume
+//! `fig19`, `churn`, `degrade`, `overload`, `scale`, `serve` and
+//! `disrupt` figure TSVs must match the snapshots in `tests/golden/`
+//! byte for byte, at worker-thread counts 1 and 4 — plus checkpoint/resume
 //! byte-identity and the degrade/overload sweeps' fig19 anchors.
 //!
 //! This turns two standing claims into CI-enforced tests: the figure
@@ -20,7 +20,7 @@
 
 use optum_platform::experiments::output::head_lines;
 use optum_platform::experiments::{
-    churn, degrade, endtoend, overload, scalebench, serve, ExpConfig, Runner,
+    churn, degrade, disrupt, endtoend, overload, scalebench, serve, ExpConfig, Runner,
 };
 use optum_platform::types::SloClass;
 
@@ -30,6 +30,7 @@ const DEGRADE_GOLDEN: &str = include_str!("golden/degrade_fast_head.tsv");
 const OVERLOAD_GOLDEN: &str = include_str!("golden/overload_fast_head.tsv");
 const SCALE_GOLDEN: &str = include_str!("golden/scale_fast_head.tsv");
 const SERVE_GOLDEN: &str = include_str!("golden/serve_fast_head.tsv");
+const DISRUPT_GOLDEN: &str = include_str!("golden/disrupt_fast_head.tsv");
 
 /// Must match `gen_golden.rs`.
 const GOLDEN_LINES: usize = 20;
@@ -40,6 +41,10 @@ const SCALE_GOLDEN_LINES: usize = 15;
 /// outcome and per-class latency/ledger panels, excluding the
 /// measured performance panel.
 const SERVE_GOLDEN_LINES: usize = 26;
+/// Must match `gen_golden.rs`: the disrupt head covers the session
+/// outcome and per-class panels, excluding the measured recovery
+/// panel (retry counts and proxy fault tallies are wall-clock racy).
+const DISRUPT_GOLDEN_LINES: usize = 40;
 /// Must match `gen_golden.rs`: one healthy arm, one stormy arm.
 const CHURN_GRID: [f64; 2] = [f64::INFINITY, 0.5];
 /// Must match `gen_golden.rs`: the fig19 anchor arm plus one lossy
@@ -274,6 +279,48 @@ fn serve_fast_matches_golden() {
         SERVE_GOLDEN,
         "serve drifted from tests/golden/serve_fast_head.tsv \
          (if intentional, regenerate with the gen_golden example)"
+    );
+}
+
+/// The disrupt figure — serve sessions through a seeded chaos proxy,
+/// plus a leased death arm — must match the golden head byte for
+/// byte. The head pins two claims at once: every reconnectable-fault
+/// arm carries the *same digest as the fault-free baseline* (wire
+/// faults are invisible in deterministic output), and the death arm's
+/// ledger balances with a nonzero `disconnected` class (evictions are
+/// a deterministic outcome, not an accounting leak).
+#[test]
+fn disrupt_fast_matches_golden() {
+    let rendered = disrupt::disrupt(&ExpConfig::fast())
+        .expect("disrupt")
+        .render();
+    assert_eq!(
+        head_lines(&rendered, DISRUPT_GOLDEN_LINES),
+        DISRUPT_GOLDEN,
+        "disrupt drifted from tests/golden/disrupt_fast_head.tsv \
+         (if intentional, regenerate with the gen_golden example)"
+    );
+}
+
+/// Cross-figure anchor: the disrupt baseline (and therefore every
+/// converging fault arm) reports exactly the digest of the serve
+/// figure's conns=4 rate=1 arm — the chaos plumbing costs nothing
+/// when quiet.
+#[test]
+fn disrupt_baseline_digest_matches_the_serve_conns4_arm() {
+    let serve_digest = SERVE_GOLDEN
+        .lines()
+        .find(|l| l.starts_with("4\t1\tnone\t"))
+        .and_then(|l| l.split('\t').next_back())
+        .expect("serve golden lacks the conns=4 rate=1 arm");
+    let disrupt_digest = DISRUPT_GOLDEN
+        .lines()
+        .find(|l| l.starts_with("baseline\t"))
+        .and_then(|l| l.split('\t').next_back())
+        .expect("disrupt golden lacks the baseline arm");
+    assert_eq!(
+        disrupt_digest, serve_digest,
+        "the disrupt baseline arm drifted from the serve conns=4 arm"
     );
 }
 
